@@ -1,0 +1,60 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "repair/user.h"
+#include "util/logging.h"
+
+namespace kbrepair {
+namespace bench {
+
+StrategyRun RunStrategy(KnowledgeBase& kb, Strategy strategy,
+                        int repetitions, uint64_t base_seed,
+                        const InquiryOptions& base_options) {
+  StrategyRun run;
+  run.strategy = strategy;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    RandomUser user(base_seed * 1000003 + static_cast<uint64_t>(rep));
+    InquiryOptions options = base_options;
+    options.strategy = strategy;
+    options.seed = base_seed * 7919 + static_cast<uint64_t>(rep);
+    InquiryEngine engine(&kb, options);
+    StatusOr<InquiryResult> result = engine.Run(user);
+    KBREPAIR_CHECK(result.ok()) << result.status();
+    run.questions.Add(static_cast<double>(result->num_questions()));
+    run.conflicts_per_question.Add(result->ConflictsPerQuestion());
+    size_t phase2 = 0;
+    for (const QuestionRecord& record : result->records) {
+      run.delays.Add(record.delay_seconds);
+      if (record.phase == 2) ++phase2;
+    }
+    run.phase2_questions.Add(static_cast<double>(phase2));
+    run.initial_conflicts = result->initial_conflicts;
+  }
+  return run;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatBoxplot(const BoxplotSummary& box, int decimals) {
+  return FormatDouble(box.min, decimals) + "/" +
+         FormatDouble(box.q1, decimals) + "/" +
+         FormatDouble(box.median, decimals) + "/" +
+         FormatDouble(box.q3, decimals) + "/" +
+         FormatDouble(box.max, decimals) + " (mean " +
+         FormatDouble(box.mean, decimals) + ")";
+}
+
+}  // namespace bench
+}  // namespace kbrepair

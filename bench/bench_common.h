@@ -1,0 +1,54 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each fig*_ binary regenerates one of the paper's tables/figures: it
+// builds the workload, runs the inquiry per strategy/configuration, and
+// prints the same rows or series the paper reports. Absolute numbers
+// differ from the paper's Java/GRAAL testbed; the *shapes* are the
+// reproduction target (see EXPERIMENTS.md).
+
+#ifndef KBREPAIR_BENCH_BENCH_COMMON_H_
+#define KBREPAIR_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "repair/inquiry.h"
+#include "rules/knowledge_base.h"
+#include "util/stats.h"
+
+namespace kbrepair {
+namespace bench {
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kOptiJoin, Strategy::kOptiMcd, Strategy::kOptiProp,
+    Strategy::kRandom};
+
+// Aggregated measurements of repeated inquiries on one workload.
+struct StrategyRun {
+  Strategy strategy = Strategy::kRandom;
+  SampleStats questions;
+  SampleStats conflicts_per_question;
+  SampleStats delays;           // per-question delay samples, pooled
+  SampleStats phase2_questions;
+  size_t initial_conflicts = 0;
+};
+
+// Runs `repetitions` inquiries with fresh random users and accumulates
+// the metrics. `kb` is re-used (the engine copies the facts); seeds are
+// derived from `base_seed` and the repetition index.
+StrategyRun RunStrategy(KnowledgeBase& kb, Strategy strategy,
+                        int repetitions, uint64_t base_seed,
+                        const InquiryOptions& base_options = {});
+
+// Simple fixed-width table printing.
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+// Formats a boxplot summary as "min/q1/med/q3/max (mean)".
+std::string FormatBoxplot(const BoxplotSummary& box, int decimals);
+
+}  // namespace bench
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_BENCH_BENCH_COMMON_H_

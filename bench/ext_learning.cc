@@ -1,0 +1,131 @@
+// Extension benchmark — learning from user choices (Section 7 future
+// work, implemented as the opti-learn strategy).
+//
+// opti-learn keeps opti-mcd's question *content* (same positions, same
+// sound fix sets — question counts match) but re-orders each question's
+// candidate fixes by a learned choice-propensity model. The measurable
+// payoff is the user's scanning effort: the index of the chosen fix
+// within the question. For a user with a learnable habit (the
+// conservative always-null user) that index collapses toward 0 after a
+// handful of observations; users whose residual choice is random within
+// a kind (decisive) or altogether (random) are the negative controls —
+// no ordering can help them, which bounds the method's scope.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gen/synthetic.h"
+#include "repair/user_models.h"
+#include "util/logging.h"
+
+namespace kbrepair {
+namespace bench {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+SyntheticKbOptions Workload(uint64_t seed) {
+  SyntheticKbOptions options;
+  options.seed = seed;
+  options.num_facts = 250;
+  options.inconsistency_ratio = 0.3;
+  options.num_cdds = 10;
+  options.cdd_min_atoms = 2;
+  options.cdd_max_atoms = 3;
+  options.min_arity = 2;
+  options.max_arity = 4;
+  options.min_multiplicity = 2;
+  options.max_multiplicity = 3;
+  return options;
+}
+
+enum class Model { kConservative, kDecisive, kRandom };
+
+const char* ModelName(Model model) {
+  switch (model) {
+    case Model::kConservative:
+      return "conservative";
+    case Model::kDecisive:
+      return "decisive";
+    case Model::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+void Compare(Model model) {
+  for (Strategy strategy : {Strategy::kOptiMcd, Strategy::kOptiLearn}) {
+    SampleStats chosen_index;
+    SampleStats late_chosen_index;  // after 5 warm-up questions
+    SampleStats questions;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      StatusOr<SyntheticKb> generated =
+          GenerateSyntheticKb(Workload(40 + static_cast<uint64_t>(rep)));
+      KBREPAIR_CHECK(generated.ok()) << generated.status();
+      KnowledgeBase& kb = generated->kb;
+
+      ConservativeUser conservative(&kb.symbols());
+      DecisiveUser decisive(&kb.symbols(), 70 + static_cast<uint64_t>(rep));
+      RandomUser random(70 + static_cast<uint64_t>(rep));
+      User* user = model == Model::kConservative
+                       ? static_cast<User*>(&conservative)
+                       : model == Model::kDecisive
+                             ? static_cast<User*>(&decisive)
+                             : static_cast<User*>(&random);
+
+      InquiryOptions options;
+      options.strategy = strategy;
+      options.seed = 90 + static_cast<uint64_t>(rep);
+      InquiryEngine engine(&kb, options);
+      StatusOr<InquiryResult> result = engine.Run(*user);
+      KBREPAIR_CHECK(result.ok()) << result.status();
+      questions.Add(static_cast<double>(result->num_questions()));
+      for (size_t q = 0; q < result->records.size(); ++q) {
+        chosen_index.Add(
+            static_cast<double>(result->records[q].chosen_index));
+        if (q >= 5) {
+          late_chosen_index.Add(
+              static_cast<double>(result->records[q].chosen_index));
+        }
+      }
+    }
+    PrintRow({ModelName(model), StrategyName(strategy),
+              FormatDouble(questions.Mean(), 1),
+              FormatDouble(chosen_index.Mean(), 2),
+              late_chosen_index.empty()
+                  ? std::string("-")
+                  : FormatDouble(late_chosen_index.Mean(), 2)},
+             {14, 12, 12, 19, 24});
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kbrepair
+
+int main() {
+  using namespace kbrepair;
+  using namespace kbrepair::bench;
+  std::printf(
+      "Extension — opti-learn: question re-ordering from learned user "
+      "preferences\nWorkload: 250 atoms, 30%% inconsistent, 10 CDDs, %d "
+      "repetitions\n",
+      kRepetitions);
+  PrintHeader("scanning effort (index of the chosen fix; lower = better)");
+  PrintRow({"user model", "strategy", "#questions", "mean chosen index",
+            "mean index after warm-up"},
+           {14, 12, 12, 19, 24});
+  for (Model model :
+       {Model::kConservative, Model::kDecisive, Model::kRandom}) {
+    Compare(model);
+  }
+  std::printf(
+      "\nExpected shapes: question counts identical per user model "
+      "(ordering\nchanges presentation, not content); the chosen index "
+      "collapses toward 0\nfor the conservative user (its habit — the "
+      "fresh null — is learnable);\nthe decisive user picks a random "
+      "constant among several, and the random\nuser has no habit at "
+      "all, so no ordering can help either — the bench's\nnegative "
+      "controls.\n");
+  return 0;
+}

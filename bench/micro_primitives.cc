@@ -1,0 +1,222 @@
+// Micro-benchmarks (google-benchmark) for the framework's primitives.
+// These back the complexity claims of Sections 3-4:
+//
+//  * chase saturation throughput (weakly-acyclic TGDs);
+//  * homomorphism enumeration (allconflicts);
+//  * naive vs. ⊥-early-stop consistency checking;
+//  * Π-repairability: Algorithm 1 vs. the Π-REPOPT fast path;
+//  * UPDATECONFLICTS vs. full naive-conflict recomputation;
+//  * sound-question generation delay as the KB grows — the observable
+//    side of the polynomial-delay result (Corollary 4.11).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/synthetic.h"
+#include "repair/conflict.h"
+#include "repair/consistency.h"
+#include "repair/question.h"
+#include "repair/repairability.h"
+#include "util/logging.h"
+
+namespace kbrepair {
+namespace {
+
+SyntheticKb MakeKb(size_t num_facts, double ratio, size_t num_tgds = 0,
+                   int depth = 1) {
+  SyntheticKbOptions options;
+  options.seed = 99;
+  options.num_facts = num_facts;
+  options.inconsistency_ratio = ratio;
+  options.num_cdds = 20;
+  options.cdd_min_atoms = 2;
+  options.cdd_max_atoms = 4;
+  options.min_arity = 2;
+  options.max_arity = 6;
+  options.num_tgds = num_tgds;
+  options.conflict_depth = depth;
+  options.routed_violation_share = num_tgds > 0 ? 0.5 : 0.0;
+  options.min_multiplicity = 1;
+  options.max_multiplicity = 2;
+  StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+  KBREPAIR_CHECK(generated.ok()) << generated.status();
+  return std::move(generated).value();
+}
+
+void BM_ChaseSaturation(benchmark::State& state) {
+  SyntheticKb generated =
+      MakeKb(static_cast<size_t>(state.range(0)), 0.1, /*num_tgds=*/20,
+             /*depth=*/2);
+  KnowledgeBase& kb = generated.kb;
+  size_t derived = 0;
+  for (auto _ : state) {
+    StatusOr<ChaseResult> chased =
+        RunChase(kb.facts(), kb.tgds(), kb.symbols());
+    KBREPAIR_CHECK(chased.ok());
+    derived = chased->num_derived();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["derived_atoms"] = static_cast<double>(derived);
+}
+BENCHMARK(BM_ChaseSaturation)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_AllConflicts(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.3);
+  KnowledgeBase& kb = generated.kb;
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  size_t conflicts = 0;
+  for (auto _ : state) {
+    StatusOr<std::vector<Conflict>> all = finder.AllConflicts(kb.facts());
+    KBREPAIR_CHECK(all.ok());
+    conflicts = all->size();
+    benchmark::DoNotOptimize(conflicts);
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_AllConflicts)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_ConsistencyNaive(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.2,
+                                 /*num_tgds=*/10, /*depth=*/2);
+  KnowledgeBase& kb = generated.kb;
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  for (auto _ : state) {
+    StatusOr<bool> consistent = checker.IsConsistentNaive(kb.facts());
+    KBREPAIR_CHECK(consistent.ok());
+    benchmark::DoNotOptimize(consistent.value());
+  }
+}
+BENCHMARK(BM_ConsistencyNaive)->Arg(1000)->Arg(2000);
+
+void BM_ConsistencyOpt(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.2,
+                                 /*num_tgds=*/10, /*depth=*/2);
+  KnowledgeBase& kb = generated.kb;
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  for (auto _ : state) {
+    StatusOr<bool> consistent = checker.IsConsistentOpt(kb.facts());
+    KBREPAIR_CHECK(consistent.ok());
+    benchmark::DoNotOptimize(consistent.value());
+  }
+}
+BENCHMARK(BM_ConsistencyOpt)->Arg(1000)->Arg(2000);
+
+void BM_PiRepairability(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.2);
+  KnowledgeBase& kb = generated.kb;
+  RepairabilityChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  for (auto _ : state) {
+    StatusOr<bool> repairable = checker.IsPiRepairable(kb.facts(), {});
+    KBREPAIR_CHECK(repairable.ok());
+    benchmark::DoNotOptimize(repairable.value());
+  }
+}
+BENCHMARK(BM_PiRepairability)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_PiRepOptScopeFastPath(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(1000, 0.2);
+  KnowledgeBase& kb = generated.kb;
+  RepairabilityChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  RepairabilityChecker::Scope scope(&checker, kb.facts(), {});
+  const TermId fresh = kb.symbols().MakeFreshNull();
+  const Fix fix{0, 0, fresh};
+  for (auto _ : state) {
+    StatusOr<bool> keeps = scope.FixKeepsRepairable(fix);
+    KBREPAIR_CHECK(keeps.ok());
+    benchmark::DoNotOptimize(keeps.value());
+  }
+  state.counters["fast_paths"] =
+      static_cast<double>(scope.num_fast_paths());
+}
+BENCHMARK(BM_PiRepOptScopeFastPath);
+
+void BM_PiRepOptScopeFullCheck(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(1000, 0.2);
+  KnowledgeBase& kb = generated.kb;
+  // Freeze one position so its value collides and forces full checks.
+  const TermId frozen_value = kb.facts().atom(0).args[0];
+  PositionSet pi = {Position{0, 0}};
+  RepairabilityChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  RepairabilityChecker::Scope scope(&checker, kb.facts(), pi);
+  const Fix fix{1, 0, frozen_value};
+  for (auto _ : state) {
+    StatusOr<bool> keeps = scope.FixKeepsRepairable(fix);
+    KBREPAIR_CHECK(keeps.ok());
+    benchmark::DoNotOptimize(keeps.value());
+  }
+  state.counters["full_checks"] =
+      static_cast<double>(scope.num_full_checks());
+}
+BENCHMARK(BM_PiRepOptScopeFullCheck);
+
+void BM_UpdateConflictsIncremental(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.3);
+  KnowledgeBase& kb = generated.kb;
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  ConflictTracker tracker(&finder);
+  FactBase working = kb.facts();
+  tracker.Initialize(working);
+  const TermId fresh = kb.symbols().MakeFreshNull();
+  const TermId original = working.atom(0).args[0];
+  bool flip = false;
+  for (auto _ : state) {
+    working.SetArg(0, 0, flip ? original : fresh);
+    flip = !flip;
+    tracker.OnFixApplied(working, 0);
+    benchmark::DoNotOptimize(tracker.size());
+  }
+}
+BENCHMARK(BM_UpdateConflictsIncremental)->Arg(1000)->Arg(2000);
+
+void BM_UpdateConflictsFullRecompute(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.3);
+  KnowledgeBase& kb = generated.kb;
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  FactBase working = kb.facts();
+  const TermId fresh = kb.symbols().MakeFreshNull();
+  const TermId original = working.atom(0).args[0];
+  bool flip = false;
+  for (auto _ : state) {
+    working.SetArg(0, 0, flip ? original : fresh);
+    flip = !flip;
+    const std::vector<Conflict> conflicts =
+        finder.NaiveConflicts(working);
+    benchmark::DoNotOptimize(conflicts.size());
+  }
+}
+BENCHMARK(BM_UpdateConflictsFullRecompute)->Arg(1000)->Arg(2000);
+
+// Polynomial-delay evidence: time one full sound-question generation
+// (conflict positions x active-domain candidates, each Π-REPOPT
+// filtered) while the KB size grows.
+void BM_SoundQuestionGeneration(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.2);
+  KnowledgeBase& kb = generated.kb;
+  RepairabilityChecker repairability(&kb.symbols(), &kb.tgds(),
+                                     &kb.cdds());
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  QuestionGenerator generator(&kb.symbols(), &repairability);
+  const std::vector<Conflict> conflicts =
+      finder.NaiveConflicts(kb.facts());
+  KBREPAIR_CHECK(!conflicts.empty());
+  size_t question_size = 0;
+  for (auto _ : state) {
+    StatusOr<Question> question = generator.SoundQuestion(
+        kb.facts(), {}, conflicts.front(), kb.cdds(),
+        PositionSelection::kAllPositions);
+    KBREPAIR_CHECK(question.ok());
+    question_size = question->fixes.size();
+    benchmark::DoNotOptimize(question_size);
+  }
+  state.counters["question_size"] = static_cast<double>(question_size);
+}
+BENCHMARK(BM_SoundQuestionGeneration)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000);
+
+}  // namespace
+}  // namespace kbrepair
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Auditable repair sessions: record an inquiry's full transcript,
+// generate the markdown repair report, then replay the transcript
+// against a fresh engine and verify the outcome is reproduced exactly —
+// the workflow a data-curation team needs to review and sign off on
+// repairs.
+
+#include <iostream>
+
+#include "parser/dlgp_parser.h"
+#include "repair/consistency.h"
+#include "repair/inquiry.h"
+#include "repair/report.h"
+#include "repair/session_log.h"
+#include "repair/user_models.h"
+
+namespace {
+
+constexpr const char* kKb = R"(
+% Figure 1 (b), plus the unrelated mike/penicillin fact.
+prescribed(aspirin, john).
+hasAllergy(john, aspirin).
+hasAllergy(mike, penicillin).
+hasPain(john, migraine).
+isPainKillerFor(nsaids, migraine).
+incompatible(aspirin, nsaids).
+[painkillers] prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+[allergy] ! :- prescribed(X, Y), hasAllergy(Y, X).
+[incompat] ! :- prescribed(X, Z), prescribed(Y, Z), incompatible(X, Y).
+)";
+
+}  // namespace
+
+int main() {
+  using namespace kbrepair;
+
+  StatusOr<KnowledgeBase> parsed = ParseDlgp(kKb);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.status() << "\n";
+    return 1;
+  }
+  KnowledgeBase kb = std::move(parsed).value();
+  if (Status status = kb.Validate(); !status.ok()) {
+    std::cerr << "invalid KB: " << status << "\n";
+    return 1;
+  }
+
+  // --- 1. Run an inquiry while recording the transcript.
+  RandomUser steward(2018);
+  SessionTranscript transcript;
+  TranscriptUser recording(&steward, &transcript);
+  InquiryOptions options;
+  options.strategy = Strategy::kOptiMcd;
+  options.seed = 2018;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(recording);
+  if (!result.ok()) {
+    std::cerr << "inquiry failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  // --- 2. The audit report.
+  std::cout << GenerateRepairReport(kb, *result, &transcript) << "\n";
+
+  // --- 3. Replay the transcript with a fresh engine; the repair must
+  // reproduce bit for bit (up to null renaming).
+  ReplayUser replay(&transcript, &kb.symbols());
+  InquiryEngine replay_engine(&kb, options);
+  StatusOr<InquiryResult> replayed = replay_engine.Run(replay);
+  if (!replayed.ok()) {
+    std::cerr << "replay failed: " << replayed.status() << "\n";
+    return 1;
+  }
+  const bool identical = EqualUpToNullRenaming(
+      replayed->facts, result->facts, kb.symbols());
+  std::cout << "## Replay\n\n- replay reproduced the repair: "
+            << (identical ? "yes" : "NO — divergence!") << "\n- replayed "
+            << replayed->num_questions() << " question(s), transcript "
+            << (replay.Finished() ? "fully consumed" : "NOT consumed")
+            << "\n";
+
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  std::cout << "- repaired KB consistent: "
+            << (checker.IsConsistentOpt(result->facts).value() ? "yes"
+                                                               : "no")
+            << "\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,174 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kb/homomorphism.h"
+#include "util/logging.h"
+
+namespace kbrepair {
+
+const Derivation& ChaseResult::derivation(AtomId id) const {
+  KBREPAIR_CHECK(!IsOriginal(id));
+  return derivations_[id - num_original_];
+}
+
+std::vector<AtomId> ChaseResult::OriginalSupport(AtomId id) const {
+  return OriginalSupport(std::vector<AtomId>{id});
+}
+
+std::vector<AtomId> ChaseResult::OriginalSupport(
+    const std::vector<AtomId>& ids) const {
+  std::vector<AtomId> support;
+  std::unordered_set<AtomId> visited;
+  std::vector<AtomId> frontier(ids.begin(), ids.end());
+  while (!frontier.empty()) {
+    const AtomId id = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(id).second) continue;
+    if (IsOriginal(id)) {
+      support.push_back(id);
+    } else {
+      const Derivation& d = derivation(id);
+      frontier.insert(frontier.end(), d.parents.begin(), d.parents.end());
+    }
+  }
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+ChaseEngine::ChaseEngine(SymbolTable* symbols, const std::vector<Tgd>* tgds,
+                         const std::vector<Cdd>* cdds, ChaseOptions options)
+    : symbols_(symbols), tgds_(tgds), cdds_(cdds), options_(options) {
+  KBREPAIR_CHECK(symbols != nullptr);
+  KBREPAIR_CHECK(tgds != nullptr);
+}
+
+StatusOr<ChaseResult> ChaseEngine::Run(const FactBase& facts) const {
+  ChaseResult result;
+  result.facts_ = facts;
+  result.num_original_ = facts.size();
+
+  // Index rules and constraints by body-atom predicate for anchored
+  // (semi-naive) evaluation: predicate -> [(rule index, body position)].
+  std::unordered_map<int32_t, std::vector<std::pair<size_t, size_t>>>
+      tgd_anchor_index;
+  for (size_t r = 0; r < tgds_->size(); ++r) {
+    const std::vector<Atom>& body = (*tgds_)[r].body();
+    for (size_t j = 0; j < body.size(); ++j) {
+      tgd_anchor_index[body[j].predicate].emplace_back(r, j);
+    }
+  }
+  std::unordered_map<int32_t, std::vector<std::pair<size_t, size_t>>>
+      cdd_anchor_index;
+  if (cdds_ != nullptr) {
+    for (size_t c = 0; c < cdds_->size(); ++c) {
+      const std::vector<Atom>& body = (*cdds_)[c].body();
+      for (size_t j = 0; j < body.size(); ++j) {
+        cdd_anchor_index[body[j].predicate].emplace_back(c, j);
+      }
+    }
+  }
+
+  std::deque<AtomId> work;
+  for (AtomId id = 0; id < result.facts_.size(); ++id) work.push_back(id);
+
+  HomomorphismFinder finder(symbols_, &result.facts_);
+
+  while (!work.empty()) {
+    const AtomId current = work.front();
+    work.pop_front();
+    const PredicateId pred = result.facts_.atom(current).predicate;
+
+    // --- ⊥-detection: does a CDD body now have a homomorphism that uses
+    // the current atom? (CHECKCONSISTENCY-OPT.)
+    if (cdds_ != nullptr && !result.violation_.has_value()) {
+      auto it = cdd_anchor_index.find(pred);
+      if (it != cdd_anchor_index.end()) {
+        for (const auto& [cdd_index, body_pos] : it->second) {
+          bool found = false;
+          finder.FindAllPinned((*cdds_)[cdd_index].body(), body_pos,
+                               current, [&](const Homomorphism& hom) {
+                                 ChaseViolation violation;
+                                 violation.cdd_index = cdd_index;
+                                 violation.matched = hom.matched;
+                                 result.violation_ = std::move(violation);
+                                 found = true;
+                                 return false;  // first violation suffices
+                               });
+          if (found) break;
+        }
+        if (result.violation_.has_value() && options_.stop_on_violation) {
+          return result;
+        }
+      }
+    }
+
+    // --- TGD triggers anchored at the current atom.
+    auto it = tgd_anchor_index.find(pred);
+    if (it == tgd_anchor_index.end()) continue;
+    for (const auto& [tgd_index, body_pos] : it->second) {
+      const Tgd& tgd = (*tgds_)[tgd_index];
+      // Materialize triggers before applying any: applying mutates the
+      // fact base the enumeration is reading.
+      std::vector<Homomorphism> triggers;
+      finder.FindAllPinned(tgd.body(), body_pos, current,
+                           [&](const Homomorphism& hom) {
+                             triggers.push_back(hom);
+                             return true;
+                           });
+      for (const Homomorphism& trigger : triggers) {
+        // Restricted-chase test: skip if the head is already satisfied
+        // under the trigger's frontier bindings (existentials free).
+        const std::vector<Atom> head_query =
+            SubstituteTerms(tgd.head(), trigger.bindings);
+        if (finder.Exists(head_query)) continue;
+
+        // Fire: instantiate existential variables with fresh nulls.
+        std::unordered_map<TermId, TermId> head_bindings =
+            trigger.bindings;
+        for (TermId var : tgd.existential_variables()) {
+          head_bindings[var] = symbols_->MakeFreshNull();
+        }
+        for (const Atom& head_atom : tgd.head()) {
+          const Atom instance = SubstituteTerms(head_atom, head_bindings);
+          // Avoid duplicating a ground atom that already exists. Atoms
+          // carrying fresh nulls are new by construction.
+          bool has_fresh_null = false;
+          for (TermId arg : instance.args) {
+            for (TermId var : tgd.existential_variables()) {
+              has_fresh_null =
+                  has_fresh_null || head_bindings[var] == arg;
+            }
+          }
+          if (!has_fresh_null && result.facts_.Contains(instance)) {
+            continue;
+          }
+          if (result.facts_.size() >= options_.max_atoms) {
+            return Status::Internal(
+                "chase exceeded max_atoms; TGD set likely not weakly "
+                "acyclic or cap too low");
+          }
+          const AtomId new_id = result.facts_.Add(instance);
+          Derivation derivation;
+          derivation.tgd_index = tgd_index;
+          derivation.parents = trigger.matched;
+          result.derivations_.push_back(std::move(derivation));
+          work.push_back(new_id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<ChaseResult> RunChase(const FactBase& facts,
+                               const std::vector<Tgd>& tgds,
+                               SymbolTable& symbols, ChaseOptions options) {
+  ChaseEngine engine(&symbols, &tgds, nullptr, options);
+  return engine.Run(facts);
+}
+
+}  // namespace kbrepair

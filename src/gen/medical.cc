@@ -1,0 +1,128 @@
+#include "gen/medical.h"
+
+#include <string>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kbrepair {
+
+StatusOr<MedicalKb> GenerateMedicalKb(const MedicalKbOptions& options) {
+  if (options.star_width < 1) {
+    return Status::InvalidArgument("star_width must be >= 1");
+  }
+  Rng rng(options.seed);
+  MedicalKb result;
+  KnowledgeBase& kb = result.kb;
+  SymbolTable& symbols = kb.symbols();
+
+  const PredicateId prescribed = symbols.InternPredicate("prescribed", 2);
+  const PredicateId has_allergy = symbols.InternPredicate("hasAllergy", 2);
+  const PredicateId incompatible =
+      symbols.InternPredicate("incompatible", 2);
+  const PredicateId has_pain = symbols.InternPredicate("hasPain", 2);
+  const PredicateId painkiller_for =
+      symbols.InternPredicate("isPainKillerFor", 2);
+
+  const TermId d = symbols.InternVariable("D");
+  const TermId p = symbols.InternVariable("P");
+  const TermId x = symbols.InternVariable("X");
+  const TermId y = symbols.InternVariable("Y");
+  const TermId z = symbols.InternVariable("Z");
+
+  // Figure 1's rules. Every argument position of every CDD body atom
+  // carries a join variable: the join-position share is 100%.
+  {
+    KBREPAIR_ASSIGN_OR_RETURN(
+        Tgd painkillers,
+        Tgd::Create({Atom(painkiller_for, {x, y}), Atom(has_pain, {z, y})},
+                    {Atom(prescribed, {x, z})}, symbols));
+    painkillers.set_label("painkillers");
+    kb.tgds().push_back(std::move(painkillers));
+
+    KBREPAIR_ASSIGN_OR_RETURN(
+        Cdd allergy, Cdd::Create({Atom(prescribed, {d, p}),
+                                  Atom(has_allergy, {p, d})},
+                                 symbols));
+    allergy.set_label("allergy");
+    kb.cdds().push_back(std::move(allergy));
+
+    KBREPAIR_ASSIGN_OR_RETURN(
+        Cdd incompat, Cdd::Create({Atom(prescribed, {x, z}),
+                                   Atom(prescribed, {y, z}),
+                                   Atom(incompatible, {x, y})},
+                                  symbols));
+    incompat.set_label("incompat");
+    kb.cdds().push_back(std::move(incompat));
+  }
+
+  uint64_t counter = 0;
+  auto drug = [&]() {
+    return symbols.InternConstant("drug" + std::to_string(++counter));
+  };
+  auto patient = [&]() {
+    return symbols.InternConstant("patient" + std::to_string(++counter));
+  };
+  auto pain = [&]() {
+    return symbols.InternConstant("pain" + std::to_string(++counter));
+  };
+
+  // --- Allergy conflicts: prescribed(d, p) + hasAllergy(p, d).
+  for (size_t c = 0; c < options.num_allergy_conflicts; ++c) {
+    const TermId dc = drug();
+    const TermId pc = patient();
+    kb.facts().Add(Atom(prescribed, {dc, pc}));
+    kb.facts().Add(Atom(has_allergy, {pc, dc}));
+    result.info.planned_conflicts += 1;
+    result.info.planned_naive_conflicts += 1;
+    result.info.atoms_in_conflicts += 2;
+  }
+
+  // --- Incompatibility stars.
+  for (size_t s = 0; s < options.num_incompat_stars; ++s) {
+    const TermId anchor_drug = drug();
+    const TermId star_patient = patient();
+    const bool routed = rng.Bernoulli(options.routed_star_share);
+    if (routed) {
+      // The anchor prescription is derived: the patient has a pain the
+      // anchor drug treats (Figure 1b's painkiller chain).
+      const TermId star_pain = pain();
+      kb.facts().Add(Atom(has_pain, {star_patient, star_pain}));
+      kb.facts().Add(Atom(painkiller_for, {anchor_drug, star_pain}));
+      result.info.atoms_in_conflicts += 2;
+    } else {
+      kb.facts().Add(Atom(prescribed, {anchor_drug, star_patient}));
+      result.info.atoms_in_conflicts += 1;
+    }
+    for (int w = 0; w < options.star_width; ++w) {
+      const TermId other_drug = drug();
+      kb.facts().Add(Atom(prescribed, {other_drug, star_patient}));
+      kb.facts().Add(Atom(incompatible, {anchor_drug, other_drug}));
+      result.info.atoms_in_conflicts += 2;
+      result.info.planned_conflicts += 1;
+      if (routed) {
+        result.info.planned_chase_conflicts += 1;
+      } else {
+        result.info.planned_naive_conflicts += 1;
+      }
+    }
+  }
+
+  // --- Padding: clean prescriptions and allergies over disjoint
+  // patients/drugs (no joins, hence no conflicts).
+  while (kb.facts().size() < options.num_facts) {
+    if (rng.Bernoulli(0.5)) {
+      kb.facts().Add(Atom(prescribed, {drug(), patient()}));
+    } else {
+      kb.facts().Add(Atom(has_allergy, {patient(), drug()}));
+    }
+  }
+
+  result.info.num_facts = kb.facts().size();
+  result.info.join_position_share = 1.0;  // by construction (see header)
+
+  KBREPAIR_RETURN_IF_ERROR(kb.Validate());
+  return result;
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,80 @@
+// Medical-domain workload generator: Figure 1's hospital vocabulary at
+// scale, with the join-position profile the paper attributes to its
+// real-world KB.
+//
+// The paper explains why `random` nearly matches `opti-join` on Durum
+// Wheat: "the percentage of join positions in conflicts is close to
+// 90%. This makes the probability of choosing a join position with
+// random strategy very high." This generator produces exactly that
+// regime: its constraints are Figure 1's
+//
+//   [allergy]  prescribed(D, P), hasAllergy(P, D) -> ⊥
+//   [incompat] prescribed(X, P), prescribed(Y, P), incompatible(X, Y) -> ⊥
+//
+// in which *every* argument position is a join position (share = 100%),
+// so random question positions are always resolving ones. Conflict
+// structure:
+//
+//  * allergy conflicts: one prescribed/hasAllergy pair per dirty
+//    prescription (disjoint, scope 0);
+//  * incompatibility stars: a poly-pharmacy patient prescribed one
+//    anchor drug plus k drugs incompatible with it yields k conflicts
+//    all sharing the anchor prescription — the hub structure opti-mcd
+//    exploits;
+//  * optionally, a share of the anchor prescriptions is *routed* through
+//    Figure 1's painkiller TGD (the anchor drug is only prescribed
+//    because the patient has a pain the drug treats), so those stars
+//    surface during the chase.
+//
+// Padding consists of clean prescriptions and allergies over disjoint
+// patients/drugs.
+
+#ifndef KBREPAIR_GEN_MEDICAL_H_
+#define KBREPAIR_GEN_MEDICAL_H_
+
+#include <cstdint>
+
+#include "rules/knowledge_base.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+struct MedicalKbOptions {
+  uint64_t seed = 1;
+  size_t num_facts = 500;
+
+  // Disjoint allergy conflicts (2 atoms each).
+  size_t num_allergy_conflicts = 10;
+
+  // Incompatibility stars: each has one anchor prescription and
+  // star_width incompatible co-prescriptions (star_width conflicts over
+  // 2*star_width + 1 atoms).
+  size_t num_incompat_stars = 5;
+  int star_width = 4;
+
+  // Share of stars whose anchor prescription is derived by the
+  // painkiller TGD instead of asserted (conflicts surface in the chase).
+  double routed_star_share = 0.0;
+};
+
+struct MedicalKbInfo {
+  size_t num_facts = 0;
+  size_t planned_conflicts = 0;
+  size_t planned_naive_conflicts = 0;
+  size_t planned_chase_conflicts = 0;
+  size_t atoms_in_conflicts = 0;
+  // Share of conflict-atom argument positions that are join positions —
+  // 1.0 by construction for this vocabulary.
+  double join_position_share = 0.0;
+};
+
+struct MedicalKb {
+  KnowledgeBase kb;
+  MedicalKbInfo info;
+};
+
+StatusOr<MedicalKb> GenerateMedicalKb(const MedicalKbOptions& options);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_GEN_MEDICAL_H_

@@ -1,0 +1,115 @@
+// Synthetic knowledge-base generator (Section 6, "Synthetic KBs").
+//
+// Reproduces the paper's generation procedure:
+//  * a vocabulary of predicates with arities drawn uniformly from a
+//    configurable range ([2,10] in the paper);
+//  * CDDs with a configurable number of body atoms (s ∈ [5,10] in the
+//    paper) connected through join variables; the share of argument
+//    positions holding join variables is tunable (v_join);
+//  * TGDs arranged in chains so that violating a CDD can require a
+//    configurable number d_K of chase steps (the paper's conflict depth),
+//    plus optional existential "noise" TGDs that only grow the chase;
+//  * facts generated as *violation clusters* until the requested
+//    inconsistency ratio (atoms involved in at least one conflict / n_F)
+//    is reached, then padded with conflict-free atoms.
+//
+// A violation cluster instantiates one CDD body with shared join
+// constants; each body atom receives `multiplicity` ground variants
+// differing in their lone (non-join) positions, so a cluster with
+// multiplicities (m_1..m_s) yields Π m_j overlapping conflicts over
+// Σ m_j atoms — the overlap structure behind the paper's "avg scope"
+// indicator. A *routed* cluster replaces one body atom's instances with
+// chain-origin facts, so its conflicts only appear after d_K chase steps.
+//
+// All constants minted by distinct clusters are distinct, so the set of
+// conflicts is exactly the set of planned grid homomorphisms — a property
+// the generator's tests verify against the conflict enumerator.
+
+#ifndef KBREPAIR_GEN_SYNTHETIC_H_
+#define KBREPAIR_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rules/knowledge_base.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+struct SyntheticKbOptions {
+  uint64_t seed = 1;
+
+  // Total atoms n_F (violation clusters + padding). When the
+  // inconsistency ratio requires more conflict atoms than num_facts, the
+  // fact count grows to fit (used by the 100%-inconsistency runs).
+  size_t num_facts = 1000;
+
+  // r_inc: atoms involved in >= 1 conflict / n_F.
+  double inconsistency_ratio = 0.10;
+
+  // Constraints.
+  size_t num_cdds = 20;
+  int cdd_min_atoms = 2;   // s range; the paper uses [5,10]
+  int cdd_max_atoms = 4;
+  int min_arity = 2;       // predicate arity range; the paper uses [2,10]
+  int max_arity = 4;
+  // Target share of CDD argument positions holding join variables
+  // (v_join). At least the connecting chain of join variables is always
+  // present; extra join variables are added until the share is met.
+  double join_position_share = 0.3;
+
+  // Violation clusters: per-body-atom multiplicity range.
+  int min_multiplicity = 1;
+  int max_multiplicity = 2;
+  // At most this many body atoms per cluster receive multiplicity > 1
+  // (-1 = unlimited). Caps the grid product for long CDD bodies so the
+  // conflict count per cluster stays in the paper's regime.
+  int max_multiplied_atoms = -1;
+
+  // TGDs. num_tgds chain rules are arranged into chains of length
+  // conflict_depth (so num_tgds / conflict_depth chains); each chain
+  // feeds one CDD body atom. routed_violation_share of the clusters of a
+  // chain-fed CDD are routed through the chain.
+  size_t num_tgds = 0;
+  int conflict_depth = 1;
+  double routed_violation_share = 0.5;
+
+  // Existential noise TGDs (they grow the chase but never violate
+  // anything); noise_tgd_fire_share of them get one triggering fact.
+  size_t num_noise_tgds = 0;
+  double noise_tgd_fire_share = 0.5;
+
+  // Share of padding atoms placed on constraint predicates (with fresh
+  // constants, hence conflict-free) instead of dedicated pad predicates.
+  double padding_on_constraint_predicates = 0.3;
+
+  // Prefix for generated symbol names; lets callers (e.g., the Durum
+  // Wheat reconstruction) flavour the vocabulary.
+  std::string name_prefix = "p";
+};
+
+// Ground truth the generator knows by construction.
+struct SyntheticKbInfo {
+  size_t num_facts = 0;
+  size_t atoms_in_conflicts = 0;
+  size_t planned_conflicts = 0;        // naive + chase-only
+  size_t planned_naive_conflicts = 0;  // visible without chasing
+  size_t planned_chase_conflicts = 0;  // routed through TGD chains
+  double inconsistency_ratio = 0.0;
+  // Share of conflict-atom argument positions that hold join variables.
+  double join_position_share = 0.0;
+};
+
+struct SyntheticKb {
+  KnowledgeBase kb;
+  SyntheticKbInfo info;
+};
+
+// Generates a KB per the options. The result passes
+// KnowledgeBase::Validate() (weakly-acyclic TGDs, meaningful CDDs).
+StatusOr<SyntheticKb> GenerateSyntheticKb(const SyntheticKbOptions& options);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_GEN_SYNTHETIC_H_

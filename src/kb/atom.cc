@@ -1,0 +1,48 @@
+#include "kb/atom.h"
+
+namespace kbrepair {
+
+std::string Atom::ToString(const SymbolTable& symbols) const {
+  std::string out = symbols.predicate_name(predicate);
+  out += '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += symbols.term_name(args[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms,
+                          const SymbolTable& symbols) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].ToString(symbols);
+  }
+  return out;
+}
+
+Atom SubstituteTerms(
+    const Atom& atom,
+    const std::unordered_map<TermId, TermId>& substitution) {
+  Atom result = atom;
+  for (TermId& arg : result.args) {
+    auto it = substitution.find(arg);
+    if (it != substitution.end()) arg = it->second;
+  }
+  return result;
+}
+
+std::vector<Atom> SubstituteTerms(
+    const std::vector<Atom>& atoms,
+    const std::unordered_map<TermId, TermId>& substitution) {
+  std::vector<Atom> result;
+  result.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    result.push_back(SubstituteTerms(atom, substitution));
+  }
+  return result;
+}
+
+}  // namespace kbrepair

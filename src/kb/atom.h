@@ -1,0 +1,66 @@
+// Atoms: a predicate applied to interned terms.
+
+#ifndef KBREPAIR_KB_ATOM_H_
+#define KBREPAIR_KB_ATOM_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/symbol_table.h"
+
+namespace kbrepair {
+
+// An atom p(t1,...,tn). Terms may be constants, nulls, or variables
+// (variables only appear in rule bodies/heads, never in the fact base —
+// facts "freeze" existentials into labeled nulls).
+struct Atom {
+  PredicateId predicate = kInvalidPredicate;
+  std::vector<TermId> args;
+
+  Atom() = default;
+  Atom(PredicateId pred, std::vector<TermId> arguments)
+      : predicate(pred), args(std::move(arguments)) {}
+
+  int arity() const { return static_cast<int>(args.size()); }
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  // Renders "p(a,X,_N1)" using the table's names.
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+// Hash functor so atoms can key unordered containers.
+struct AtomHash {
+  size_t operator()(const Atom& atom) const {
+    size_t h = std::hash<int32_t>()(atom.predicate);
+    for (TermId t : atom.args) {
+      h ^= std::hash<int32_t>()(t) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Renders a conjunction "p(a,b), q(b,c)".
+std::string AtomsToString(const std::vector<Atom>& atoms,
+                          const SymbolTable& symbols);
+
+// Replaces every argument that has a mapping in `substitution`; other
+// arguments pass through unchanged.
+Atom SubstituteTerms(
+    const Atom& atom,
+    const std::unordered_map<TermId, TermId>& substitution);
+
+std::vector<Atom> SubstituteTerms(
+    const std::vector<Atom>& atoms,
+    const std::unordered_map<TermId, TermId>& substitution);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_KB_ATOM_H_

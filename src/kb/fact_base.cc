@@ -1,0 +1,106 @@
+#include "kb/fact_base.h"
+
+#include <algorithm>
+
+namespace kbrepair {
+
+namespace {
+const std::vector<AtomId> kEmptyPostings;
+}  // namespace
+
+AtomId FactBase::Add(const Atom& atom) {
+  const AtomId id = static_cast<AtomId>(atoms_.size());
+  atoms_.push_back(atom);
+  by_predicate_[atom.predicate].push_back(id);
+  for (int pos = 0; pos < atom.arity(); ++pos) {
+    IndexArg(id, pos, atom.args[static_cast<size_t>(pos)]);
+  }
+  num_positions_ += static_cast<size_t>(atom.arity());
+  return id;
+}
+
+void FactBase::SetArg(AtomId id, int pos, TermId term) {
+  KBREPAIR_DCHECK(id < atoms_.size());
+  Atom& atom = atoms_[id];
+  KBREPAIR_DCHECK(pos >= 0 && pos < atom.arity());
+  const TermId old_term = atom.args[static_cast<size_t>(pos)];
+  if (old_term == term) return;
+  UnindexArg(id, pos, old_term);
+  atom.args[static_cast<size_t>(pos)] = term;
+  IndexArg(id, pos, term);
+}
+
+const std::vector<AtomId>& FactBase::AtomsWithPredicate(
+    PredicateId pred) const {
+  auto it = by_predicate_.find(pred);
+  return it == by_predicate_.end() ? kEmptyPostings : it->second;
+}
+
+const std::vector<AtomId>& FactBase::AtomsWithTermAt(PredicateId pred,
+                                                     int pos,
+                                                     TermId term) const {
+  auto it = by_probe_.find(ProbeKey(pred, pos, term));
+  return it == by_probe_.end() ? kEmptyPostings : it->second;
+}
+
+bool FactBase::Contains(const Atom& atom) const {
+  if (atom.args.empty()) {
+    return !AtomsWithPredicate(atom.predicate).empty();
+  }
+  // Probe the most selective first-argument posting list, then compare.
+  const std::vector<AtomId>& candidates =
+      AtomsWithTermAt(atom.predicate, 0, atom.args[0]);
+  for (AtomId id : candidates) {
+    if (atoms_[id] == atom) return true;
+  }
+  return false;
+}
+
+std::vector<TermId> FactBase::ActiveDomain(PredicateId pred,
+                                           int pos) const {
+  std::vector<TermId> domain;
+  for (AtomId id : AtomsWithPredicate(pred)) {
+    const Atom& atom = atoms_[id];
+    if (pos < atom.arity()) {
+      domain.push_back(atom.args[static_cast<size_t>(pos)]);
+    }
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+size_t FactBase::TermUseCount(TermId term) const {
+  auto it = term_use_count_.find(term);
+  return it == term_use_count_.end() ? 0 : it->second;
+}
+
+std::string FactBase::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (const Atom& atom : atoms_) {
+    out += atom.ToString(symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+void FactBase::IndexArg(AtomId id, int pos, TermId term) {
+  by_probe_[ProbeKey(atoms_[id].predicate, pos, term)].push_back(id);
+  ++term_use_count_[term];
+}
+
+void FactBase::UnindexArg(AtomId id, int pos, TermId term) {
+  auto it = by_probe_.find(ProbeKey(atoms_[id].predicate, pos, term));
+  KBREPAIR_DCHECK(it != by_probe_.end());
+  std::vector<AtomId>& postings = it->second;
+  auto entry = std::find(postings.begin(), postings.end(), id);
+  KBREPAIR_DCHECK(entry != postings.end());
+  // Swap-erase: posting lists are unordered multisets.
+  *entry = postings.back();
+  postings.pop_back();
+  auto count_it = term_use_count_.find(term);
+  KBREPAIR_DCHECK(count_it != term_use_count_.end());
+  if (--count_it->second == 0) term_use_count_.erase(count_it);
+}
+
+}  // namespace kbrepair

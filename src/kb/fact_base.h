@@ -1,0 +1,101 @@
+// FactBase: the identity-tracked, indexed set of facts F.
+//
+// Atoms get stable ids (AtomId) on insertion and are never removed;
+// update-based repairing only ever rewrites argument positions in place
+// (SetArg), which preserves the paper's invariants |F| = |apply(F,P)| and
+// pos(F) = pos(apply(F,P)), and makes the one-to-one correspondence
+// match() of Definition 3.3 the identity on atom ids.
+//
+// Two index families are maintained under mutation:
+//   * predicate -> atom ids            (scan candidates for a body atom)
+//   * (predicate, position, term) -> atom ids   (selective join probes)
+// plus a per-term usage count used by the Pi-REPOPT fresh-value fast path.
+
+#ifndef KBREPAIR_KB_FACT_BASE_H_
+#define KBREPAIR_KB_FACT_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/atom.h"
+#include "kb/symbol_table.h"
+
+namespace kbrepair {
+
+// Stable handle of an atom within a FactBase.
+using AtomId = uint32_t;
+
+class FactBase {
+ public:
+  FactBase() = default;
+
+  // Copyable: sound-question filtering and Pi-repairability work on
+  // scratch copies.
+  FactBase(const FactBase&) = default;
+  FactBase& operator=(const FactBase&) = default;
+  FactBase(FactBase&&) = default;
+  FactBase& operator=(FactBase&&) = default;
+
+  // Appends a fact; all args must be constants or nulls (facts freeze
+  // existential variables into labeled nulls before insertion).
+  AtomId Add(const Atom& atom);
+
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  const Atom& atom(AtomId id) const {
+    KBREPAIR_DCHECK(id < atoms_.size());
+    return atoms_[id];
+  }
+
+  // Rewrites argument `pos` of atom `id` to `term`, maintaining indexes.
+  void SetArg(AtomId id, int pos, TermId term);
+
+  // All atom ids sharing a predicate (insertion order).
+  const std::vector<AtomId>& AtomsWithPredicate(PredicateId pred) const;
+
+  // All atom ids with `term` at argument `pos` of `pred`.
+  const std::vector<AtomId>& AtomsWithTermAt(PredicateId pred, int pos,
+                                             TermId term) const;
+
+  // True if some fact equals `atom` (used by the restricted chase).
+  bool Contains(const Atom& atom) const;
+
+  // Distinct terms appearing at argument `pos` of `pred`:
+  // adom(p, i, F) in the paper.
+  std::vector<TermId> ActiveDomain(PredicateId pred, int pos) const;
+
+  // Number of argument positions currently holding `term` across all
+  // facts. Zero means the term is unused.
+  size_t TermUseCount(TermId term) const;
+
+  // Total number of positions |pos(F)| = sum of arities.
+  size_t NumPositions() const { return num_positions_; }
+
+  // One atom per line, for debugging and the examples.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  // Packs a (pred, pos, term) probe into a 64-bit map key.
+  static uint64_t ProbeKey(PredicateId pred, int pos, TermId term) {
+    return ((static_cast<uint64_t>(static_cast<uint32_t>(pred)) << 4 |
+             static_cast<uint64_t>(pos))
+            << 32) |
+           static_cast<uint32_t>(term);
+  }
+
+  void IndexArg(AtomId id, int pos, TermId term);
+  void UnindexArg(AtomId id, int pos, TermId term);
+
+  std::vector<Atom> atoms_;
+  std::unordered_map<int32_t, std::vector<AtomId>> by_predicate_;
+  std::unordered_map<uint64_t, std::vector<AtomId>> by_probe_;
+  std::unordered_map<int32_t, size_t> term_use_count_;
+  size_t num_positions_ = 0;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_KB_FACT_BASE_H_

@@ -1,0 +1,238 @@
+#include "kb/homomorphism.h"
+
+#include <limits>
+
+namespace kbrepair {
+
+Atom Homomorphism::MapAtom(const Atom& atom) const {
+  Atom mapped = atom;
+  for (TermId& arg : mapped.args) arg = Map(arg);
+  return mapped;
+}
+
+HomomorphismFinder::HomomorphismFinder(const SymbolTable* symbols,
+                                       const FactBase* facts)
+    : symbols_(symbols), facts_(facts) {
+  KBREPAIR_CHECK(symbols != nullptr);
+  KBREPAIR_CHECK(facts != nullptr);
+}
+
+// Mutable search bookkeeping shared across recursion levels.
+struct HomomorphismFinder::SearchState {
+  const std::vector<Atom>* query = nullptr;
+  const std::function<bool(const Homomorphism&)>* visitor = nullptr;
+
+  std::unordered_map<TermId, TermId> bindings;
+  std::vector<TermId> trail;            // variables to unbind on backtrack
+  std::vector<AtomId> matched;          // per query atom; valid if done[i]
+  std::vector<bool> done;               // which query atoms are matched
+  size_t num_done = 0;
+  size_t visited = 0;
+  bool stopped = false;                 // visitor requested early stop
+};
+
+size_t HomomorphismFinder::FindAll(
+    const std::vector<Atom>& query,
+    const std::function<bool(const Homomorphism&)>& visitor) const {
+  if (query.empty()) {
+    // The empty conjunction has exactly the empty homomorphism.
+    Homomorphism trivial;
+    visitor(trivial);
+    return 1;
+  }
+  SearchState state;
+  state.query = &query;
+  state.visitor = &visitor;
+  state.matched.assign(query.size(), 0);
+  state.done.assign(query.size(), false);
+  Search(state);
+  return state.visited;
+}
+
+bool HomomorphismFinder::Exists(const std::vector<Atom>& query) const {
+  bool found = false;
+  FindAll(query, [&found](const Homomorphism&) {
+    found = true;
+    return false;  // stop at the first one
+  });
+  return found;
+}
+
+std::optional<Homomorphism> HomomorphismFinder::FindFirst(
+    const std::vector<Atom>& query) const {
+  std::optional<Homomorphism> result;
+  FindAll(query, [&result](const Homomorphism& hom) {
+    result = hom;
+    return false;
+  });
+  return result;
+}
+
+size_t HomomorphismFinder::Count(const std::vector<Atom>& query,
+                                 size_t limit) const {
+  size_t count = 0;
+  FindAll(query, [&count, limit](const Homomorphism&) {
+    ++count;
+    return limit == 0 || count < limit;
+  });
+  return count;
+}
+
+size_t HomomorphismFinder::FindAllPinned(
+    const std::vector<Atom>& query, size_t pin_index, AtomId pin_atom,
+    const std::function<bool(const Homomorphism&)>& visitor) const {
+  KBREPAIR_CHECK(pin_index < query.size());
+  const Atom& pattern = query[pin_index];
+  const Atom& fact = facts_->atom(pin_atom);
+  // Unify the pinned body atom against the fact.
+  std::unordered_map<TermId, TermId> pin_bindings;
+  if (pattern.predicate != fact.predicate ||
+      pattern.arity() != fact.arity()) {
+    return 0;
+  }
+  for (int pos = 0; pos < pattern.arity(); ++pos) {
+    const TermId pattern_term = pattern.args[static_cast<size_t>(pos)];
+    const TermId fact_term = fact.args[static_cast<size_t>(pos)];
+    if (symbols_->IsVariable(pattern_term)) {
+      auto [it, inserted] = pin_bindings.emplace(pattern_term, fact_term);
+      if (!inserted && it->second != fact_term) return 0;
+    } else if (pattern_term != fact_term) {
+      return 0;
+    }
+  }
+  // Solve the rest of the body with the pin's bindings substituted in.
+  std::vector<Atom> rest;
+  rest.reserve(query.size() - 1);
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (i != pin_index) rest.push_back(SubstituteTerms(query[i], pin_bindings));
+  }
+  return FindAll(rest, [&](const Homomorphism& partial) {
+    Homomorphism full;
+    full.bindings = pin_bindings;
+    for (const auto& [var, term] : partial.bindings) {
+      full.bindings.emplace(var, term);
+    }
+    full.matched.resize(query.size());
+    size_t rest_index = 0;
+    for (size_t i = 0; i < query.size(); ++i) {
+      full.matched[i] =
+          i == pin_index ? pin_atom : partial.matched[rest_index++];
+    }
+    return visitor(full);
+  });
+}
+
+bool HomomorphismFinder::Search(SearchState& state) const {
+  if (state.num_done == state.query->size()) {
+    ++state.visited;
+    Homomorphism hom;
+    hom.bindings = state.bindings;
+    hom.matched = state.matched;
+    if (!(*state.visitor)(hom)) state.stopped = true;
+    return !state.stopped;
+  }
+
+  const size_t qi = PickNextAtom(state);
+  const Atom& pattern = (*state.query)[qi];
+  state.done[qi] = true;
+  ++state.num_done;
+
+  // Select candidates: prefer the smallest posting list over a bound
+  // argument position; fall back to the whole predicate list.
+  const std::vector<AtomId>* candidates = nullptr;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  for (int pos = 0; pos < pattern.arity(); ++pos) {
+    TermId term = pattern.args[static_cast<size_t>(pos)];
+    if (symbols_->IsVariable(term)) {
+      auto it = state.bindings.find(term);
+      if (it == state.bindings.end()) continue;
+      term = it->second;
+    }
+    const std::vector<AtomId>& postings =
+        facts_->AtomsWithTermAt(pattern.predicate, pos, term);
+    if (postings.size() < best_size) {
+      best_size = postings.size();
+      candidates = &postings;
+    }
+  }
+  if (candidates == nullptr) {
+    candidates = &facts_->AtomsWithPredicate(pattern.predicate);
+  }
+
+  for (AtomId fact_id : *candidates) {
+    const size_t trail_mark = state.trail.size();
+    if (TryMatch(state, qi, fact_id)) {
+      state.matched[qi] = fact_id;
+      if (!Search(state)) {
+        UndoTrail(state, trail_mark);
+        break;
+      }
+    }
+    UndoTrail(state, trail_mark);
+    if (state.stopped) break;
+  }
+
+  state.done[qi] = false;
+  --state.num_done;
+  return !state.stopped;
+}
+
+size_t HomomorphismFinder::PickNextAtom(const SearchState& state) const {
+  const std::vector<Atom>& query = *state.query;
+  size_t best = query.size();
+  int best_bound = -1;
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (state.done[i]) continue;
+    int bound = 0;
+    for (TermId term : query[i].args) {
+      if (!symbols_->IsVariable(term) || state.bindings.count(term) > 0) {
+        ++bound;
+      }
+    }
+    if (bound > best_bound) {
+      best_bound = bound;
+      best = i;
+    }
+  }
+  KBREPAIR_DCHECK(best < query.size());
+  return best;
+}
+
+bool HomomorphismFinder::TryMatch(SearchState& state, size_t query_index,
+                                  AtomId fact_id) const {
+  const Atom& pattern = (*state.query)[query_index];
+  const Atom& fact = facts_->atom(fact_id);
+  if (pattern.predicate != fact.predicate ||
+      pattern.arity() != fact.arity()) {
+    return false;
+  }
+  const size_t trail_mark = state.trail.size();
+  for (int pos = 0; pos < pattern.arity(); ++pos) {
+    const TermId pattern_term = pattern.args[static_cast<size_t>(pos)];
+    const TermId fact_term = fact.args[static_cast<size_t>(pos)];
+    if (symbols_->IsVariable(pattern_term)) {
+      auto [it, inserted] = state.bindings.emplace(pattern_term, fact_term);
+      if (inserted) {
+        state.trail.push_back(pattern_term);
+      } else if (it->second != fact_term) {
+        UndoTrail(state, trail_mark);
+        return false;
+      }
+    } else if (pattern_term != fact_term) {
+      // Constants and nulls in the pattern must match exactly.
+      UndoTrail(state, trail_mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+void HomomorphismFinder::UndoTrail(SearchState& state,
+                                   size_t trail_mark) const {
+  while (state.trail.size() > trail_mark) {
+    state.bindings.erase(state.trail.back());
+    state.trail.pop_back();
+  }
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,99 @@
+// Homomorphism search: evaluating conjunctive queries over a FactBase.
+//
+// A homomorphism maps the variables of a conjunction (a rule body, a CDD
+// body, a query) to terms of the fact base such that every body atom's
+// image is a fact. This single engine backs:
+//   * conflict enumeration  (all homomorphisms of each CDD body),
+//   * TGD applicability     (homomorphisms of rule bodies, in the chase),
+//   * consistency checking  (existence of any CDD-body homomorphism),
+//   * boolean/conjunctive query answering in the public API.
+//
+// The search is a backtracking join: at each level the not-yet-matched
+// body atom with the most bound positions is chosen, candidate facts are
+// drawn from the most selective (predicate, position, term) posting list
+// available, and bindings are trailed for O(1) undo.
+
+#ifndef KBREPAIR_KB_HOMOMORPHISM_H_
+#define KBREPAIR_KB_HOMOMORPHISM_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/atom.h"
+#include "kb/fact_base.h"
+#include "kb/symbol_table.h"
+
+namespace kbrepair {
+
+// A completed homomorphism: variable bindings plus, for each body atom
+// (in body order), the fact it mapped to. Note homomorphisms need not be
+// injective — two body atoms may map to the same fact.
+struct Homomorphism {
+  std::unordered_map<TermId, TermId> bindings;
+  std::vector<AtomId> matched;
+
+  // Applies the bindings to `term` (identity on constants/nulls and on
+  // unbound variables).
+  TermId Map(TermId term) const {
+    auto it = bindings.find(term);
+    return it == bindings.end() ? term : it->second;
+  }
+
+  // Applies the bindings to every argument of `atom`.
+  Atom MapAtom(const Atom& atom) const;
+};
+
+// Stateless facade over (symbols, facts); cheap to construct per query.
+class HomomorphismFinder {
+ public:
+  // Visits homomorphisms until the callback returns false. Neither
+  // pointer may be null; both must outlive the call.
+  HomomorphismFinder(const SymbolTable* symbols, const FactBase* facts);
+
+  // Enumerates homomorphisms of `query` into the fact base, invoking
+  // `visitor` for each; enumeration stops early when the visitor returns
+  // false. Returns the number of homomorphisms visited.
+  size_t FindAll(const std::vector<Atom>& query,
+                 const std::function<bool(const Homomorphism&)>& visitor)
+      const;
+
+  // True iff at least one homomorphism exists.
+  bool Exists(const std::vector<Atom>& query) const;
+
+  // Returns the first homomorphism found, if any.
+  std::optional<Homomorphism> FindFirst(const std::vector<Atom>& query)
+      const;
+
+  // Counts homomorphisms, optionally stopping at `limit` (0 = no limit).
+  size_t Count(const std::vector<Atom>& query, size_t limit = 0) const;
+
+  // Enumerates only the homomorphisms in which body atom `pin_index`
+  // maps to fact `pin_atom`. This anchored (semi-naive) form drives both
+  // the chase and incremental conflict maintenance: when a new or
+  // modified atom arrives, only homomorphisms using it need
+  // (re-)enumeration. Returns the number visited.
+  size_t FindAllPinned(
+      const std::vector<Atom>& query, size_t pin_index, AtomId pin_atom,
+      const std::function<bool(const Homomorphism&)>& visitor) const;
+
+ private:
+  struct SearchState;
+
+  bool Search(SearchState& state) const;
+  // Picks the next unmatched body atom (most bound positions wins;
+  // ties broken by smaller candidate-list estimate).
+  size_t PickNextAtom(const SearchState& state) const;
+  bool TryMatch(SearchState& state, size_t query_index, AtomId fact_id)
+      const;
+  void UndoTrail(SearchState& state, size_t trail_mark) const;
+
+  const SymbolTable* symbols_;
+  const FactBase* facts_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_KB_HOMOMORPHISM_H_

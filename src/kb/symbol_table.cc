@@ -1,0 +1,60 @@
+#include "kb/symbol_table.h"
+
+namespace kbrepair {
+
+TermId SymbolTable::InternTerm(TermKind kind, const std::string& name) {
+  const std::string key = TermKey(kind, name);
+  auto it = term_index_.find(key);
+  if (it != term_index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(TermEntry{kind, name});
+  term_index_.emplace(key, id);
+  return id;
+}
+
+TermId SymbolTable::FindTerm(TermKind kind, const std::string& name) const {
+  auto it = term_index_.find(TermKey(kind, name));
+  return it == term_index_.end() ? kInvalidTerm : it->second;
+}
+
+TermId SymbolTable::MakeFreshNull() {
+  // Loop in case a user-supplied null already claimed the name.
+  while (true) {
+    std::string name = "_N" + std::to_string(++fresh_null_counter_);
+    if (FindTerm(TermKind::kNull, name) == kInvalidTerm) {
+      return InternNull(name);
+    }
+  }
+}
+
+TermId SymbolTable::MakeFreshVariable() {
+  while (true) {
+    std::string name = "_V" + std::to_string(++fresh_variable_counter_);
+    if (FindTerm(TermKind::kVariable, name) == kInvalidTerm) {
+      return InternVariable(name);
+    }
+  }
+}
+
+PredicateId SymbolTable::InternPredicate(const std::string& name,
+                                         int arity) {
+  KBREPAIR_CHECK(arity >= 1) << " predicate " << name;
+  auto it = predicate_index_.find(name);
+  if (it != predicate_index_.end()) {
+    KBREPAIR_CHECK_EQ(predicates_[static_cast<size_t>(it->second)].arity,
+                      arity)
+        << " predicate " << name << " re-interned with different arity";
+    return it->second;
+  }
+  const PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateEntry{name, arity});
+  predicate_index_.emplace(name, id);
+  return id;
+}
+
+PredicateId SymbolTable::FindPredicate(const std::string& name) const {
+  auto it = predicate_index_.find(name);
+  return it == predicate_index_.end() ? kInvalidPredicate : it->second;
+}
+
+}  // namespace kbrepair

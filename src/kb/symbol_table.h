@@ -1,0 +1,143 @@
+// Interning tables for terms and predicates.
+//
+// All terms (constants, rule variables, labeled nulls) and predicates are
+// interned into dense integer ids. Atoms are then just small integer
+// vectors, which makes homomorphism search, indexing and hashing cheap —
+// the same design used by in-memory Datalog engines.
+
+#ifndef KBREPAIR_KB_SYMBOL_TABLE_H_
+#define KBREPAIR_KB_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+// Dense id of an interned term. Valid ids are >= 0.
+using TermId = int32_t;
+inline constexpr TermId kInvalidTerm = -1;
+
+// Dense id of an interned predicate. Valid ids are >= 0.
+using PredicateId = int32_t;
+inline constexpr PredicateId kInvalidPredicate = -1;
+
+// The three syntactic categories of terms in the paper's KB model.
+enum class TermKind : uint8_t {
+  kConstant = 0,  // e.g. Aspirin, John
+  kVariable = 1,  // universally/existentially quantified rule variable
+  kNull = 2,      // labeled null (frozen existential), e.g. X_1 in facts
+};
+
+// Owns the string<->id mappings for terms and predicates.
+//
+// Labeled nulls and rule variables can be minted fresh
+// (MakeFreshNull/MakeFreshVariable); freshness is global to the table, so
+// a null invented during the chase or by a position fix can never collide
+// with an existing value — the property Definition 3.1 relies on.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // SymbolTable is shared by reference between the fact base, rules and
+  // the repair engine; copying one by accident is almost always a bug.
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // --- Terms -------------------------------------------------------------
+
+  // Interns (creating if absent) a term with the given kind and name.
+  // The same name may exist with different kinds ("X" the constant and
+  // "X" the variable are distinct terms).
+  TermId InternTerm(TermKind kind, const std::string& name);
+
+  TermId InternConstant(const std::string& name) {
+    return InternTerm(TermKind::kConstant, name);
+  }
+  TermId InternVariable(const std::string& name) {
+    return InternTerm(TermKind::kVariable, name);
+  }
+  TermId InternNull(const std::string& name) {
+    return InternTerm(TermKind::kNull, name);
+  }
+
+  // Returns the id of an existing term, or kInvalidTerm.
+  TermId FindTerm(TermKind kind, const std::string& name) const;
+
+  // Mints a brand-new labeled null (name "_N<k>").
+  TermId MakeFreshNull();
+
+  // Mints a brand-new rule variable (name "_V<k>"), used when renaming
+  // rule heads apart ("safe(H)" in the paper).
+  TermId MakeFreshVariable();
+
+  TermKind term_kind(TermId id) const {
+    KBREPAIR_DCHECK(id >= 0 && static_cast<size_t>(id) < terms_.size());
+    return terms_[static_cast<size_t>(id)].kind;
+  }
+  const std::string& term_name(TermId id) const {
+    KBREPAIR_DCHECK(id >= 0 && static_cast<size_t>(id) < terms_.size());
+    return terms_[static_cast<size_t>(id)].name;
+  }
+  bool IsConstant(TermId id) const {
+    return term_kind(id) == TermKind::kConstant;
+  }
+  bool IsVariable(TermId id) const {
+    return term_kind(id) == TermKind::kVariable;
+  }
+  bool IsNull(TermId id) const { return term_kind(id) == TermKind::kNull; }
+
+  size_t num_terms() const { return terms_.size(); }
+
+  // --- Predicates --------------------------------------------------------
+
+  // Interns a predicate. Re-interning an existing name with a different
+  // arity is a CHECK failure (the DLGP format has no arity overloading).
+  PredicateId InternPredicate(const std::string& name, int arity);
+
+  // Returns the id of an existing predicate, or kInvalidPredicate.
+  PredicateId FindPredicate(const std::string& name) const;
+
+  const std::string& predicate_name(PredicateId id) const {
+    KBREPAIR_DCHECK(id >= 0 &&
+                    static_cast<size_t>(id) < predicates_.size());
+    return predicates_[static_cast<size_t>(id)].name;
+  }
+  int predicate_arity(PredicateId id) const {
+    KBREPAIR_DCHECK(id >= 0 &&
+                    static_cast<size_t>(id) < predicates_.size());
+    return predicates_[static_cast<size_t>(id)].arity;
+  }
+
+  size_t num_predicates() const { return predicates_.size(); }
+
+ private:
+  struct TermEntry {
+    TermKind kind;
+    std::string name;
+  };
+  struct PredicateEntry {
+    std::string name;
+    int arity;
+  };
+
+  static std::string TermKey(TermKind kind, const std::string& name) {
+    std::string key(1, static_cast<char>('0' + static_cast<int>(kind)));
+    key += name;
+    return key;
+  }
+
+  std::vector<TermEntry> terms_;
+  std::unordered_map<std::string, TermId> term_index_;
+  std::vector<PredicateEntry> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_index_;
+  uint64_t fresh_null_counter_ = 0;
+  uint64_t fresh_variable_counter_ = 0;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_KB_SYMBOL_TABLE_H_

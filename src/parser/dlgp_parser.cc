@@ -1,0 +1,517 @@
+#include "parser/dlgp_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace kbrepair {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kQuoted,
+  kLeftParen,
+  kRightParen,
+  kLeftBracket,
+  kRightBracket,
+  kComma,
+  kDot,
+  kImplies,  // ":-"
+  kBang,     // "!"
+  kEquals,   // "="
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '(') {
+        tokens.push_back({TokenKind::kLeftParen, "(", line_});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRightParen, ")", line_});
+        ++pos_;
+      } else if (c == '[') {
+        tokens.push_back({TokenKind::kLeftBracket, "[", line_});
+        ++pos_;
+      } else if (c == ']') {
+        tokens.push_back({TokenKind::kRightBracket, "]", line_});
+        ++pos_;
+      } else if (c == ',') {
+        tokens.push_back({TokenKind::kComma, ",", line_});
+        ++pos_;
+      } else if (c == '.') {
+        tokens.push_back({TokenKind::kDot, ".", line_});
+        ++pos_;
+      } else if (c == '!') {
+        tokens.push_back({TokenKind::kBang, "!", line_});
+        ++pos_;
+      } else if (c == '=') {
+        tokens.push_back({TokenKind::kEquals, "=", line_});
+        ++pos_;
+      } else if (c == ':') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          tokens.push_back({TokenKind::kImplies, ":-", line_});
+          pos_ += 2;
+        } else {
+          return ErrorAt("expected ':-'");
+        }
+      } else if (c == '"') {
+        ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\n') return ErrorAt("unterminated string");
+          value += text_[pos_++];
+        }
+        if (pos_ >= text_.size()) return ErrorAt("unterminated string");
+        ++pos_;  // closing quote
+        tokens.push_back({TokenKind::kQuoted, value, line_});
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        std::string value;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '-' ||
+                text_[pos_] == '/')) {
+          value += text_[pos_++];
+        }
+        tokens.push_back({TokenKind::kIdentifier, value, line_});
+      } else {
+        return ErrorAt(std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  Status ErrorAt(const std::string& message) {
+    return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+                                   message);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// One parsed term before symbol resolution.
+struct RawTerm {
+  std::string text;
+  bool quoted = false;
+  int line = 0;
+};
+
+// One parsed atom or equality.
+struct RawAtom {
+  std::string predicate;  // empty for equalities
+  std::vector<RawTerm> args;
+  bool is_equality = false;
+  int line = 0;
+};
+
+struct RawStatement {
+  enum class Kind { kFact, kTgd, kCdd } kind;
+  std::string label;          // "[name]" prefix; empty if absent
+  std::vector<RawAtom> head;  // facts store their atom here
+  std::vector<RawAtom> body;
+  int line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<RawStatement>> ParseAll() {
+    std::vector<RawStatement> statements;
+    while (Peek().kind != TokenKind::kEnd) {
+      auto statement = ParseStatement();
+      if (!statement.ok()) return statement.status();
+      statements.push_back(std::move(statement).value());
+    }
+    return statements;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status ErrorHere(const std::string& message) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(Peek().line) + ": " + message);
+  }
+
+  StatusOr<RawStatement> ParseStatement() {
+    RawStatement statement;
+    statement.line = Peek().line;
+    if (Peek().kind == TokenKind::kLeftBracket) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorHere("expected rule label after '['");
+      }
+      statement.label = Advance().text;
+      if (Peek().kind != TokenKind::kRightBracket) {
+        return ErrorHere("expected ']' after rule label");
+      }
+      Advance();
+    }
+    if (Peek().kind == TokenKind::kBang) {
+      // CDD: ! :- body .
+      Advance();
+      if (Peek().kind != TokenKind::kImplies) {
+        return ErrorHere("expected ':-' after '!'");
+      }
+      Advance();
+      statement.kind = RawStatement::Kind::kCdd;
+      auto body = ParseAtomList();
+      if (!body.ok()) return body.status();
+      statement.body = std::move(body).value();
+    } else {
+      auto first = ParseAtomList();
+      if (!first.ok()) return first.status();
+      if (Peek().kind == TokenKind::kImplies) {
+        Advance();
+        statement.kind = RawStatement::Kind::kTgd;
+        statement.head = std::move(first).value();
+        auto body = ParseAtomList();
+        if (!body.ok()) return body.status();
+        statement.body = std::move(body).value();
+      } else {
+        statement.kind = RawStatement::Kind::kFact;
+        statement.head = std::move(first).value();
+      }
+    }
+    if (Peek().kind != TokenKind::kDot) {
+      return ErrorHere("expected '.' at end of statement");
+    }
+    Advance();
+    return statement;
+  }
+
+  StatusOr<std::vector<RawAtom>> ParseAtomList() {
+    std::vector<RawAtom> atoms;
+    while (true) {
+      auto atom = ParseAtomOrEquality();
+      if (!atom.ok()) return atom.status();
+      atoms.push_back(std::move(atom).value());
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return atoms;
+  }
+
+  StatusOr<RawAtom> ParseAtomOrEquality() {
+    RawAtom atom;
+    atom.line = Peek().line;
+    if (Peek().kind != TokenKind::kIdentifier &&
+        Peek().kind != TokenKind::kQuoted) {
+      return ErrorHere("expected predicate or term");
+    }
+    const Token first = Advance();
+    if (Peek().kind == TokenKind::kEquals) {
+      // Equality: term = term.
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier &&
+          Peek().kind != TokenKind::kQuoted) {
+        return ErrorHere("expected term after '='");
+      }
+      const Token second = Advance();
+      atom.is_equality = true;
+      atom.args.push_back(
+          {first.text, first.kind == TokenKind::kQuoted, first.line});
+      atom.args.push_back(
+          {second.text, second.kind == TokenKind::kQuoted, second.line});
+      return atom;
+    }
+    if (first.kind == TokenKind::kQuoted) {
+      return ErrorHere("predicate names cannot be quoted");
+    }
+    atom.predicate = first.text;
+    if (Peek().kind != TokenKind::kLeftParen) {
+      return ErrorHere("expected '(' after predicate " + first.text);
+    }
+    Advance();
+    while (true) {
+      if (Peek().kind != TokenKind::kIdentifier &&
+          Peek().kind != TokenKind::kQuoted) {
+        return ErrorHere("expected term");
+      }
+      const Token term = Advance();
+      atom.args.push_back(
+          {term.text, term.kind == TokenKind::kQuoted, term.line});
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      if (Peek().kind == TokenKind::kRightParen) {
+        Advance();
+        break;
+      }
+      return ErrorHere("expected ',' or ')' in argument list");
+    }
+    return atom;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool IsVariableName(const RawTerm& term) {
+  return !term.quoted && !term.text.empty() &&
+         std::isupper(static_cast<unsigned char>(term.text[0]));
+}
+
+bool IsNullName(const RawTerm& term) {
+  return !term.quoted && !term.text.empty() && term.text[0] == '_';
+}
+
+// Resolves a term in rule context (uppercase-initial = variable).
+TermId ResolveRuleTerm(const RawTerm& term, SymbolTable& symbols) {
+  if (IsVariableName(term)) return symbols.InternVariable(term.text);
+  return symbols.InternConstant(term.text);
+}
+
+// Resolves a term in fact context ('_'-initial = labeled null).
+TermId ResolveFactTerm(const RawTerm& term, SymbolTable& symbols) {
+  if (IsNullName(term)) return symbols.InternNull(term.text);
+  return symbols.InternConstant(term.text);
+}
+
+StatusOr<Atom> ResolveAtom(const RawAtom& raw, bool rule_context,
+                           SymbolTable& symbols) {
+  const int arity = static_cast<int>(raw.args.size());
+  const PredicateId existing = symbols.FindPredicate(raw.predicate);
+  if (existing != kInvalidPredicate &&
+      symbols.predicate_arity(existing) != arity) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(raw.line) + ": predicate " +
+        raw.predicate + " used with arity " + std::to_string(arity) +
+        " but previously had arity " +
+        std::to_string(symbols.predicate_arity(existing)));
+  }
+  const PredicateId pred = symbols.InternPredicate(raw.predicate, arity);
+  Atom atom;
+  atom.predicate = pred;
+  atom.args.reserve(raw.args.size());
+  for (const RawTerm& term : raw.args) {
+    atom.args.push_back(rule_context ? ResolveRuleTerm(term, symbols)
+                                     : ResolveFactTerm(term, symbols));
+  }
+  return atom;
+}
+
+}  // namespace
+
+Status ParseDlgpInto(const std::string& text, KnowledgeBase& kb) {
+  Lexer lexer(text);
+  KBREPAIR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  KBREPAIR_ASSIGN_OR_RETURN(std::vector<RawStatement> statements,
+                            parser.ParseAll());
+
+  SymbolTable& symbols = kb.symbols();
+  for (const RawStatement& statement : statements) {
+    switch (statement.kind) {
+      case RawStatement::Kind::kFact: {
+        if (!statement.label.empty()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(statement.line) +
+              ": labels are only supported on rules and constraints");
+        }
+        for (const RawAtom& raw : statement.head) {
+          if (raw.is_equality) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(raw.line) +
+                ": equalities are only allowed in CDD bodies");
+          }
+          KBREPAIR_ASSIGN_OR_RETURN(
+              Atom atom,
+              ResolveAtom(raw, /*rule_context=*/false, symbols));
+          kb.facts().Add(atom);
+        }
+        break;
+      }
+      case RawStatement::Kind::kTgd: {
+        std::vector<Atom> head;
+        std::vector<Atom> body;
+        for (const RawAtom& raw : statement.head) {
+          if (raw.is_equality) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(raw.line) +
+                ": equalities are only allowed in CDD bodies");
+          }
+          KBREPAIR_ASSIGN_OR_RETURN(
+              Atom atom, ResolveAtom(raw, /*rule_context=*/true, symbols));
+          head.push_back(std::move(atom));
+        }
+        for (const RawAtom& raw : statement.body) {
+          if (raw.is_equality) {
+            return Status::InvalidArgument(
+                "line " + std::to_string(raw.line) +
+                ": equalities are only allowed in CDD bodies");
+          }
+          KBREPAIR_ASSIGN_OR_RETURN(
+              Atom atom, ResolveAtom(raw, /*rule_context=*/true, symbols));
+          body.push_back(std::move(atom));
+        }
+        KBREPAIR_ASSIGN_OR_RETURN(
+            Tgd tgd, Tgd::Create(std::move(body), std::move(head), symbols));
+        tgd.set_label(statement.label);
+        kb.tgds().push_back(std::move(tgd));
+        break;
+      }
+      case RawStatement::Kind::kCdd: {
+        std::vector<Atom> body;
+        std::vector<TermEquality> equalities;
+        for (const RawAtom& raw : statement.body) {
+          if (raw.is_equality) {
+            TermEquality eq;
+            eq.left = ResolveRuleTerm(raw.args[0], symbols);
+            eq.right = ResolveRuleTerm(raw.args[1], symbols);
+            equalities.push_back(eq);
+            continue;
+          }
+          KBREPAIR_ASSIGN_OR_RETURN(
+              Atom atom, ResolveAtom(raw, /*rule_context=*/true, symbols));
+          body.push_back(std::move(atom));
+        }
+        KBREPAIR_ASSIGN_OR_RETURN(
+            Cdd cdd,
+            Cdd::Create(std::move(body), symbols, std::move(equalities)));
+        cdd.set_label(statement.label);
+        kb.cdds().push_back(std::move(cdd));
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<KnowledgeBase> ParseDlgp(const std::string& text) {
+  KnowledgeBase kb;
+  KBREPAIR_RETURN_IF_ERROR(ParseDlgpInto(text, kb));
+  return kb;
+}
+
+namespace {
+
+// Quotes a term name if it would not re-parse with the same kind.
+std::string PrintTerm(const SymbolTable& symbols, TermId term,
+                      bool rule_context) {
+  const std::string& name = symbols.term_name(term);
+  switch (symbols.term_kind(term)) {
+    case TermKind::kConstant: {
+      const bool looks_variable =
+          rule_context && !name.empty() &&
+          std::isupper(static_cast<unsigned char>(name[0]));
+      const bool looks_null = !name.empty() && name[0] == '_';
+      if (looks_variable || looks_null || name.empty()) {
+        return '"' + name + '"';
+      }
+      return name;
+    }
+    case TermKind::kVariable:
+      return name;  // rules only; names are uppercase-initial by intern
+    case TermKind::kNull:
+      return name;  // '_'-initial by convention
+  }
+  return name;
+}
+
+std::string PrintAtom(const SymbolTable& symbols, const Atom& atom,
+                      bool rule_context) {
+  std::string out = symbols.predicate_name(atom.predicate);
+  out += '(';
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintTerm(symbols, atom.args[i], rule_context);
+  }
+  out += ')';
+  return out;
+}
+
+std::string PrintConjunction(const SymbolTable& symbols,
+                             const std::vector<Atom>& atoms,
+                             bool rule_context) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintAtom(symbols, atoms[i], rule_context);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<KnowledgeBase> LoadDlgpFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseDlgp(buffer.str());
+}
+
+Status SaveDlgpFile(const KnowledgeBase& kb, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  file << PrintDlgp(kb);
+  if (!file.good()) {
+    return Status::Internal("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+std::string PrintDlgp(const KnowledgeBase& kb) {
+  const SymbolTable& symbols = kb.symbols();
+  std::string out;
+  out += "% facts\n";
+  for (AtomId id = 0; id < kb.facts().size(); ++id) {
+    out += PrintAtom(symbols, kb.facts().atom(id), /*rule_context=*/false);
+    out += ".\n";
+  }
+  out += "% tgds\n";
+  for (const Tgd& tgd : kb.tgds()) {
+    if (!tgd.label().empty()) out += "[" + tgd.label() + "] ";
+    out += PrintConjunction(symbols, tgd.head(), /*rule_context=*/true);
+    out += " :- ";
+    out += PrintConjunction(symbols, tgd.body(), /*rule_context=*/true);
+    out += ".\n";
+  }
+  out += "% cdds\n";
+  for (const Cdd& cdd : kb.cdds()) {
+    if (!cdd.label().empty()) out += "[" + cdd.label() + "] ";
+    out += "! :- ";
+    out += PrintConjunction(symbols, cdd.body(), /*rule_context=*/true);
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,422 @@
+#include "repair/inquiry.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kbrepair {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kRandom:
+      return "random";
+    case Strategy::kOptiJoin:
+      return "opti-join";
+    case Strategy::kOptiProp:
+      return "opti-prop";
+    case Strategy::kOptiMcd:
+      return "opti-mcd";
+    case Strategy::kOptiLearn:
+      return "opti-learn";
+  }
+  return "unknown";
+}
+
+double InquiryResult::MeanDelaySeconds() const {
+  if (records.empty()) return 0.0;
+  double sum = 0.0;
+  for (const QuestionRecord& r : records) sum += r.delay_seconds;
+  return sum / static_cast<double>(records.size());
+}
+
+double InquiryResult::MaxDelaySeconds() const {
+  double max = 0.0;
+  for (const QuestionRecord& r : records) {
+    max = std::max(max, r.delay_seconds);
+  }
+  return max;
+}
+
+// Mutable per-run state bundled so helper methods stay small.
+struct InquiryEngine::Session {
+  FactBase facts;
+  PositionSet pi;
+  PositionSet propagated;                 // Π entries added by opti-prop
+  std::vector<Position> pending_propagation;
+  Rng rng;
+  InquiryResult result;
+  WallTimer question_timer;               // restarted after each answer
+
+  // Helpers bound to the KB's rules.
+  ConflictFinder finder;
+  RepairabilityChecker repairability;
+  QuestionGenerator generator;
+  ConsistencyChecker consistency;
+  const std::vector<Cdd>* cdds;
+  PreferenceModel preferences;
+
+  Session(KnowledgeBase* kb, const InquiryOptions& options)
+      : facts(kb->facts()),
+        rng(options.seed),
+        finder(&kb->symbols(), &kb->tgds(), &kb->cdds(),
+               options.chase_options),
+        repairability(&kb->symbols(), &kb->tgds(), &kb->cdds(),
+                      options.chase_options),
+        generator(&kb->symbols(), &repairability),
+        consistency(&kb->symbols(), &kb->tgds(), &kb->cdds(),
+                    options.chase_options),
+        cdds(&kb->cdds()),
+        preferences(&kb->symbols()) {}
+};
+
+InquiryEngine::InquiryEngine(KnowledgeBase* kb, InquiryOptions options)
+    : kb_(kb), options_(options) {
+  KBREPAIR_CHECK(kb != nullptr);
+}
+
+StatusOr<InquiryResult> InquiryEngine::Run(User& user,
+                                           PositionSet initial_pi) {
+  Session session(kb_, options_);
+  session.pi = std::move(initial_pi);
+
+  KBREPAIR_ASSIGN_OR_RETURN(
+      const bool repairable,
+      session.repairability.IsPiRepairable(session.facts, session.pi));
+  if (!repairable) {
+    return Status::FailedPrecondition(
+        "knowledge base is not Π-repairable for the initial Π");
+  }
+
+  // Initial conflict census for the effectiveness metrics.
+  KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> initial,
+                            session.finder.AllConflicts(session.facts));
+  session.result.initial_conflicts = initial.size();
+  session.result.initial_naive_conflicts =
+      session.finder.NaiveConflicts(session.facts).size();
+
+  WallTimer total_timer;
+  session.question_timer.Restart();
+  Status status = options_.two_phase ? RunTwoPhase(session, user)
+                                     : RunBasic(session, user);
+  KBREPAIR_RETURN_IF_ERROR(status);
+  session.result.total_seconds = total_timer.ElapsedSeconds();
+  session.result.question_candidates = session.generator.total_candidates();
+  session.result.question_filtered = session.generator.total_filtered();
+  session.result.repairability_fast_paths =
+      session.generator.total_fast_paths();
+  session.result.repairability_full_checks =
+      session.generator.total_full_checks();
+  session.result.facts = std::move(session.facts);
+  return std::move(session.result);
+}
+
+namespace {
+
+// Builds descending-rank groups of candidate positions for opti-mcd.
+// rank(p) = number of conflicts whose retrieved position set contains p.
+// Also remembers one conflict per position (SOUNDQUESTION's X argument).
+struct McdRanking {
+  // (rank desc) -> positions with that rank.
+  std::map<size_t, std::vector<Position>, std::greater<size_t>> groups;
+  std::unordered_map<uint64_t, const Conflict*> conflict_for;
+
+  static uint64_t Key(const Position& p) {
+    return (static_cast<uint64_t>(p.atom) << 8) ^
+           static_cast<uint64_t>(static_cast<uint32_t>(p.arg));
+  }
+};
+
+McdRanking RankPositions(const std::vector<const Conflict*>& conflicts,
+                         const FactBase& facts, const std::vector<Cdd>& cdds,
+                         const QuestionGenerator& generator,
+                         const PositionSet& pi) {
+  std::unordered_map<uint64_t, std::pair<Position, size_t>> counts;
+  McdRanking ranking;
+  for (const Conflict* conflict : conflicts) {
+    for (const Position& p : generator.RetrievePositions(
+             facts, *conflict, cdds,
+             PositionSelection::kResolvingPositions)) {
+      if (pi.count(p) > 0) continue;
+      const uint64_t key = McdRanking::Key(p);
+      auto [it, inserted] = counts.emplace(key, std::make_pair(p, 0u));
+      ++it->second.second;
+      ranking.conflict_for.emplace(key, conflict);
+    }
+  }
+  for (const auto& [key, entry] : counts) {
+    ranking.groups[entry.second].push_back(entry.first);
+  }
+  return ranking;
+}
+
+}  // namespace
+
+StatusOr<Question> InquiryEngine::SelectQuestion(
+    Session& session, const std::vector<const Conflict*>& conflicts) {
+  KBREPAIR_CHECK(!conflicts.empty());
+
+  if (options_.strategy == Strategy::kOptiMcd ||
+      options_.strategy == Strategy::kOptiLearn) {
+    // Ask about the maximally-contained position; walk down the ranking
+    // until some position yields a non-empty sound question.
+    McdRanking ranking = RankPositions(conflicts, session.facts,
+                                       *session.cdds, session.generator,
+                                       session.pi);
+    for (auto& [rank, positions] : ranking.groups) {
+      session.rng.Shuffle(positions);  // the paper breaks ties randomly
+      for (const Position& position : positions) {
+        const Conflict* conflict =
+            ranking.conflict_for[McdRanking::Key(position)];
+        KBREPAIR_ASSIGN_OR_RETURN(
+            Question question,
+            session.generator.SoundQuestion(
+                session.facts, session.pi, *conflict, *session.cdds,
+                PositionSelection::kResolvingPositions, position));
+        if (!question.fixes.empty()) {
+          if (options_.strategy == Strategy::kOptiLearn) {
+            session.preferences.OrderQuestion(question, session.facts);
+          }
+          return question;
+        }
+      }
+    }
+    // Fall through to the conflict-based fallbacks below.
+  }
+
+  // random / opti-join / opti-prop (and the opti-mcd fallback): pick a
+  // random conflict and question its positions.
+  const PositionSelection preferred =
+      options_.strategy == Strategy::kRandom
+          ? PositionSelection::kAllPositions
+          : PositionSelection::kResolvingPositions;
+
+  std::vector<size_t> order(conflicts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  session.rng.Shuffle(order);
+
+  auto finalize = [&](Question question) {
+    if (options_.strategy == Strategy::kOptiLearn) {
+      session.preferences.OrderQuestion(question, session.facts);
+    }
+    return question;
+  };
+  for (size_t index : order) {
+    const Conflict& conflict = *conflicts[index];
+    KBREPAIR_ASSIGN_OR_RETURN(
+        Question question,
+        session.generator.SoundQuestion(session.facts, session.pi, conflict,
+                                        *session.cdds, preferred));
+    if (!question.fixes.empty()) return finalize(std::move(question));
+    if (preferred == PositionSelection::kResolvingPositions) {
+      // All resolving positions frozen or filtered: widen to every
+      // position of the conflict (Lemma 4.3 applies to the full set).
+      KBREPAIR_ASSIGN_OR_RETURN(
+          question, session.generator.SoundQuestion(
+                        session.facts, session.pi, conflict, *session.cdds,
+                        PositionSelection::kAllPositions));
+      if (!question.fixes.empty()) return finalize(std::move(question));
+    }
+  }
+  return Question{};  // caller decides: unfreeze propagated Π or fail
+}
+
+Status InquiryEngine::AskAndApply(Session& session, User& user,
+                                  const Question& question, int phase,
+                                  ConflictTracker* tracker) {
+  QuestionRecord record;
+  record.phase = phase;
+  record.delay_seconds = session.question_timer.ElapsedSeconds();
+  record.question_size = question.fixes.size();
+  record.num_positions = question.considered_positions.size();
+
+  InquiryView view{&kb_->symbols(), &session.facts, session.cdds};
+  const std::optional<size_t> choice = user.ChooseFix(question, view);
+  if (!choice.has_value() || *choice >= question.fixes.size()) {
+    return Status::FailedPrecondition(
+        "user did not choose a fix from the question");
+  }
+  const Fix fix = question.fixes[*choice];
+  record.chosen = fix;
+  record.chosen_index = *choice;
+  if (options_.strategy == Strategy::kOptiLearn) {
+    session.preferences.Observe(question, *choice, session.facts);
+  }
+
+  session.question_timer.Restart();  // post-answer work counts toward the
+                                     // next question's delay
+
+  ApplyFix(session.facts, fix);
+  session.pi.insert(fix.position());
+  session.result.applied_fixes.push_back(fix);
+
+  if (tracker != nullptr) {
+    tracker->OnFixApplied(session.facts, fix.atom);
+  }
+
+  if (options_.strategy == Strategy::kOptiProp) {
+    // Defer freezing until conflicts are up to date for this round;
+    // the chosen position is already in Π.
+    for (const Position& p : question.considered_positions) {
+      if (p != fix.position()) session.pending_propagation.push_back(p);
+    }
+    if (tracker != nullptr) {
+      ApplyPendingPropagation(session, [&](AtomId atom) {
+        return tracker->NumConflictsTouching(atom) > 0;
+      });
+    }
+  }
+
+  const bool census_needed =
+      options_.record_convergence == ConvergenceRecording::kTotalConflicts ||
+      (options_.record_convergence ==
+           ConvergenceRecording::kDiscoveredConflicts &&
+       (phase == 2 || tracker == nullptr));
+  if (census_needed) {
+    KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
+                              session.finder.AllConflicts(session.facts));
+    record.conflicts_remaining = all.size();
+  } else if (tracker != nullptr) {
+    record.conflicts_remaining = tracker->size();
+  }
+
+  session.result.records.push_back(record);
+  if (session.result.records.size() > options_.max_questions) {
+    return Status::Internal("inquiry exceeded max_questions");
+  }
+  return Status::Ok();
+}
+
+bool InquiryEngine::UnfreezePropagated(Session& session) {
+  if (session.propagated.empty()) return false;
+  for (const Position& p : session.propagated) session.pi.erase(p);
+  session.propagated.clear();
+  return true;
+}
+
+template <typename TouchFn>
+void InquiryEngine::ApplyPendingPropagation(Session& session,
+                                            TouchFn&& touches) {
+  for (const Position& p : session.pending_propagation) {
+    if (session.pi.count(p) > 0) continue;
+    if (!touches(p.atom)) {
+      session.pi.insert(p);
+      session.propagated.insert(p);
+      ++session.result.propagated_positions;
+    }
+  }
+  session.pending_propagation.clear();
+}
+
+Status InquiryEngine::RunTwoPhase(Session& session, User& user) {
+  // --- Phase one: naive conflicts with incremental maintenance.
+  ConflictTracker tracker(&session.finder);
+  tracker.Initialize(session.facts);
+
+  while (!tracker.empty()) {
+    std::vector<const Conflict*> conflicts;
+    conflicts.reserve(tracker.size());
+    for (const auto& [id, conflict] : tracker.conflicts()) {
+      conflicts.push_back(&conflict);
+    }
+    KBREPAIR_ASSIGN_OR_RETURN(const Question question,
+                              SelectQuestion(session, conflicts));
+    if (question.fixes.empty()) {
+      if (UnfreezePropagated(session)) continue;
+      return Status::Internal(
+          "no sound question exists; knowledge base is not Π-repairable");
+    }
+    KBREPAIR_RETURN_IF_ERROR(
+        AskAndApply(session, user, question, /*phase=*/1, &tracker));
+  }
+
+  // --- Phase two: conflicts surfacing through the chase.
+  while (true) {
+    std::vector<Conflict> chase_conflicts;
+    if (options_.strategy == Strategy::kOptiMcd ||
+        options_.record_convergence != ConvergenceRecording::kOff) {
+      // The ranking needs the whole conflict set.
+      KBREPAIR_ASSIGN_OR_RETURN(chase_conflicts,
+                                session.finder.AllConflicts(session.facts));
+    } else {
+      // CHECKCONSISTENCY-OPT: stop the chase at the first violation and
+      // question it.
+      ChaseEngine engine(&kb_->symbols(), &kb_->tgds(), &kb_->cdds(),
+                         options_.chase_options);
+      KBREPAIR_ASSIGN_OR_RETURN(ChaseResult chased,
+                                engine.Run(session.facts));
+      if (chased.violation().has_value()) {
+        Conflict conflict;
+        conflict.cdd_index = chased.violation()->cdd_index;
+        conflict.matched = chased.violation()->matched;
+        conflict.support = chased.OriginalSupport(conflict.matched);
+        chase_conflicts.push_back(std::move(conflict));
+      }
+    }
+    if (chase_conflicts.empty()) break;
+
+    if (options_.strategy == Strategy::kOptiProp) {
+      ApplyPendingPropagation(session, [&](AtomId atom) {
+        for (const Conflict& c : chase_conflicts) {
+          if (std::binary_search(c.support.begin(), c.support.end(),
+                                 atom)) {
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+
+    std::vector<const Conflict*> conflicts;
+    conflicts.reserve(chase_conflicts.size());
+    for (const Conflict& c : chase_conflicts) conflicts.push_back(&c);
+    KBREPAIR_ASSIGN_OR_RETURN(const Question question,
+                              SelectQuestion(session, conflicts));
+    if (question.fixes.empty()) {
+      if (UnfreezePropagated(session)) continue;
+      return Status::Internal(
+          "no sound question exists; knowledge base is not Π-repairable");
+    }
+    KBREPAIR_RETURN_IF_ERROR(
+        AskAndApply(session, user, question, /*phase=*/2, nullptr));
+  }
+  return Status::Ok();
+}
+
+Status InquiryEngine::RunBasic(Session& session, User& user) {
+  while (true) {
+    KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
+                              session.finder.AllConflicts(session.facts));
+    if (all.empty()) break;
+
+    if (options_.strategy == Strategy::kOptiProp) {
+      ApplyPendingPropagation(session, [&](AtomId atom) {
+        for (const Conflict& c : all) {
+          if (std::binary_search(c.support.begin(), c.support.end(),
+                                 atom)) {
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+
+    std::vector<const Conflict*> conflicts;
+    conflicts.reserve(all.size());
+    for (const Conflict& c : all) conflicts.push_back(&c);
+    KBREPAIR_ASSIGN_OR_RETURN(const Question question,
+                              SelectQuestion(session, conflicts));
+    if (question.fixes.empty()) {
+      if (UnfreezePropagated(session)) continue;
+      return Status::Internal(
+          "no sound question exists; knowledge base is not Π-repairable");
+    }
+    KBREPAIR_RETURN_IF_ERROR(
+        AskAndApply(session, user, question, /*phase=*/1, nullptr));
+  }
+  return Status::Ok();
+}
+
+}  // namespace kbrepair

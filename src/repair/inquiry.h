@@ -1,0 +1,186 @@
+// The inquiry dialogue (Algorithms 3 and 4) and the questioning
+// strategies of Section 5.
+//
+// The engine repeatedly: computes/maintains the conflicts of the working
+// fact base, selects a conflict (or a position, for opti-mcd), generates a
+// sound question, asks the user, applies the chosen fix and freezes its
+// position. It terminates when the KB is consistent (Proposition 4.4) and,
+// when the user is an oracle, outputs exactly the oracle's repair
+// (Proposition 4.8).
+//
+// Two engine modes:
+//  * two_phase = false — plain Algorithm 3: allconflicts(K) is recomputed
+//    on the chased base before every question.
+//  * two_phase = true  — Algorithm 4: phase one resolves *naive* conflicts
+//    (visible without chasing) with incremental maintenance
+//    (UPDATECONFLICTS); phase two runs the ⊥-detecting chase and resolves
+//    the conflicts it uncovers, projected onto the original facts through
+//    chase provenance.
+//
+// Strategies (Section 5):
+//  * random    — random conflict, question on all of its positions;
+//  * opti-join — random conflict, question on join/resolving positions;
+//  * opti-prop — opti-join plus propagation: unchosen question positions
+//    that participate in no other conflict are frozen into Π;
+//  * opti-mcd  — conflict-hypergraph ranking: ask about the position
+//    contained in the most conflicts.
+
+#ifndef KBREPAIR_REPAIR_INQUIRY_H_
+#define KBREPAIR_REPAIR_INQUIRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "repair/conflict.h"
+#include "repair/consistency.h"
+#include "repair/fix.h"
+#include "repair/preference_model.h"
+#include "repair/question.h"
+#include "repair/repairability.h"
+#include "repair/user.h"
+#include "rules/knowledge_base.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+enum class Strategy {
+  kRandom,
+  kOptiJoin,
+  kOptiProp,
+  kOptiMcd,
+  // opti-mcd plus a learned user-preference model that re-orders each
+  // question's fixes by choice propensity (Section 7 future work; see
+  // repair/preference_model.h). Same fix sets, same soundness — only the
+  // presentation order adapts to the user.
+  kOptiLearn,
+};
+
+// "random", "opti-join", "opti-prop", "opti-mcd", "opti-learn".
+const char* StrategyName(Strategy strategy);
+
+// What the per-question conflicts_remaining field records.
+enum class ConvergenceRecording {
+  // Cheap default: the naive-conflict tracker's size (phase one only).
+  kOff,
+  // allconflicts(K) — chase included — recomputed after every answer.
+  // The omniscient convergence series. Costly; leave off for delay
+  // measurements.
+  kTotalConflicts,
+  // Conflicts as the two-phase algorithm *discovers* them: the naive
+  // tracker during phase one, the full chased census in phase two. This
+  // is the counting behind the paper's Figure 4(b) fluctuations — the
+  // count jumps up when the chase starts surfacing conflicts that were
+  // invisible to phase one.
+  kDiscoveredConflicts,
+};
+
+struct InquiryOptions {
+  Strategy strategy = Strategy::kOptiMcd;
+
+  // Algorithm 4 (two-phase + optimized primitives) vs Algorithm 3.
+  bool two_phase = true;
+
+  // Seed for conflict selection and tie-breaking.
+  uint64_t seed = 1;
+
+  // Safety valve; exceeding it returns Internal.
+  size_t max_questions = 1000000;
+
+  ConvergenceRecording record_convergence = ConvergenceRecording::kOff;
+
+  ChaseOptions chase_options;
+};
+
+// Everything measured about one question/answer round.
+struct QuestionRecord {
+  int phase = 1;                  // 1 = naive conflicts, 2 = chase
+  double delay_seconds = 0.0;     // time to produce the question
+  size_t question_size = 0;       // number of fixes offered
+  size_t num_positions = 0;       // positions the question covered
+  Fix chosen;                     // the user's answer
+  // Index of the chosen fix within the question — the user's scanning
+  // effort; what opti-learn's re-ordering drives down.
+  size_t chosen_index = 0;
+  // Conflicts remaining after the fix: naive-tracker count in phase one
+  // (total chase conflicts when record_convergence is set).
+  size_t conflicts_remaining = 0;
+};
+
+struct InquiryResult {
+  FactBase facts;                 // the repaired fact base
+  std::vector<Fix> applied_fixes;
+  std::vector<QuestionRecord> records;
+  // allconflicts(K) on the *initial* KB (used by the conflicts-per-
+  // question metric of Figure 2).
+  size_t initial_conflicts = 0;
+  size_t initial_naive_conflicts = 0;
+  double total_seconds = 0.0;
+
+  // Engine instrumentation:
+  // positions frozen by opti-prop's propagation (0 for other strategies);
+  size_t propagated_positions = 0;
+  // Π-REPOPT outcomes across all sound-question filtering;
+  size_t repairability_fast_paths = 0;
+  size_t repairability_full_checks = 0;
+  // candidate fixes enumerated / filtered out by Algorithm 2.
+  size_t question_candidates = 0;
+  size_t question_filtered = 0;
+
+  size_t num_questions() const { return records.size(); }
+  double ConflictsPerQuestion() const {
+    return records.empty() ? 0.0
+                           : static_cast<double>(initial_conflicts) /
+                                 static_cast<double>(records.size());
+  }
+  double MeanDelaySeconds() const;
+  double MaxDelaySeconds() const;
+};
+
+class InquiryEngine {
+ public:
+  // `kb` supplies the rules and symbol table (mutated: fresh nulls) and
+  // the starting facts, which are copied — the original KB is not
+  // repaired in place.
+  InquiryEngine(KnowledgeBase* kb, InquiryOptions options);
+
+  // INQUIRY(K, Π): runs the dialogue to consistency. Fails with
+  // FailedPrecondition if K is not Π-repairable for the initial Π or the
+  // user declines to answer; Internal on safety-valve trips.
+  StatusOr<InquiryResult> Run(User& user, PositionSet initial_pi = {});
+
+ private:
+  struct Session;  // per-run mutable state
+
+  Status RunTwoPhase(Session& session, User& user);
+  Status RunBasic(Session& session, User& user);
+
+  // Picks a conflict + question for the current round from `conflicts`.
+  // Returns an empty question when no sound question exists (the caller
+  // then unfreezes propagated positions or errors out).
+  StatusOr<Question> SelectQuestion(Session& session,
+                                    const std::vector<const Conflict*>& conflicts);
+
+  // Asks, applies, freezes, records. `tracker` may be null (phase 2 /
+  // basic mode).
+  Status AskAndApply(Session& session, User& user, const Question& question,
+                     int phase, ConflictTracker* tracker);
+
+  // Removes every propagation-frozen position from Π. Returns true if
+  // anything was unfrozen.
+  bool UnfreezePropagated(Session& session);
+
+  // Freezes pending opti-prop positions that no longer touch a conflict.
+  template <typename TouchFn>
+  void ApplyPendingPropagation(Session& session, TouchFn&& touches);
+
+  KnowledgeBase* kb_;
+  InquiryOptions options_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_REPAIR_INQUIRY_H_

@@ -1,0 +1,71 @@
+#include "repair/preference_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+PreferenceModel::PreferenceModel(const SymbolTable* symbols)
+    : symbols_(symbols) {
+  KBREPAIR_CHECK(symbols != nullptr);
+}
+
+void PreferenceModel::Observe(const Question& question, size_t chosen_index,
+                              const FactBase& facts) {
+  KBREPAIR_CHECK_LT(chosen_index, question.fixes.size());
+  // Count each *position* as offered once per question (a position
+  // contributes several candidate values; what we track is whether the
+  // user settled on that position at all).
+  std::unordered_map<uint64_t, bool> offered_positions;
+  for (const Fix& fix : question.fixes) {
+    const PredicateId pred = facts.atom(fix.atom).predicate;
+    offered_positions.emplace(Key(pred, fix.arg), false);
+  }
+  const Fix& chosen = question.fixes[chosen_index];
+  const PredicateId chosen_pred = facts.atom(chosen.atom).predicate;
+  offered_positions[Key(chosen_pred, chosen.arg)] = true;
+
+  for (const auto& [key, was_chosen] : offered_positions) {
+    PositionStats& stats = position_stats_[key];
+    ++stats.offered;
+    if (was_chosen) ++stats.chosen;
+  }
+  if (symbols_->IsNull(chosen.value)) {
+    ++null_chosen_;
+  } else {
+    ++constant_chosen_;
+  }
+  ++observations_;
+}
+
+double PreferenceModel::NullPreference() const {
+  return (static_cast<double>(null_chosen_) + 1.0) /
+         (static_cast<double>(null_chosen_ + constant_chosen_) + 2.0);
+}
+
+double PreferenceModel::Propensity(const Fix& fix,
+                                   const FactBase& facts) const {
+  const double null_pref = NullPreference();
+  const double kind =
+      symbols_->IsNull(fix.value) ? null_pref : 1.0 - null_pref;
+
+  const PredicateId pred = facts.atom(fix.atom).predicate;
+  auto it = position_stats_.find(Key(pred, fix.arg));
+  double position = 0.5;
+  if (it != position_stats_.end()) {
+    position = (static_cast<double>(it->second.chosen) + 1.0) /
+               (static_cast<double>(it->second.offered) + 2.0);
+  }
+  return kind * position;
+}
+
+void PreferenceModel::OrderQuestion(Question& question,
+                                    const FactBase& facts) const {
+  std::stable_sort(question.fixes.begin(), question.fixes.end(),
+                   [&](const Fix& a, const Fix& b) {
+                     return Propensity(a, facts) > Propensity(b, facts);
+                   });
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,59 @@
+// Checking and constructing consistent fixes (c-fix), repair fixes
+// (r-fix) and u-repairs — Definition 3.4 of the paper.
+//
+// A set of fixes P is a c-fix of K iff apply(F, P) is consistent; it is
+// an r-fix iff, additionally, no proper subset of P is a c-fix. The
+// induced update apply(F, P) of an r-fix is a u-repair.
+//
+// Subset-minimality is co-NP-flavoured in general; this module provides
+//  * the exact exponential check for small fix sets (tests, examples),
+//  * the linear single-removal necessary condition (every fix is needed),
+//  * a greedy r-fix constructor (null out a resolving position of some
+//    remaining conflict until consistent, then minimize) — the standard
+//    way to fabricate oracles for experiments.
+
+#ifndef KBREPAIR_REPAIR_REPAIR_CHECKS_H_
+#define KBREPAIR_REPAIR_REPAIR_CHECKS_H_
+
+#include <vector>
+
+#include "repair/consistency.h"
+#include "repair/fix.h"
+#include "rules/knowledge_base.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+// True iff apply(F, P) is consistent. `fixes` must be a valid fix set.
+StatusOr<bool> IsCFix(const FactBase& facts, const std::vector<Fix>& fixes,
+                      const ConsistencyChecker& checker);
+
+// Necessary condition for r-fix: P is a c-fix and P \ {f} is not a c-fix
+// for any f. Linear in |P| consistency checks. (Not sufficient in
+// general: consistency is not monotone under removing fixes.)
+StatusOr<bool> IsRFixSingleRemoval(const FactBase& facts,
+                                   const std::vector<Fix>& fixes,
+                                   const ConsistencyChecker& checker);
+
+// Exact subset-minimality check: P is a c-fix and no proper subset is.
+// 2^|P| consistency checks — CHECK-fails beyond 20 fixes.
+StatusOr<bool> IsRFixExhaustive(const FactBase& facts,
+                                const std::vector<Fix>& fixes,
+                                const ConsistencyChecker& checker);
+
+// Greedily constructs an r-fix of K: while inconsistent, rewrite a
+// resolving position of some conflict to a fresh null; then drop
+// redundant fixes until single-removal-minimal. The result is a c-fix
+// whose every member is necessary; since all values are fresh nulls
+// (least constraining), single-removal minimality implies subset
+// minimality for this construction. Returns an empty vector when K is
+// already consistent. Fresh nulls are interned into `kb.symbols()`.
+StatusOr<std::vector<Fix>> GreedyRFix(KnowledgeBase& kb);
+
+// Applies `fixes` to a copy of kb.facts() and returns the u-repair.
+StatusOr<FactBase> MakeURepair(const KnowledgeBase& kb,
+                               const std::vector<Fix>& fixes);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_REPAIR_REPAIR_CHECKS_H_

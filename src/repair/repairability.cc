@@ -1,0 +1,131 @@
+#include "repair/repairability.h"
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+// Soundness notes.
+//
+// (1) Fresh-value fast path. Let S be the Π-skeleton and S[p:=v] the
+// skeleton with candidate value v at position p. If v occurs nowhere else
+// in S (it is not a Π-position value) and v is not a constant of any rule
+// or constraint, then the structure map that renames v to p's own scratch
+// null is an isomorphism between S[p:=v] and S that every TGD/CDD body
+// respects: join variables need equal values at two positions (v occurs
+// at exactly one), and body constants never equal v. Hence S[p:=v] is
+// consistent iff S is — which is the Scope's precondition check.
+//
+// (2) Inconsistent-base short-circuit. Homomorphisms into S embed into
+// S[p:=v] for any v: the scratch null at p is unique, so no CDD/TGD body
+// atom can be *forced* to match through it except via lone variables,
+// which match v just as well. So if S is inconsistent, so is S[p:=v] for
+// every candidate v, and every fix fails the Π-REPOPT test.
+
+RepairabilityChecker::RepairabilityChecker(SymbolTable* symbols,
+                                           const std::vector<Tgd>* tgds,
+                                           const std::vector<Cdd>* cdds,
+                                           ChaseOptions chase_options)
+    : symbols_(symbols),
+      tgds_(tgds),
+      cdds_(cdds),
+      chase_options_(chase_options) {
+  KBREPAIR_CHECK(symbols != nullptr);
+  KBREPAIR_CHECK(tgds != nullptr);
+  KBREPAIR_CHECK(cdds != nullptr);
+  auto collect_constants = [this](const std::vector<Atom>& atoms) {
+    for (const Atom& atom : atoms) {
+      for (TermId term : atom.args) {
+        if (symbols_->IsConstant(term)) rule_constants_.insert(term);
+      }
+    }
+  };
+  for (const Tgd& tgd : *tgds) {
+    collect_constants(tgd.body());
+    collect_constants(tgd.head());
+  }
+  for (const Cdd& cdd : *cdds) collect_constants(cdd.body());
+}
+
+TermId RepairabilityChecker::ScratchNull(size_t index) const {
+  while (scratch_nulls_.size() <= index) {
+    scratch_nulls_.push_back(symbols_->InternNull(
+        "_S" + std::to_string(scratch_nulls_.size())));
+  }
+  return scratch_nulls_[index];
+}
+
+FactBase RepairabilityChecker::BuildSkeleton(const FactBase& facts,
+                                             const PositionSet& pi) const {
+  FactBase skeleton = facts;
+  size_t next_scratch = 0;
+  for (AtomId id = 0; id < skeleton.size(); ++id) {
+    const int arity = skeleton.atom(id).arity();
+    for (int arg = 0; arg < arity; ++arg) {
+      if (pi.count(Position{id, arg}) == 0) {
+        skeleton.SetArg(id, arg, ScratchNull(next_scratch++));
+      }
+    }
+  }
+  return skeleton;
+}
+
+StatusOr<bool> RepairabilityChecker::IsPiRepairable(
+    const FactBase& facts, const PositionSet& pi) const {
+  const FactBase skeleton = BuildSkeleton(facts, pi);
+  ConsistencyChecker checker(symbols_, tgds_, cdds_, chase_options_);
+  return checker.IsConsistentOpt(skeleton);
+}
+
+RepairabilityChecker::Scope::Scope(const RepairabilityChecker* checker,
+                                   const FactBase& facts,
+                                   const PositionSet& pi)
+    : checker_(checker) {
+  KBREPAIR_CHECK(checker != nullptr);
+  skeleton_ = checker->BuildSkeleton(facts, pi);
+  for (const Position& position : pi) {
+    if (position.atom < facts.size() &&
+        position.arg < facts.atom(position.atom).arity()) {
+      pi_values_.insert(
+          facts.atom(position.atom).args[static_cast<size_t>(position.arg)]);
+    }
+  }
+  ConsistencyChecker consistency(checker->symbols_, checker->tgds_,
+                                 checker->cdds_, checker->chase_options_);
+  StatusOr<bool> consistent = consistency.IsConsistentOpt(skeleton_);
+  // A chase failure here means the cap was exceeded; treat the scope as
+  // unrepairable rather than crashing (questions will come out empty and
+  // the engine will surface an error).
+  base_consistent_ = consistent.ok() && consistent.value();
+}
+
+StatusOr<bool> RepairabilityChecker::Scope::FixKeepsRepairable(
+    const Fix& fix) {
+  if (!base_consistent_) return false;  // short-circuit (2) above
+
+  const SymbolTable& symbols = *checker_->symbols_;
+  const TermId value = fix.value;
+  const bool is_fresh_null =
+      symbols.IsNull(value) && skeleton_.TermUseCount(value) == 0 &&
+      pi_values_.count(value) == 0;
+  const bool is_fresh_value = pi_values_.count(value) == 0 &&
+                              checker_->rule_constants_.count(value) == 0 &&
+                              !symbols.IsVariable(value);
+  if (is_fresh_null || is_fresh_value) {
+    ++num_fast_paths_;
+    return true;  // fast path (1) above
+  }
+
+  ++num_full_checks_;
+  const TermId saved =
+      skeleton_.atom(fix.atom).args[static_cast<size_t>(fix.arg)];
+  skeleton_.SetArg(fix.atom, fix.arg, value);
+  ConsistencyChecker consistency(checker_->symbols_, checker_->tgds_,
+                                 checker_->cdds_,
+                                 checker_->chase_options_);
+  StatusOr<bool> consistent = consistency.IsConsistentOpt(skeleton_);
+  skeleton_.SetArg(fix.atom, fix.arg, saved);
+  if (!consistent.ok()) return consistent.status();
+  return consistent.value();
+}
+
+}  // namespace kbrepair

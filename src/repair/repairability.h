@@ -1,0 +1,104 @@
+// Π-repairability (Definition 3.6, Algorithm 1) and its optimized
+// per-fix variant Π-REPOPT (Section 5).
+//
+// K is Π-repairable iff some r-fix avoids all positions in Π. Algorithm 1
+// decides this by building the *Π-skeleton*: a copy of F where every
+// position outside Π is replaced by a fresh labeled null unique to that
+// position. The skeleton is the "most repaired" KB compatible with
+// freezing Π, so K is Π-repairable iff the skeleton is consistent.
+//
+// Π-REPOPT exploits two observations (both proved in the file comments of
+// repairability.cc):
+//  * a candidate fix whose value is fresh — a brand-new null, or any term
+//    that appears neither at a Π position nor as a constant inside a rule
+//    — behaves exactly like the skeleton's own null, so Π-repairability
+//    is preserved for free;
+//  * if the current skeleton is already inconsistent, no single fix can
+//    make it consistent (nulls are the least-constraining values), so
+//    every candidate fails.
+// Only value-colliding candidates pay for a full skeleton consistency
+// check, and the skeleton is built once per question, not once per fix.
+
+#ifndef KBREPAIR_REPAIR_REPAIRABILITY_H_
+#define KBREPAIR_REPAIR_REPAIRABILITY_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "chase/chase.h"
+#include "kb/fact_base.h"
+#include "kb/symbol_table.h"
+#include "repair/consistency.h"
+#include "repair/fix.h"
+#include "rules/cdd.h"
+#include "rules/tgd.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+class RepairabilityChecker {
+ public:
+  // Pointed-to objects must outlive the checker; `symbols` is mutated
+  // (scratch nulls and chase nulls).
+  RepairabilityChecker(SymbolTable* symbols, const std::vector<Tgd>* tgds,
+                       const std::vector<Cdd>* cdds,
+                       ChaseOptions chase_options = {});
+
+  // Algorithm 1, Π-REP(K, Π): true iff K is Π-repairable.
+  StatusOr<bool> IsPiRepairable(const FactBase& facts,
+                                const PositionSet& pi) const;
+
+  // Per-question scratch implementing Π-REPOPT. Construct once per
+  // question over the *current* (facts, Π); then each candidate fix is
+  // tested with FixKeepsRepairable.
+  class Scope {
+   public:
+    Scope(const RepairabilityChecker* checker, const FactBase& facts,
+          const PositionSet& pi);
+
+    // True iff the base skeleton is consistent, i.e., K is Π-repairable.
+    // When false, every FixKeepsRepairable call answers false.
+    bool BaseRepairable() const { return base_consistent_; }
+
+    // Does apply(F, {fix}) stay (Π ∪ {pos(fix)})-repairable? The fix's
+    // position must not be in Π.
+    StatusOr<bool> FixKeepsRepairable(const Fix& fix);
+
+    // Instrumentation for the ablation benchmark.
+    size_t num_fast_paths() const { return num_fast_paths_; }
+    size_t num_full_checks() const { return num_full_checks_; }
+
+   private:
+    const RepairabilityChecker* checker_;
+    FactBase skeleton_;
+    std::unordered_set<TermId> pi_values_;
+    bool base_consistent_ = false;
+    size_t num_fast_paths_ = 0;
+    size_t num_full_checks_ = 0;
+  };
+
+ private:
+  friend class Scope;
+
+  // Builds the Π-skeleton of `facts`: non-Π positions become pairwise
+  // distinct scratch nulls.
+  FactBase BuildSkeleton(const FactBase& facts, const PositionSet& pi) const;
+
+  // Scratch null #index; the pool is reused across skeletons so the
+  // symbol table does not grow with every question.
+  TermId ScratchNull(size_t index) const;
+
+  SymbolTable* symbols_;
+  const std::vector<Tgd>* tgds_;
+  const std::vector<Cdd>* cdds_;
+  ChaseOptions chase_options_;
+  // Constants mentioned inside rule/constraint bodies or heads; a value
+  // colliding with one of these can trigger a constraint even if no
+  // other fact carries it.
+  std::unordered_set<TermId> rule_constants_;
+  mutable std::vector<TermId> scratch_nulls_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_REPAIR_REPAIRABILITY_H_

@@ -1,0 +1,95 @@
+#include "repair/report.h"
+
+#include "util/stats.h"
+
+namespace kbrepair {
+
+namespace {
+
+std::string Pluralize(size_t n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+std::string GenerateRepairReport(const KnowledgeBase& kb,
+                                 const InquiryResult& result,
+                                 const SessionTranscript* transcript,
+                                 const ReportOptions& options) {
+  const SymbolTable& symbols = kb.symbols();
+  std::string out = "# Repair session report\n\n";
+
+  // --- Summary.
+  out += "## Summary\n\n";
+  out += "- knowledge base: " + Pluralize(kb.facts().size(), "fact") +
+         ", " + Pluralize(kb.tgds().size(), "TGD") + ", " +
+         Pluralize(kb.cdds().size(), "CDD") + "\n";
+  out += "- initial conflicts: " + std::to_string(result.initial_conflicts) +
+         " (" + std::to_string(result.initial_naive_conflicts) +
+         " visible without the chase)\n";
+  out += "- questions asked: " + std::to_string(result.num_questions()) +
+         "\n";
+  if (result.num_questions() > 0) {
+    out += "- conflicts resolved per question: " +
+           FormatDouble(result.ConflictsPerQuestion(), 2) + "\n";
+    out += "- mean / max question delay: " +
+           FormatDouble(result.MeanDelaySeconds() * 1e3, 2) + " ms / " +
+           FormatDouble(result.MaxDelaySeconds() * 1e3, 2) + " ms\n";
+  }
+  if (result.propagated_positions > 0) {
+    out += "- positions frozen by propagation: " +
+           std::to_string(result.propagated_positions) + "\n";
+  }
+  out += "\n";
+
+  // --- Applied fixes as a before/after diff.
+  out += "## Applied fixes\n\n";
+  if (result.applied_fixes.empty()) {
+    out += "(none — the knowledge base was already consistent)\n\n";
+  } else {
+    size_t listed = 0;
+    for (const Fix& fix : result.applied_fixes) {
+      if (options.max_listed != 0 && listed++ >= options.max_listed) {
+        out += "- … " +
+               std::to_string(result.applied_fixes.size() - listed + 1) +
+               " more\n";
+        break;
+      }
+      const Atom& before = kb.facts().atom(fix.atom);
+      const Atom& after = result.facts.atom(fix.atom);
+      out += "- `" + before.ToString(symbols) + "` → `" +
+             after.ToString(symbols) + "` (argument " +
+             std::to_string(fix.arg + 1) + " := " +
+             symbols.term_name(fix.value) +
+             (symbols.IsNull(fix.value) ? ", an unknown value" : "") +
+             ")\n";
+    }
+    out += "\n";
+  }
+
+  // --- Dialogue.
+  if (options.include_dialogue && transcript != nullptr &&
+      !transcript->empty()) {
+    out += "## Dialogue\n\n```\n" +
+           transcript->Render(symbols, kb.facts()) + "```\n\n";
+  }
+
+  // --- Per-phase breakdown.
+  size_t phase1 = 0;
+  size_t phase2 = 0;
+  for (const QuestionRecord& record : result.records) {
+    if (record.phase == 1) {
+      ++phase1;
+    } else {
+      ++phase2;
+    }
+  }
+  out += "## Phases\n\n";
+  out += "- phase one (conflicts visible in F): " +
+         Pluralize(phase1, "question") + "\n";
+  out += "- phase two (conflicts surfaced by the chase): " +
+         Pluralize(phase2, "question") + "\n";
+  return out;
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,35 @@
+// Repair session reports: a markdown summary of an inquiry, for the
+// audit trail interactive data curation implies. Combines the before
+// state, the dialogue (from an optional transcript), the applied fixes
+// as a before/after diff, and the effort metrics the paper's evaluation
+// tracks (questions, delays, conflicts resolved).
+
+#ifndef KBREPAIR_REPAIR_REPORT_H_
+#define KBREPAIR_REPAIR_REPORT_H_
+
+#include <string>
+
+#include "repair/inquiry.h"
+#include "repair/session_log.h"
+#include "rules/knowledge_base.h"
+
+namespace kbrepair {
+
+struct ReportOptions {
+  // Cap on per-section listings (facts, fixes) so reports over large KBs
+  // stay readable; 0 = unlimited.
+  size_t max_listed = 50;
+  // Include the full question/answer dialogue (needs a transcript).
+  bool include_dialogue = true;
+};
+
+// Renders a markdown report of `result` obtained on `kb` (the *original*
+// knowledge base the engine ran on). `transcript` may be null.
+std::string GenerateRepairReport(const KnowledgeBase& kb,
+                                 const InquiryResult& result,
+                                 const SessionTranscript* transcript,
+                                 const ReportOptions& options = {});
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_REPAIR_REPORT_H_

@@ -1,0 +1,63 @@
+#include "repair/session_log.h"
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+void SessionTranscript::Record(const Question& question,
+                               size_t chosen_index) {
+  KBREPAIR_CHECK_LT(chosen_index, question.fixes.size());
+  entries_.push_back(TranscriptEntry{question, chosen_index});
+}
+
+std::string SessionTranscript::Render(const SymbolTable& symbols,
+                                      const FactBase& original_facts) const {
+  std::string out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const TranscriptEntry& entry = entries_[i];
+    const Fix& chosen = entry.question.fixes[entry.chosen_index];
+    out += "Q" + std::to_string(i + 1) + " (cdd " +
+           std::to_string(entry.question.source_cdd) + ", " +
+           std::to_string(entry.question.fixes.size()) +
+           " fixes): chose [" + std::to_string(entry.chosen_index) + "] " +
+           chosen.ToString(symbols, original_facts) + "\n";
+  }
+  return out;
+}
+
+ReplayUser::ReplayUser(const SessionTranscript* transcript,
+                       const SymbolTable* symbols)
+    : transcript_(transcript), symbols_(symbols) {
+  KBREPAIR_CHECK(transcript != nullptr);
+  KBREPAIR_CHECK(symbols != nullptr);
+}
+
+bool ReplayUser::Finished() const {
+  return next_entry_ == transcript_->size();
+}
+
+std::optional<size_t> ReplayUser::ChooseFix(const Question& question,
+                                            const InquiryView& view) {
+  if (next_entry_ >= transcript_->size()) return std::nullopt;
+  const TranscriptEntry& entry = transcript_->entries()[next_entry_];
+  const Fix& recorded = entry.question.fixes[entry.chosen_index];
+  for (size_t i = 0; i < question.fixes.size(); ++i) {
+    const Fix& offered = question.fixes[i];
+    if (offered.atom != recorded.atom || offered.arg != recorded.arg) {
+      continue;
+    }
+    const bool exact = offered.value == recorded.value;
+    // A re-run mints a different fresh null for the same position; both
+    // denote "unknown unique to the position".
+    const bool both_fresh_nulls =
+        symbols_->IsNull(offered.value) && symbols_->IsNull(recorded.value) &&
+        view.facts != nullptr && view.facts->TermUseCount(offered.value) == 0;
+    if (exact || both_fresh_nulls) {
+      ++next_entry_;
+      return i;
+    }
+  }
+  return std::nullopt;  // divergence
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,71 @@
+// Session transcripts: recording, rendering and replaying inquiry
+// dialogues.
+//
+// A transcript is the inquiry Q_E = ((φ1, f1), ..., (φn, fn)) of
+// Definition 4.1 made tangible: every question with its offered fixes
+// and the index the user chose. Transcripts support
+//  * human-readable rendering (audit trails for data stewards),
+//  * exact replay through ReplayUser — running the same engine
+//    configuration over the same KB with a replayed transcript
+//    reproduces the repair bit for bit, which turns any interactive
+//    session into a regression test.
+
+#ifndef KBREPAIR_REPAIR_SESSION_LOG_H_
+#define KBREPAIR_REPAIR_SESSION_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "repair/question.h"
+#include "repair/user.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+struct TranscriptEntry {
+  Question question;
+  size_t chosen_index = 0;
+};
+
+class SessionTranscript {
+ public:
+  void Record(const Question& question, size_t chosen_index);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<TranscriptEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  // Human-readable rendering:
+  //   Q1 (cdd 0, 6 fixes): chose [2] (hasAllergy(...), 2, penicillin)
+  std::string Render(const SymbolTable& symbols,
+                     const FactBase& original_facts) const;
+
+ private:
+  std::vector<TranscriptEntry> entries_;
+};
+
+// Replays a transcript: the k-th question must offer the recorded
+// chosen fix (same position and value, or both fresh nulls); replay
+// answers with its index. Returns nullopt — aborting the inquiry — on
+// divergence (different engine configuration or a mutated KB).
+class ReplayUser : public User {
+ public:
+  explicit ReplayUser(const SessionTranscript* transcript,
+                      const SymbolTable* symbols);
+
+  std::optional<size_t> ChooseFix(const Question& question,
+                                  const InquiryView& view) override;
+
+  size_t next_entry() const { return next_entry_; }
+  bool Finished() const;
+
+ private:
+  const SessionTranscript* transcript_;
+  const SymbolTable* symbols_;
+  size_t next_entry_ = 0;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_REPAIR_SESSION_LOG_H_

@@ -1,0 +1,47 @@
+#include "repair/user.h"
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+std::optional<size_t> RandomUser::ChooseFix(const Question& question,
+                                            const InquiryView& view) {
+  (void)view;
+  if (question.fixes.empty()) return std::nullopt;
+  return rng_.UniformIndex(question.fixes.size());
+}
+
+OracleUser::OracleUser(std::vector<Fix> r_fix, const SymbolTable* symbols)
+    : remaining_(std::move(r_fix)), symbols_(symbols) {
+  KBREPAIR_CHECK(symbols != nullptr);
+}
+
+std::optional<size_t> OracleUser::ChooseFix(const Question& question,
+                                            const InquiryView& view) {
+  for (size_t i = 0; i < question.fixes.size(); ++i) {
+    const Fix& offered = question.fixes[i];
+    for (size_t j = 0; j < remaining_.size(); ++j) {
+      const Fix& target = remaining_[j];
+      if (offered.atom != target.atom || offered.arg != target.arg) {
+        continue;
+      }
+      const bool exact = offered.value == target.value;
+      // The question's fresh null stands for the oracle's null: both
+      // denote "an unknown value unique to this position".
+      const bool both_null = symbols_->IsNull(offered.value) &&
+                             symbols_->IsNull(target.value) &&
+                             view.facts != nullptr &&
+                             view.facts->TermUseCount(offered.value) == 0;
+      if (exact || both_null) {
+        remaining_.erase(remaining_.begin() +
+                         static_cast<std::ptrdiff_t>(j));
+        return i;
+      }
+    }
+  }
+  return std::nullopt;  // Lemma 4.7 says this cannot happen with
+                        // full-position questions and Π built from the
+                        // oracle's own answers.
+}
+
+}  // namespace kbrepair

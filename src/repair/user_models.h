@@ -1,0 +1,97 @@
+// Extended user models — the paper's concluding future-work direction
+// ("formalization of user modeling to represent several classes of users
+// (from domain experts to non-experts)").
+//
+// Besides the core RandomUser and OracleUser (repair/user.h), this
+// module provides:
+//
+//  * NoisyOracleUser  — a domain expert with reliability p: answers from
+//    its target r-fix with probability p, otherwise like a random user.
+//    At p = 1 it is an oracle; at p = 0 a random user. The user-model
+//    benchmark sweeps p and measures dialogue length and how far the
+//    outcome drifts from the expert's intended repair.
+//  * ConservativeUser — always picks a fresh-null fix when one is
+//    offered ("I know this value is wrong but not what it should be"),
+//    the minimal-commitment non-expert.
+//  * DecisiveUser     — prefers constant (active-domain) values over
+//    nulls; the over-confident user.
+//  * TranscriptUser   — decorates another user, recording every question
+//    and answer into a SessionTranscript (see session_log.h) that can be
+//    rendered, audited, or replayed.
+
+#ifndef KBREPAIR_REPAIR_USER_MODELS_H_
+#define KBREPAIR_REPAIR_USER_MODELS_H_
+
+#include <vector>
+
+#include "repair/session_log.h"
+#include "repair/user.h"
+#include "util/rng.h"
+
+namespace kbrepair {
+
+class NoisyOracleUser : public User {
+ public:
+  // `reliability` in [0,1]. The r-fix semantics match OracleUser.
+  NoisyOracleUser(std::vector<Fix> r_fix, const SymbolTable* symbols,
+                  double reliability, uint64_t seed);
+
+  std::optional<size_t> ChooseFix(const Question& question,
+                                  const InquiryView& view) override;
+
+  // How often the user actually followed / departed from the target.
+  size_t faithful_answers() const { return faithful_answers_; }
+  size_t noisy_answers() const { return noisy_answers_; }
+
+ private:
+  std::optional<size_t> OracleChoice(const Question& question,
+                                     const InquiryView& view);
+
+  std::vector<Fix> remaining_;
+  const SymbolTable* symbols_;
+  double reliability_;
+  Rng rng_;
+  size_t faithful_answers_ = 0;
+  size_t noisy_answers_ = 0;
+};
+
+// Picks the first fresh-null fix; falls back to the first fix.
+class ConservativeUser : public User {
+ public:
+  explicit ConservativeUser(const SymbolTable* symbols);
+  std::optional<size_t> ChooseFix(const Question& question,
+                                  const InquiryView& view) override;
+
+ private:
+  const SymbolTable* symbols_;
+};
+
+// Picks a uniformly random constant-valued fix; falls back to a null.
+class DecisiveUser : public User {
+ public:
+  DecisiveUser(const SymbolTable* symbols, uint64_t seed);
+  std::optional<size_t> ChooseFix(const Question& question,
+                                  const InquiryView& view) override;
+
+ private:
+  const SymbolTable* symbols_;
+  Rng rng_;
+};
+
+// Records the dialogue of an inner user into a transcript.
+class TranscriptUser : public User {
+ public:
+  // Neither pointer may be null; both must outlive this object.
+  TranscriptUser(User* inner, SessionTranscript* transcript);
+
+  std::optional<size_t> ChooseFix(const Question& question,
+                                  const InquiryView& view) override;
+
+ private:
+  User* inner_;
+  SessionTranscript* transcript_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_REPAIR_USER_MODELS_H_

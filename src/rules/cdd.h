@@ -1,0 +1,88 @@
+// Contradiction-detecting dependencies.
+//
+//   N : forall x  B(x) -> ⊥
+//
+// CDDs are the paper's subset of denial constraints: bodies are
+// conjunctions of atoms, optionally with equality predicates but never
+// inequalities. Equalities are normalized away at construction time by
+// unifying terms (union-find), so the stored body is equality-free and
+// can be evaluated by the plain homomorphism engine.
+//
+// Following Section 2, a meaningful CDD must contain a join variable
+// (a variable occurring in at least two argument positions); single-atom
+// schema-level constraints such as p(X,Y) -> ⊥ are rejected unless the
+// body carries constants that make the constraint selective.
+
+#ifndef KBREPAIR_RULES_CDD_H_
+#define KBREPAIR_RULES_CDD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kb/atom.h"
+#include "kb/symbol_table.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+// An equality between two terms in a CDD body (variable-variable or
+// variable-constant; constant-constant equalities are checked and
+// eliminated).
+struct TermEquality {
+  TermId left = kInvalidTerm;
+  TermId right = kInvalidTerm;
+};
+
+class Cdd {
+ public:
+  // Builds a CDD from a body and optional equalities. Equalities are
+  // folded into the body by substitution. Fails on an empty body, arity
+  // mismatches, nulls in the body, or a contradictory constant=constant
+  // equality (such a CDD is vacuous, which we flag as an error rather
+  // than silently keeping an unsatisfiable constraint).
+  static StatusOr<Cdd> Create(std::vector<Atom> body,
+                              const SymbolTable& symbols,
+                              std::vector<TermEquality> equalities = {});
+
+  const std::vector<Atom>& body() const { return body_; }
+
+  // Variables occurring in >= 2 argument positions of the body (counting
+  // repeats within one atom). These are the paper's join variables.
+  const std::vector<TermId>& join_variables() const {
+    return join_variables_;
+  }
+
+  // True if the CDD satisfies the paper's meaningfulness assumption
+  // (at least one join variable).
+  bool has_join_variable() const { return !join_variables_.empty(); }
+
+  // For body atom `atom_index`, the argument positions that are
+  // "resolving": positions holding a join variable or a constant.
+  // Rewriting the fact value mapped by a resolving position can break the
+  // homomorphism; rewriting a non-resolving (lone-variable) position
+  // never can, because the lone variable simply rebinds (Section 5,
+  // opti-join discussion).
+  const std::vector<int>& resolving_positions(size_t atom_index) const {
+    return resolving_positions_[atom_index];
+  }
+
+  // "body -> ⊥" rendering.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  // Optional human-readable constraint label ("[no_allergy]" in DLGP).
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+ private:
+  Cdd() = default;
+
+  std::string label_;
+  std::vector<Atom> body_;
+  std::vector<TermId> join_variables_;
+  std::vector<std::vector<int>> resolving_positions_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_RULES_CDD_H_

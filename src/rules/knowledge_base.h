@@ -1,0 +1,80 @@
+// KnowledgeBase: the triple K = (F, Σ_T, Σ_C) of Section 2, owning the
+// symbol table shared by its parts.
+
+#ifndef KBREPAIR_RULES_KNOWLEDGE_BASE_H_
+#define KBREPAIR_RULES_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "kb/fact_base.h"
+#include "kb/symbol_table.h"
+#include "rules/cdd.h"
+#include "rules/tgd.h"
+#include "rules/weak_acyclicity.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+// Aggregates facts, TGDs and CDDs over one symbol table.
+//
+// The symbol table lives behind a unique_ptr so a KnowledgeBase can move
+// without invalidating the table pointers held by helper objects. The
+// repair engine copies only the fact base (rules and symbols are shared
+// immutably during a repair session; fresh nulls minted for candidate
+// fixes are interned in the shared table, which is harmless: ids are
+// never recycled).
+class KnowledgeBase {
+ public:
+  KnowledgeBase() : symbols_(std::make_unique<SymbolTable>()) {}
+
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  FactBase& facts() { return facts_; }
+  const FactBase& facts() const { return facts_; }
+
+  std::vector<Tgd>& tgds() { return tgds_; }
+  const std::vector<Tgd>& tgds() const { return tgds_; }
+
+  std::vector<Cdd>& cdds() { return cdds_; }
+  const std::vector<Cdd>& cdds() const { return cdds_; }
+
+  // Validates the paper's standing assumptions: weakly-acyclic TGDs and
+  // CDDs with join variables. Call once after construction/parsing.
+  Status Validate() const {
+    KBREPAIR_RETURN_IF_ERROR(CheckWeaklyAcyclic(tgds_, *symbols_));
+    for (const Cdd& cdd : cdds_) {
+      if (!cdd.has_join_variable()) {
+        bool has_constant = false;
+        for (const Atom& atom : cdd.body()) {
+          for (TermId term : atom.args) {
+            has_constant = has_constant || symbols_->IsConstant(term);
+          }
+        }
+        if (!has_constant) {
+          return Status::FailedPrecondition(
+              "CDD without join variables or constants is a schema "
+              "constraint, not a contradiction detector: " +
+              cdd.ToString(*symbols_));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::unique_ptr<SymbolTable> symbols_;
+  FactBase facts_;
+  std::vector<Tgd> tgds_;
+  std::vector<Cdd> cdds_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_RULES_KNOWLEDGE_BASE_H_

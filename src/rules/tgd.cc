@@ -1,0 +1,83 @@
+#include "rules/tgd.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kbrepair {
+
+std::vector<TermId> CollectVariables(const std::vector<Atom>& atoms,
+                                     const SymbolTable& symbols) {
+  std::vector<TermId> variables;
+  std::unordered_set<TermId> seen;
+  for (const Atom& atom : atoms) {
+    for (TermId term : atom.args) {
+      if (symbols.IsVariable(term) && seen.insert(term).second) {
+        variables.push_back(term);
+      }
+    }
+  }
+  return variables;
+}
+
+namespace {
+
+Status ValidateRuleAtoms(const std::vector<Atom>& atoms,
+                         const SymbolTable& symbols, const char* part) {
+  for (const Atom& atom : atoms) {
+    if (atom.predicate == kInvalidPredicate) {
+      return Status::InvalidArgument(std::string(part) +
+                                     " contains an atom without predicate");
+    }
+    if (atom.arity() != symbols.predicate_arity(atom.predicate)) {
+      return Status::InvalidArgument(
+          std::string(part) + " atom arity mismatch for predicate " +
+          symbols.predicate_name(atom.predicate));
+    }
+    for (TermId term : atom.args) {
+      if (symbols.IsNull(term)) {
+        return Status::InvalidArgument(
+            std::string(part) + " contains a labeled null; rules may only "
+                                "use constants and variables");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Tgd> Tgd::Create(std::vector<Atom> body, std::vector<Atom> head,
+                          const SymbolTable& symbols) {
+  if (body.empty()) {
+    return Status::InvalidArgument("TGD body must be non-empty");
+  }
+  if (head.empty()) {
+    return Status::InvalidArgument("TGD head must be non-empty");
+  }
+  KBREPAIR_RETURN_IF_ERROR(ValidateRuleAtoms(body, symbols, "TGD body"));
+  KBREPAIR_RETURN_IF_ERROR(ValidateRuleAtoms(head, symbols, "TGD head"));
+
+  Tgd tgd;
+  tgd.body_ = std::move(body);
+  tgd.head_ = std::move(head);
+
+  const std::vector<TermId> body_vars =
+      CollectVariables(tgd.body_, symbols);
+  const std::unordered_set<TermId> body_var_set(body_vars.begin(),
+                                                body_vars.end());
+  for (TermId var : CollectVariables(tgd.head_, symbols)) {
+    if (body_var_set.count(var) > 0) {
+      tgd.frontier_variables_.push_back(var);
+    } else {
+      tgd.existential_variables_.push_back(var);
+    }
+  }
+  return tgd;
+}
+
+std::string Tgd::ToString(const SymbolTable& symbols) const {
+  return AtomsToString(body_, symbols) + " -> " +
+         AtomsToString(head_, symbols);
+}
+
+}  // namespace kbrepair

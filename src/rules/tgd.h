@@ -1,0 +1,67 @@
+// Tuple-generating dependencies (existential rules).
+//
+//   R : forall x forall y  B(x,y) -> exists z  H(y,z)
+//
+// Body and head are conjunctions of atoms; variables shared between body
+// and head form the frontier, head-only variables are existential and are
+// instantiated with fresh labeled nulls by the chase ("safe(H)" in the
+// paper).
+
+#ifndef KBREPAIR_RULES_TGD_H_
+#define KBREPAIR_RULES_TGD_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/atom.h"
+#include "kb/symbol_table.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+class Tgd {
+ public:
+  // Validates and builds a TGD. Fails if body or head is empty, or if the
+  // head contains constants-only atoms sharing no variable with anything
+  // (allowed, actually) — the only hard requirements are non-emptiness
+  // and that all terms are constants or variables (no nulls in rules).
+  static StatusOr<Tgd> Create(std::vector<Atom> body, std::vector<Atom> head,
+                              const SymbolTable& symbols);
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Atom>& head() const { return head_; }
+
+  // Variables occurring in both body and head.
+  const std::vector<TermId>& frontier_variables() const {
+    return frontier_variables_;
+  }
+  // Head-only variables, instantiated as fresh nulls by the chase.
+  const std::vector<TermId>& existential_variables() const {
+    return existential_variables_;
+  }
+
+  // "body -> head" rendering.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  // Optional human-readable rule label ("[r1]" in DLGP); empty if unset.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+ private:
+  Tgd() = default;
+
+  std::string label_;
+  std::vector<Atom> body_;
+  std::vector<Atom> head_;
+  std::vector<TermId> frontier_variables_;
+  std::vector<TermId> existential_variables_;
+};
+
+// Collects the distinct variables of a conjunction, in first-occurrence
+// order.
+std::vector<TermId> CollectVariables(const std::vector<Atom>& atoms,
+                                     const SymbolTable& symbols);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_RULES_TGD_H_

@@ -1,0 +1,35 @@
+// Weak-acyclicity test for sets of TGDs (Fagin, Kolaitis, Miller, Popa,
+// "Data exchange: semantics and query answering", TCS 2005).
+//
+// The paper restricts itself to weakly-acyclic TGDs so that the chase
+// terminates (Section 2). The test builds the position dependency graph:
+// nodes are (predicate, argument-position) pairs; for every TGD and every
+// body variable x that also occurs in the head,
+//   * a regular edge goes from every body position of x to every head
+//     position of x, and
+//   * a special edge goes from every body position of x to every head
+//     position of every existentially quantified variable of the rule.
+// The set is weakly acyclic iff no cycle goes through a special edge.
+
+#ifndef KBREPAIR_RULES_WEAK_ACYCLICITY_H_
+#define KBREPAIR_RULES_WEAK_ACYCLICITY_H_
+
+#include <vector>
+
+#include "rules/tgd.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+// True iff the TGD set is weakly acyclic.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds,
+                     const SymbolTable& symbols);
+
+// OK iff weakly acyclic; FailedPrecondition with an explanatory message
+// otherwise. Used by public entry points that require chase termination.
+Status CheckWeaklyAcyclic(const std::vector<Tgd>& tgds,
+                          const SymbolTable& symbols);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_RULES_WEAK_ACYCLICITY_H_

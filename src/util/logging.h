@@ -1,0 +1,60 @@
+// Minimal CHECK/DCHECK assertion macros.
+//
+// CHECK fires in all build modes and is used for invariants whose violation
+// means the process state is corrupt; DCHECK compiles away in release
+// builds and is used for cheap sanity checks on hot paths.
+
+#ifndef KBREPAIR_UTIL_LOGGING_H_
+#define KBREPAIR_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace kbrepair {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts on destruction. Used as a
+// temporary so `KBREPAIR_CHECK(x) << "detail"` works.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace kbrepair
+
+#define KBREPAIR_CHECK(condition)                                       \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::kbrepair::internal_logging::CheckFailure(__FILE__, __LINE__,      \
+                                               #condition)              \
+        .stream()
+
+#define KBREPAIR_CHECK_EQ(a, b) KBREPAIR_CHECK((a) == (b))
+#define KBREPAIR_CHECK_NE(a, b) KBREPAIR_CHECK((a) != (b))
+#define KBREPAIR_CHECK_LT(a, b) KBREPAIR_CHECK((a) < (b))
+#define KBREPAIR_CHECK_LE(a, b) KBREPAIR_CHECK((a) <= (b))
+#define KBREPAIR_CHECK_GT(a, b) KBREPAIR_CHECK((a) > (b))
+#define KBREPAIR_CHECK_GE(a, b) KBREPAIR_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define KBREPAIR_DCHECK(condition) \
+  if (true) {                      \
+  } else                           \
+    KBREPAIR_CHECK(condition)
+#else
+#define KBREPAIR_DCHECK(condition) KBREPAIR_CHECK(condition)
+#endif
+
+#endif  // KBREPAIR_UTIL_LOGGING_H_

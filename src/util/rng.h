@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// Every randomized component in the project (workload generators, the
+// random questioning strategy, the simulated user) takes an explicit
+// 64-bit seed and owns an Rng, so experiments are reproducible
+// run-to-run and across machines.
+
+#ifndef KBREPAIR_UTIL_RNG_H_
+#define KBREPAIR_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+// A thin seeded wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KBREPAIR_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    KBREPAIR_DCHECK(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  // Uniform real in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  // Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choose(const std::vector<T>& items) {
+    KBREPAIR_CHECK(!items.empty());
+    return items[UniformIndex(items.size())];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[UniformIndex(i)]);
+    }
+  }
+
+  // Derives an independent child seed (for handing sub-components their
+  // own Rng without correlating streams).
+  uint64_t NextSeed() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_RNG_H_

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+void SampleStats::AddAll(const std::vector<double>& values) {
+  samples_.insert(samples_.end(), values.begin(), values.end());
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  KBREPAIR_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  KBREPAIR_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double sum_sq = 0.0;
+  for (double v : samples_) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Quantile(double q) const {
+  KBREPAIR_CHECK(!samples_.empty());
+  KBREPAIR_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxplotSummary SampleStats::Boxplot() const {
+  BoxplotSummary summary;
+  if (samples_.empty()) return summary;
+  summary.count = samples_.size();
+  summary.min = Min();
+  summary.q1 = Quantile(0.25);
+  summary.median = Quantile(0.5);
+  summary.q3 = Quantile(0.75);
+  summary.max = Max();
+  summary.mean = Mean();
+  const double iqr = summary.q3 - summary.q1;
+  const double lo_fence = summary.q1 - 1.5 * iqr;
+  const double hi_fence = summary.q3 + 1.5 * iqr;
+  for (double v : samples_) {
+    if (v < lo_fence || v > hi_fence) summary.outliers.push_back(v);
+  }
+  return summary;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+}  // namespace kbrepair

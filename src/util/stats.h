@@ -1,0 +1,58 @@
+// Small descriptive-statistics helpers used by the benchmark harness to
+// print paper-style rows (means, boxplot five-number summaries).
+
+#ifndef KBREPAIR_UTIL_STATS_H_
+#define KBREPAIR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kbrepair {
+
+// Five-number summary plus mean, matching the boxplots of Figure 5.
+struct BoxplotSummary {
+  double min = 0.0;
+  double q1 = 0.0;      // first quartile
+  double median = 0.0;
+  double q3 = 0.0;      // third quartile
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+
+  // Values outside [q1 - 1.5*iqr, q3 + 1.5*iqr].
+  std::vector<double> outliers;
+};
+
+// Accumulates samples and produces summaries. Not thread-safe.
+class SampleStats {
+ public:
+  void Add(double value) { samples_.push_back(value); }
+  void AddAll(const std::vector<double>& values);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;  // sample standard deviation (n-1)
+
+  // Linear-interpolated quantile, q in [0,1]. Requires at least one sample.
+  double Quantile(double q) const;
+
+  BoxplotSummary Boxplot() const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Formats a value with fixed decimal places (printf "%.*f").
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_STATS_H_

@@ -1,0 +1,131 @@
+// Exception-free error handling primitives, in the style used by
+// database engines (RocksDB's Status, Arrow's Result).
+//
+// Public APIs in this project return Status for operations that can fail
+// for a caller-visible reason (bad input, unsupported rule set, ...) and
+// StatusOr<T> when a value is produced on success. Programming errors are
+// handled with CHECK/DCHECK (see util/logging.h), never with Status.
+
+#ifndef KBREPAIR_UTIL_STATUS_H_
+#define KBREPAIR_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kbrepair {
+
+// Broad error categories. Kept deliberately small: callers that need more
+// detail should inspect the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnsupported,
+  kInternal,
+};
+
+// Returns a short human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or an (code, message) error.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Holds either a T or an error Status. Accessing value() on an error
+// status aborts the process (it is a programming error, like dereferencing
+// an empty optional).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return MakeFoo();` and `return status;`
+  // both work, mirroring absl::StatusOr.
+  StatusOr(T value) : rep_(std::move(value)) {}
+  StatusOr(Status status) : rep_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagates a non-OK status to the caller.
+#define KBREPAIR_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::kbrepair::Status _status = (expr);           \
+    if (!_status.ok()) return _status;             \
+  } while (0)
+
+// Evaluates a StatusOr expression, propagating errors, binding the value.
+#define KBREPAIR_ASSIGN_OR_RETURN(lhs, expr)       \
+  KBREPAIR_ASSIGN_OR_RETURN_IMPL_(                 \
+      KBREPAIR_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define KBREPAIR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value();
+
+#define KBREPAIR_STATUS_CONCAT_(a, b) KBREPAIR_STATUS_CONCAT_IMPL_(a, b)
+#define KBREPAIR_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_STATUS_H_

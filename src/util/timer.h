@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used to measure per-question delay times.
+
+#ifndef KBREPAIR_UTIL_TIMER_H_
+#define KBREPAIR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace kbrepair {
+
+// Starts on construction; ElapsedSeconds() reads without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_TIMER_H_

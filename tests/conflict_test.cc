@@ -1,0 +1,374 @@
+#include "repair/conflict.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "parser/dlgp_parser.h"
+#include "repair/fix.h"
+#include "util/rng.h"
+
+namespace kbrepair {
+namespace {
+
+KnowledgeBase Parse(const std::string& text) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp(text);
+  EXPECT_TRUE(kb.ok()) << kb.status();
+  return std::move(kb).value();
+}
+
+// Sorts conflicts into a canonical order for comparison.
+std::vector<Conflict> Canonical(std::vector<Conflict> conflicts) {
+  std::sort(conflicts.begin(), conflicts.end(),
+            [](const Conflict& a, const Conflict& b) {
+              if (a.cdd_index != b.cdd_index) {
+                return a.cdd_index < b.cdd_index;
+              }
+              return a.matched < b.matched;
+            });
+  return conflicts;
+}
+
+TEST(ConflictTest, PaperExample24TwoConflicts) {
+  KnowledgeBase kb = Parse(R"(
+    prescribed(aspirin, john).
+    hasAllergy(john, aspirin).
+    hasAllergy(mike, penicillin).
+    hasPain(john, migraine).
+    isPainKillerFor(nsaids, migraine).
+    incompatible(aspirin, nsaids).
+    prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+    ! :- prescribed(X, Y), hasAllergy(Y, X).
+    ! :- prescribed(X, Z), prescribed(Y, Z), incompatible(X, Y).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  StatusOr<std::vector<Conflict>> all = finder.AllConflicts(kb.facts());
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+
+  const std::vector<Conflict> conflicts = Canonical(*all);
+  // X1: the allergy conflict, supported by facts 0 and 1.
+  EXPECT_EQ(conflicts[0].cdd_index, 0u);
+  EXPECT_EQ(conflicts[0].support, (std::vector<AtomId>{0, 1}));
+  // X2: the incompatibility conflict; support includes the originals
+  // behind the derived prescription.
+  EXPECT_EQ(conflicts[1].cdd_index, 1u);
+  EXPECT_EQ(conflicts[1].support, (std::vector<AtomId>{0, 3, 4, 5}));
+}
+
+TEST(ConflictTest, NaiveConflictsSkipChaseOnlyViolations) {
+  KnowledgeBase kb = Parse(R"(
+    prescribed(aspirin, john).
+    hasAllergy(john, aspirin).
+    hasPain(john, migraine).
+    isPainKillerFor(nsaids, migraine).
+    incompatible(aspirin, nsaids).
+    prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+    ! :- prescribed(X, Y), hasAllergy(Y, X).
+    ! :- prescribed(X, Z), prescribed(Y, Z), incompatible(X, Y).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  const std::vector<Conflict> naive = finder.NaiveConflicts(kb.facts());
+  ASSERT_EQ(naive.size(), 1u);
+  EXPECT_EQ(naive[0].cdd_index, 0u);
+  // For naive conflicts matched and support coincide.
+  EXPECT_EQ(naive[0].support, (std::vector<AtomId>{0, 1}));
+}
+
+TEST(ConflictTest, GridClusterCountsAllHomomorphisms) {
+  // 2 p-atoms x 3 q-atoms sharing join constant j: 6 conflicts.
+  KnowledgeBase kb = Parse(R"(
+    p(j, a1). p(j, a2).
+    q(j, b1). q(j, b2). q(j, b3).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_EQ(finder.NaiveConflicts(kb.facts()).size(), 6u);
+}
+
+TEST(ConflictTest, NaiveConflictsTouchingFindsOnlyAnchored) {
+  KnowledgeBase kb = Parse(R"(
+    p(j, a1). p(j, a2).
+    q(j, b1). q(j, b2).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  // Anchored at the first p-atom: 1 x 2 conflicts.
+  EXPECT_EQ(finder.NaiveConflictsTouching(kb.facts(), 0).size(), 2u);
+  // Anchored at a q-atom: 2 x 1.
+  EXPECT_EQ(finder.NaiveConflictsTouching(kb.facts(), 2).size(), 2u);
+}
+
+TEST(ConflictTest, TouchingCountsHomUsingAnchorTwiceOnce) {
+  // CDD with two body atoms of the same predicate; the anchor can serve
+  // both. p(a,a) matches p(X,Y),p(Y,X) as a self-pair: exactly one
+  // conflict must be reported for the anchor.
+  KnowledgeBase kb = Parse(R"(
+    p(a, a).
+    ! :- p(X, Y), p(Y, X).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_EQ(finder.NaiveConflictsTouching(kb.facts(), 0).size(), 1u);
+  EXPECT_EQ(finder.NaiveConflicts(kb.facts()).size(), 1u);
+}
+
+TEST(ConflictTest, OverlapIndicatorsOnDisjointConflicts) {
+  KnowledgeBase kb = Parse(R"(
+    p(j1, a). q(j1, b).
+    p(j2, c). q(j2, d).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  const std::vector<Conflict> conflicts = finder.NaiveConflicts(kb.facts());
+  ASSERT_EQ(conflicts.size(), 2u);
+  const OverlapIndicators ind = ComputeOverlapIndicators(conflicts);
+  EXPECT_DOUBLE_EQ(ind.avg_scope, 0.0);
+  EXPECT_DOUBLE_EQ(ind.avg_atoms_per_overlap, 0.0);
+  EXPECT_EQ(ind.atoms_in_conflicts, 4u);
+}
+
+TEST(ConflictTest, OverlapIndicatorsOnSharedAtom) {
+  // One p-atom shared by two conflicts (two q variants).
+  KnowledgeBase kb = Parse(R"(
+    p(j, a).
+    q(j, b1). q(j, b2).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  const std::vector<Conflict> conflicts = finder.NaiveConflicts(kb.facts());
+  ASSERT_EQ(conflicts.size(), 2u);
+  const OverlapIndicators ind = ComputeOverlapIndicators(conflicts);
+  EXPECT_DOUBLE_EQ(ind.avg_scope, 1.0);           // each overlaps the other
+  EXPECT_DOUBLE_EQ(ind.avg_atoms_per_overlap, 1.0);  // sharing the p-atom
+  EXPECT_EQ(ind.atoms_in_conflicts, 3u);
+}
+
+TEST(ConflictTest, FiveByFiveGridHasScopeEight) {
+  // The durum-wheat building block: a (5,5) grid.
+  std::string text;
+  for (int i = 0; i < 5; ++i) {
+    text += "p(j, a" + std::to_string(i) + ").\n";
+    text += "q(j, b" + std::to_string(i) + ").\n";
+  }
+  text += "! :- p(X, Y), q(X, Z).\n";
+  KnowledgeBase grid = Parse(text);
+  ConflictFinder finder(&grid.symbols(), &grid.tgds(), &grid.cdds());
+  const std::vector<Conflict> conflicts =
+      finder.NaiveConflicts(grid.facts());
+  ASSERT_EQ(conflicts.size(), 25u);
+  const OverlapIndicators ind = ComputeOverlapIndicators(conflicts);
+  EXPECT_DOUBLE_EQ(ind.avg_scope, 8.0);
+}
+
+class ConflictTrackerTest : public ::testing::Test {
+ protected:
+  void Build(const std::string& text) {
+    kb_ = Parse(text);
+    finder_ = std::make_unique<ConflictFinder>(&kb_.symbols(), &kb_.tgds(),
+                                               &kb_.cdds());
+    tracker_ = std::make_unique<ConflictTracker>(finder_.get());
+    tracker_->Initialize(kb_.facts());
+  }
+
+  KnowledgeBase kb_;
+  std::unique_ptr<ConflictFinder> finder_;
+  std::unique_ptr<ConflictTracker> tracker_;
+};
+
+TEST_F(ConflictTrackerTest, InitializeMatchesNaiveConflicts) {
+  Build(R"(
+    p(j, a1). p(j, a2).
+    q(j, b1).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  EXPECT_EQ(tracker_->size(), 2u);
+  EXPECT_EQ(tracker_->NumConflictsTouching(0), 1u);
+  EXPECT_EQ(tracker_->NumConflictsTouching(2), 2u);
+}
+
+TEST_F(ConflictTrackerTest, FixOnJoinPositionRemovesConflicts) {
+  Build(R"(
+    p(j, a1). p(j, a2).
+    q(j, b1).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  // Break the join of the q-atom.
+  const TermId fresh = kb_.symbols().MakeFreshNull();
+  ApplyFix(kb_.facts(), Fix{2, 0, fresh});
+  tracker_->OnFixApplied(kb_.facts(), 2);
+  EXPECT_TRUE(tracker_->empty());
+}
+
+TEST_F(ConflictTrackerTest, FixOnLonePositionKeepsConflicts) {
+  Build(R"(
+    p(j, a1).
+    q(j, b1).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  const TermId fresh = kb_.symbols().MakeFreshNull();
+  ApplyFix(kb_.facts(), Fix{0, 1, fresh});
+  tracker_->OnFixApplied(kb_.facts(), 0);
+  // The lone position does not affect the homomorphism.
+  EXPECT_EQ(tracker_->size(), 1u);
+}
+
+TEST_F(ConflictTrackerTest, FixCanIntroduceNewConflicts) {
+  Build(R"(
+    p(j, a1).
+    q(k, b1).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  EXPECT_TRUE(tracker_->empty());
+  // Align the q-atom's join value with the p-atom: a conflict appears.
+  const TermId j = kb_.symbols().FindTerm(TermKind::kConstant, "j");
+  ApplyFix(kb_.facts(), Fix{1, 0, j});
+  tracker_->OnFixApplied(kb_.facts(), 1);
+  EXPECT_EQ(tracker_->size(), 1u);
+}
+
+TEST_F(ConflictTrackerTest, AgreesWithFullRecomputeUnderRandomFixes) {
+  Build(R"(
+    p(j, a1). p(j, a2). p(k, a3).
+    q(j, b1). q(k, b2). q(k, b3).
+    r(j, k).
+    ! :- p(X, Y), q(X, Z).
+    ! :- p(X, Y), r(X, Z), q(Z, W).
+  )");
+  Rng rng(2024);
+  const std::vector<TermId> values = {
+      kb_.symbols().FindTerm(TermKind::kConstant, "j"),
+      kb_.symbols().FindTerm(TermKind::kConstant, "k"),
+      kb_.symbols().FindTerm(TermKind::kConstant, "a1"),
+      kb_.symbols().MakeFreshNull()};
+  for (int step = 0; step < 60; ++step) {
+    const AtomId atom =
+        static_cast<AtomId>(rng.UniformIndex(kb_.facts().size()));
+    const int arg = static_cast<int>(
+        rng.UniformIndex(static_cast<size_t>(kb_.facts().atom(atom).arity())));
+    ApplyFix(kb_.facts(), Fix{atom, arg, rng.Choose(values)});
+    tracker_->OnFixApplied(kb_.facts(), atom);
+
+    const std::vector<Conflict> expected =
+        finder_->NaiveConflicts(kb_.facts());
+    ASSERT_EQ(tracker_->size(), expected.size()) << "step " << step;
+  }
+}
+
+
+TEST_F(ConflictTrackerTest, PositionRankEqualsAtomDegree) {
+  Build(R"(
+    p(j, a1). p(j, a2).
+    q(j, b1).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  // The q-atom supports both conflicts; its positions rank 2. Each
+  // p-atom supports one conflict; their positions rank 1.
+  EXPECT_EQ(tracker_->PositionRank(Position{2, 0}), 2u);
+  EXPECT_EQ(tracker_->PositionRank(Position{2, 1}), 2u);
+  EXPECT_EQ(tracker_->PositionRank(Position{0, 0}), 1u);
+  EXPECT_EQ(tracker_->PositionRank(Position{3, 0}), 0u);  // no atom 3
+}
+
+TEST(ConflictTest, SyntheticPlannedEqualsMeasured) {
+  SyntheticKbOptions options;
+  options.seed = 11;
+  options.num_facts = 300;
+  options.inconsistency_ratio = 0.2;
+  options.num_cdds = 8;
+  options.num_tgds = 6;
+  options.conflict_depth = 2;
+  options.routed_violation_share = 0.5;
+  StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+  ASSERT_TRUE(generated.ok());
+  KnowledgeBase& kb = generated->kb;
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  StatusOr<std::vector<Conflict>> all = finder.AllConflicts(kb.facts());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), generated->info.planned_conflicts);
+  EXPECT_EQ(finder.NaiveConflicts(kb.facts()).size(),
+            generated->info.planned_naive_conflicts);
+}
+
+
+TEST(ConflictTest, ExplainConflictNaive) {
+  KnowledgeBase kb = Parse(R"(
+    prescribed(aspirin, john).
+    hasAllergy(john, aspirin).
+    ! :- prescribed(X, Y), hasAllergy(Y, X).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  const std::vector<Conflict> conflicts = finder.NaiveConflicts(kb.facts());
+  ASSERT_EQ(conflicts.size(), 1u);
+  const std::string explanation = ExplainConflict(
+      conflicts[0], kb.cdds(), kb.facts(), kb.symbols());
+  EXPECT_NE(explanation.find("violated constraint"), std::string::npos);
+  EXPECT_NE(explanation.find("prescribed(aspirin,john)"),
+            std::string::npos);
+  EXPECT_NE(explanation.find("supported by original facts"),
+            std::string::npos);
+}
+
+TEST(ConflictTest, ExplainConflictMarksDerivedAtoms) {
+  KnowledgeBase kb = Parse(R"(
+    c0(a, b). other(a, b).
+    c1(X, Y) :- c0(X, Y).
+    ! :- c1(X, Y), other(X, Y).
+  )");
+  ChaseEngine engine(&kb.symbols(), &kb.tgds(), nullptr);
+  StatusOr<ChaseResult> chased = engine.Run(kb.facts());
+  ASSERT_TRUE(chased.ok());
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  StatusOr<std::vector<Conflict>> all = finder.AllConflicts(kb.facts());
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  const std::string with_chase = ExplainConflict(
+      all->front(), kb.cdds(), kb.facts(), kb.symbols(), &*chased);
+  EXPECT_NE(with_chase.find("derived by TGD #0"), std::string::npos);
+  // Without the chase, the derived atom is labelled opaquely.
+  const std::string without_chase = ExplainConflict(
+      all->front(), kb.cdds(), kb.facts(), kb.symbols());
+  EXPECT_NE(without_chase.find("<derived atom"), std::string::npos);
+}
+
+TEST(ConflictTest, HypergraphDotOutput) {
+  KnowledgeBase kb = Parse(R"(
+    p(j, a).
+    q(j, b1). q(j, b2).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  const std::vector<Conflict> conflicts = finder.NaiveConflicts(kb.facts());
+  ASSERT_EQ(conflicts.size(), 2u);
+  const std::string dot =
+      ConflictHypergraphToDot(conflicts, kb.facts(), kb.symbols());
+  EXPECT_EQ(dot.rfind("graph conflict_hypergraph {", 0), 0u);
+  EXPECT_NE(dot.find("conflict0 [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("p(j,a)"), std::string::npos);
+  // 2 conflicts x 2 support atoms each = 4 incidence edges.
+  size_t edges = 0;
+  for (size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 4u);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+
+TEST(ConflictTest, ExplainConflictShowsLabel) {
+  KnowledgeBase kb = Parse(R"(
+    prescribed(aspirin, john).
+    hasAllergy(john, aspirin).
+    [allergy_check] ! :- prescribed(X, Y), hasAllergy(Y, X).
+  )");
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  const std::vector<Conflict> conflicts = finder.NaiveConflicts(kb.facts());
+  ASSERT_EQ(conflicts.size(), 1u);
+  const std::string explanation = ExplainConflict(
+      conflicts[0], kb.cdds(), kb.facts(), kb.symbols());
+  EXPECT_NE(explanation.find("[allergy_check]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kbrepair

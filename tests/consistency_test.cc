@@ -1,0 +1,116 @@
+#include "repair/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "parser/dlgp_parser.h"
+
+namespace kbrepair {
+namespace {
+
+KnowledgeBase Parse(const std::string& text) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp(text);
+  EXPECT_TRUE(kb.ok()) << kb.status();
+  return std::move(kb).value();
+}
+
+TEST(ConsistencyTest, ConsistentWithoutTgds) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b). q(c, d).
+    ! :- p(X, Y), q(Y, X).
+  )");
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_TRUE(checker.IsConsistentNaive(kb.facts()).value());
+  EXPECT_TRUE(checker.IsConsistentOpt(kb.facts()).value());
+}
+
+TEST(ConsistencyTest, DirectViolation) {
+  KnowledgeBase kb = Parse(R"(
+    prescribed(aspirin, john).
+    hasAllergy(john, aspirin).
+    ! :- prescribed(X, Y), hasAllergy(Y, X).
+  )");
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_FALSE(checker.IsConsistentNaive(kb.facts()).value());
+  EXPECT_FALSE(checker.IsConsistentOpt(kb.facts()).value());
+}
+
+TEST(ConsistencyTest, ViolationOnlyThroughChase) {
+  // Figure 1(b): the incompatibility conflict needs the TGD.
+  KnowledgeBase kb = Parse(R"(
+    prescribed(aspirin, john).
+    hasPain(john, migraine).
+    isPainKillerFor(nsaids, migraine).
+    incompatible(aspirin, nsaids).
+    prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+    ! :- prescribed(X, Z), prescribed(Y, Z), incompatible(X, Y).
+  )");
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_FALSE(checker.IsConsistentNaive(kb.facts()).value());
+  EXPECT_FALSE(checker.IsConsistentOpt(kb.facts()).value());
+}
+
+TEST(ConsistencyTest, EmptyConstraintSetIsAlwaysConsistent) {
+  KnowledgeBase kb = Parse("p(a, b). q(X, Y) :- p(X, Y).");
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_TRUE(checker.IsConsistentNaive(kb.facts()).value());
+  EXPECT_TRUE(checker.IsConsistentOpt(kb.facts()).value());
+}
+
+TEST(ConsistencyTest, IsConsistentConvenienceWrapper) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b). q(b, a).
+    ! :- p(X, Y), q(Y, X).
+  )");
+  EXPECT_FALSE(IsConsistent(kb).value());
+}
+
+TEST(ConsistencyTest, NaiveAndOptAgreeOnGeneratedKbs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SyntheticKbOptions options;
+    options.seed = seed;
+    options.num_facts = 120;
+    options.inconsistency_ratio = (seed % 2 == 0) ? 0.0 : 0.15;
+    options.num_cdds = 5;
+    options.num_tgds = 4;
+    options.conflict_depth = 2;
+    options.routed_violation_share = 0.5;
+    StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+    KnowledgeBase& kb = generated->kb;
+    ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+    const bool naive = checker.IsConsistentNaive(kb.facts()).value();
+    const bool opt = checker.IsConsistentOpt(kb.facts()).value();
+    EXPECT_EQ(naive, opt) << "seed " << seed;
+    EXPECT_EQ(naive, generated->info.planned_conflicts == 0)
+        << "seed " << seed;
+  }
+}
+
+TEST(ConsistencyTest, ConstantInCddBody) {
+  KnowledgeBase kb = Parse(R"(
+    status(order1, shipped).
+    status(order1, cancelled).
+    ! :- status(X, shipped), status(X, cancelled).
+  )");
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_FALSE(checker.IsConsistentOpt(kb.facts()).value());
+}
+
+TEST(ConsistencyTest, EqualityCddDetectsDuplicateKeyStyleViolation) {
+  KnowledgeBase kb = Parse(R"(
+    capital(france, paris).
+    capital(france, lyon).
+    ! :- capital(X, Y), capital(Z, W), X = Z.
+  )");
+  // Note: the folded constraint forbids two capital atoms sharing the
+  // first argument — including an atom paired with itself, which every
+  // atom trivially is. This mirrors the paper's warning that CDDs are
+  // contradiction detectors, not keys; the KB is inconsistent even with
+  // one row. We assert the machinery evaluates the folded equality.
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_FALSE(checker.IsConsistentOpt(kb.facts()).value());
+}
+
+}  // namespace
+}  // namespace kbrepair

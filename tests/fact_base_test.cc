@@ -1,0 +1,170 @@
+#include "kb/fact_base.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace kbrepair {
+namespace {
+
+class FactBaseTest : public ::testing::Test {
+ protected:
+  FactBaseTest() {
+    p_ = symbols_.InternPredicate("p", 2);
+    q_ = symbols_.InternPredicate("q", 3);
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+  }
+
+  SymbolTable symbols_;
+  FactBase facts_;
+  PredicateId p_ = kInvalidPredicate;
+  PredicateId q_ = kInvalidPredicate;
+  TermId a_ = kInvalidTerm;
+  TermId b_ = kInvalidTerm;
+  TermId c_ = kInvalidTerm;
+};
+
+TEST_F(FactBaseTest, AddAssignsSequentialIds) {
+  EXPECT_EQ(facts_.Add(Atom(p_, {a_, b_})), 0u);
+  EXPECT_EQ(facts_.Add(Atom(p_, {b_, c_})), 1u);
+  EXPECT_EQ(facts_.size(), 2u);
+  EXPECT_EQ(facts_.atom(0).args[0], a_);
+}
+
+TEST_F(FactBaseTest, PredicateIndex) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(q_, {a_, b_, c_}));
+  facts_.Add(Atom(p_, {c_, c_}));
+  EXPECT_EQ(facts_.AtomsWithPredicate(p_).size(), 2u);
+  EXPECT_EQ(facts_.AtomsWithPredicate(q_).size(), 1u);
+  const PredicateId unused = symbols_.InternPredicate("r", 1);
+  EXPECT_TRUE(facts_.AtomsWithPredicate(unused).empty());
+}
+
+TEST_F(FactBaseTest, ProbeIndexFindsAtomsByTermAtPosition) {
+  const AtomId id0 = facts_.Add(Atom(p_, {a_, b_}));
+  const AtomId id1 = facts_.Add(Atom(p_, {a_, c_}));
+  facts_.Add(Atom(p_, {b_, a_}));
+  const std::vector<AtomId>& at0 = facts_.AtomsWithTermAt(p_, 0, a_);
+  EXPECT_EQ(at0.size(), 2u);
+  EXPECT_TRUE(std::find(at0.begin(), at0.end(), id0) != at0.end());
+  EXPECT_TRUE(std::find(at0.begin(), at0.end(), id1) != at0.end());
+  EXPECT_EQ(facts_.AtomsWithTermAt(p_, 1, a_).size(), 1u);
+}
+
+TEST_F(FactBaseTest, SetArgMaintainsIndexes) {
+  const AtomId id = facts_.Add(Atom(p_, {a_, b_}));
+  facts_.SetArg(id, 0, c_);
+  EXPECT_EQ(facts_.atom(id).args[0], c_);
+  EXPECT_TRUE(facts_.AtomsWithTermAt(p_, 0, a_).empty());
+  EXPECT_EQ(facts_.AtomsWithTermAt(p_, 0, c_).size(), 1u);
+}
+
+TEST_F(FactBaseTest, SetArgSameValueIsNoOp) {
+  const AtomId id = facts_.Add(Atom(p_, {a_, b_}));
+  facts_.SetArg(id, 0, a_);
+  EXPECT_EQ(facts_.AtomsWithTermAt(p_, 0, a_).size(), 1u);
+}
+
+TEST_F(FactBaseTest, ContainsChecksValueEquality) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  EXPECT_TRUE(facts_.Contains(Atom(p_, {a_, b_})));
+  EXPECT_FALSE(facts_.Contains(Atom(p_, {a_, c_})));
+  EXPECT_FALSE(facts_.Contains(Atom(q_, {a_, b_, c_})));
+}
+
+TEST_F(FactBaseTest, ContainsAfterUpdate) {
+  const AtomId id = facts_.Add(Atom(p_, {a_, b_}));
+  facts_.SetArg(id, 1, c_);
+  EXPECT_FALSE(facts_.Contains(Atom(p_, {a_, b_})));
+  EXPECT_TRUE(facts_.Contains(Atom(p_, {a_, c_})));
+}
+
+TEST_F(FactBaseTest, ActiveDomainIsDistinctAndSorted) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(p_, {a_, c_}));
+  facts_.Add(Atom(p_, {b_, c_}));
+  const std::vector<TermId> domain = facts_.ActiveDomain(p_, 0);
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(domain.begin(), domain.end()));
+  EXPECT_TRUE(std::binary_search(domain.begin(), domain.end(), a_));
+  EXPECT_TRUE(std::binary_search(domain.begin(), domain.end(), b_));
+}
+
+TEST_F(FactBaseTest, ActiveDomainOfEmptyPredicate) {
+  EXPECT_TRUE(facts_.ActiveDomain(p_, 0).empty());
+}
+
+TEST_F(FactBaseTest, TermUseCountTracksOccurrences) {
+  EXPECT_EQ(facts_.TermUseCount(a_), 0u);
+  const AtomId id = facts_.Add(Atom(p_, {a_, a_}));
+  EXPECT_EQ(facts_.TermUseCount(a_), 2u);
+  facts_.SetArg(id, 0, b_);
+  EXPECT_EQ(facts_.TermUseCount(a_), 1u);
+  EXPECT_EQ(facts_.TermUseCount(b_), 1u);
+  facts_.SetArg(id, 1, b_);
+  EXPECT_EQ(facts_.TermUseCount(a_), 0u);
+  EXPECT_EQ(facts_.TermUseCount(b_), 2u);
+}
+
+TEST_F(FactBaseTest, NumPositionsSumsArities) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(q_, {a_, b_, c_}));
+  EXPECT_EQ(facts_.NumPositions(), 5u);
+}
+
+TEST_F(FactBaseTest, CopyIsIndependent) {
+  const AtomId id = facts_.Add(Atom(p_, {a_, b_}));
+  FactBase copy = facts_;
+  copy.SetArg(id, 0, c_);
+  EXPECT_EQ(facts_.atom(id).args[0], a_);
+  EXPECT_EQ(copy.atom(id).args[0], c_);
+  EXPECT_EQ(facts_.AtomsWithTermAt(p_, 0, a_).size(), 1u);
+  EXPECT_TRUE(copy.AtomsWithTermAt(p_, 0, a_).empty());
+}
+
+TEST_F(FactBaseTest, DuplicateValueAtomsKeepDistinctIdentity) {
+  const AtomId id0 = facts_.Add(Atom(p_, {a_, b_}));
+  const AtomId id1 = facts_.Add(Atom(p_, {a_, b_}));
+  EXPECT_NE(id0, id1);
+  EXPECT_EQ(facts_.AtomsWithTermAt(p_, 0, a_).size(), 2u);
+  EXPECT_EQ(facts_.TermUseCount(a_), 2u);
+}
+
+TEST_F(FactBaseTest, ToStringListsAtoms) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  EXPECT_EQ(facts_.ToString(symbols_), "p(a,b)\n");
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  SymbolTable symbols;
+  const PredicateId p = symbols.InternPredicate("p", 2);
+  const TermId a = symbols.InternConstant("a");
+  const TermId b = symbols.InternConstant("b");
+  const Atom x(p, {a, b});
+  const Atom y(p, {a, b});
+  const Atom z(p, {b, a});
+  EXPECT_EQ(x, y);
+  EXPECT_NE(x, z);
+  AtomHash hash;
+  EXPECT_EQ(hash(x), hash(y));
+}
+
+TEST(AtomTest, SubstituteTerms) {
+  SymbolTable symbols;
+  const PredicateId p = symbols.InternPredicate("p", 2);
+  const TermId x = symbols.InternVariable("X");
+  const TermId a = symbols.InternConstant("a");
+  const TermId b = symbols.InternConstant("b");
+  const Atom atom(p, {x, b});
+  const Atom mapped = SubstituteTerms(atom, {{x, a}});
+  EXPECT_EQ(mapped, Atom(p, {a, b}));
+  // Unmapped terms pass through.
+  const Atom unchanged = SubstituteTerms(atom, {{a, b}});
+  EXPECT_EQ(unchanged, atom);
+}
+
+}  // namespace
+}  // namespace kbrepair

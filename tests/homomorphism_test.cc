@@ -1,0 +1,212 @@
+#include "kb/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+namespace kbrepair {
+namespace {
+
+class HomomorphismTest : public ::testing::Test {
+ protected:
+  HomomorphismTest() {
+    p_ = symbols_.InternPredicate("p", 2);
+    q_ = symbols_.InternPredicate("q", 2);
+    a_ = symbols_.InternConstant("a");
+    b_ = symbols_.InternConstant("b");
+    c_ = symbols_.InternConstant("c");
+    x_ = symbols_.InternVariable("X");
+    y_ = symbols_.InternVariable("Y");
+    z_ = symbols_.InternVariable("Z");
+  }
+
+  HomomorphismFinder Finder() const {
+    return HomomorphismFinder(&symbols_, &facts_);
+  }
+
+  SymbolTable symbols_;
+  FactBase facts_;
+  PredicateId p_ = kInvalidPredicate;
+  PredicateId q_ = kInvalidPredicate;
+  TermId a_, b_, c_, x_, y_, z_;
+};
+
+TEST_F(HomomorphismTest, SingleAtomAllMatches) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(p_, {b_, c_}));
+  facts_.Add(Atom(q_, {a_, b_}));
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_})}), 2u);
+}
+
+TEST_F(HomomorphismTest, ConstantsMustMatchExactly) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(p_, {b_, b_}));
+  EXPECT_EQ(Finder().Count({Atom(p_, {a_, y_})}), 1u);
+  EXPECT_EQ(Finder().Count({Atom(p_, {c_, y_})}), 0u);
+}
+
+TEST_F(HomomorphismTest, RepeatedVariableWithinAtom) {
+  facts_.Add(Atom(p_, {a_, a_}));
+  facts_.Add(Atom(p_, {a_, b_}));
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, x_})}), 1u);
+}
+
+TEST_F(HomomorphismTest, JoinAcrossAtoms) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(q_, {b_, c_}));
+  facts_.Add(Atom(q_, {a_, c_}));
+  // p(X,Y), q(Y,Z): Y must be b.
+  const size_t count =
+      Finder().Count({Atom(p_, {x_, y_}), Atom(q_, {y_, z_})});
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(HomomorphismTest, BindingsAndMatchedAtomsAreReported) {
+  const AtomId f0 = facts_.Add(Atom(p_, {a_, b_}));
+  const AtomId f1 = facts_.Add(Atom(q_, {b_, c_}));
+  std::optional<Homomorphism> hom =
+      Finder().FindFirst({Atom(p_, {x_, y_}), Atom(q_, {y_, z_})});
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->Map(x_), a_);
+  EXPECT_EQ(hom->Map(y_), b_);
+  EXPECT_EQ(hom->Map(z_), c_);
+  ASSERT_EQ(hom->matched.size(), 2u);
+  EXPECT_EQ(hom->matched[0], f0);
+  EXPECT_EQ(hom->matched[1], f1);
+}
+
+TEST_F(HomomorphismTest, MapAtomAppliesBindings) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  std::optional<Homomorphism> hom = Finder().FindFirst({Atom(p_, {x_, y_})});
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->MapAtom(Atom(q_, {y_, x_})), Atom(q_, {b_, a_}));
+}
+
+TEST_F(HomomorphismTest, NonInjectiveHomomorphismsAllowed) {
+  facts_.Add(Atom(p_, {a_, a_}));
+  // Both body atoms can map to the same fact.
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_}), Atom(p_, {y_, x_})}), 1u);
+}
+
+TEST_F(HomomorphismTest, CrossProductCounts) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(p_, {b_, c_}));
+  facts_.Add(Atom(q_, {a_, a_}));
+  facts_.Add(Atom(q_, {b_, b_}));
+  // Unconnected conjunction: 2 x 2 homomorphisms.
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_}), Atom(q_, {z_, z_})}), 4u);
+}
+
+TEST_F(HomomorphismTest, EmptyQueryHasOneTrivialHomomorphism) {
+  EXPECT_EQ(Finder().Count({}), 1u);
+  EXPECT_TRUE(Finder().Exists({}));
+}
+
+TEST_F(HomomorphismTest, ExistsStopsEarly) {
+  for (int i = 0; i < 100; ++i) facts_.Add(Atom(p_, {a_, b_}));
+  size_t visited = 0;
+  Finder().FindAll({Atom(p_, {x_, y_})}, [&visited](const Homomorphism&) {
+    ++visited;
+    return false;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST_F(HomomorphismTest, CountWithLimit) {
+  for (int i = 0; i < 10; ++i) {
+    facts_.Add(Atom(p_, {symbols_.MakeFreshNull(), b_}));
+  }
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_})}, /*limit=*/3), 3u);
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_})}), 10u);
+}
+
+TEST_F(HomomorphismTest, NullsInFactsBehaveAsConstants) {
+  const TermId n = symbols_.InternNull("_N1");
+  facts_.Add(Atom(p_, {n, b_}));
+  // Variables may bind to nulls.
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_})}), 1u);
+  // Distinct nulls do not join.
+  const TermId m = symbols_.InternNull("_N2");
+  facts_.Add(Atom(q_, {m, c_}));
+  EXPECT_EQ(Finder().Count({Atom(p_, {x_, y_}), Atom(q_, {x_, z_})}), 0u);
+}
+
+TEST_F(HomomorphismTest, FindAllPinnedRestrictsOneBodyAtom) {
+  const AtomId f0 = facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(p_, {b_, c_}));
+  facts_.Add(Atom(q_, {b_, c_}));
+  facts_.Add(Atom(q_, {c_, c_}));
+
+  // Unpinned: p(X,Y), q(Y,Z) has two homomorphisms.
+  const std::vector<Atom> body = {Atom(p_, {x_, y_}), Atom(q_, {y_, z_})};
+  EXPECT_EQ(Finder().Count(body), 2u);
+
+  // Pin the p-atom to p(a,b): only one homomorphism remains.
+  size_t pinned = 0;
+  Finder().FindAllPinned(body, 0, f0, [&](const Homomorphism& hom) {
+    EXPECT_EQ(hom.matched[0], f0);
+    EXPECT_EQ(hom.Map(x_), a_);
+    EXPECT_EQ(hom.Map(y_), b_);
+    ++pinned;
+    return true;
+  });
+  EXPECT_EQ(pinned, 1u);
+}
+
+TEST_F(HomomorphismTest, FindAllPinnedRejectsIncompatibleFact) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  const AtomId wrong_pred = facts_.Add(Atom(q_, {a_, b_}));
+  const std::vector<Atom> body = {Atom(p_, {x_, x_})};
+  // Pinning to a fact of another predicate yields nothing.
+  EXPECT_EQ(Finder().FindAllPinned(
+                body, 0, wrong_pred,
+                [](const Homomorphism&) { return true; }),
+            0u);
+  // Pinning p(X,X) to p(a,b) fails unification.
+  EXPECT_EQ(Finder().FindAllPinned(
+                body, 0, 0, [](const Homomorphism&) { return true; }),
+            0u);
+}
+
+TEST_F(HomomorphismTest, PinnedBindingsFlowIntoRestOfBody) {
+  const AtomId f0 = facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(q_, {b_, a_}));
+  facts_.Add(Atom(q_, {c_, a_}));
+  const std::vector<Atom> body = {Atom(p_, {x_, y_}), Atom(q_, {y_, x_})};
+  size_t pinned = 0;
+  Finder().FindAllPinned(body, 0, f0, [&](const Homomorphism& hom) {
+    EXPECT_EQ(facts_.atom(hom.matched[1]).args[0], b_);
+    ++pinned;
+    return true;
+  });
+  EXPECT_EQ(pinned, 1u);
+}
+
+// A larger randomized-ish cross-check: enumerate homomorphisms of a chain
+// query and compare with a brute-force nested loop.
+TEST_F(HomomorphismTest, AgreesWithBruteForceOnChainQuery) {
+  const TermId terms[4] = {a_, b_, c_, symbols_.InternConstant("d")};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if ((i + 2 * j) % 3 == 0) {
+        facts_.Add(Atom(p_, {terms[i], terms[j]}));
+      }
+      if ((2 * i + j) % 3 == 1) {
+        facts_.Add(Atom(q_, {terms[i], terms[j]}));
+      }
+    }
+  }
+  const std::vector<Atom> body = {Atom(p_, {x_, y_}), Atom(q_, {y_, z_})};
+
+  size_t brute = 0;
+  for (AtomId i = 0; i < facts_.size(); ++i) {
+    if (facts_.atom(i).predicate != p_) continue;
+    for (AtomId j = 0; j < facts_.size(); ++j) {
+      if (facts_.atom(j).predicate != q_) continue;
+      if (facts_.atom(i).args[1] == facts_.atom(j).args[0]) ++brute;
+    }
+  }
+  EXPECT_EQ(Finder().Count(body), brute);
+  EXPECT_GT(brute, 0u);
+}
+
+}  // namespace
+}  // namespace kbrepair

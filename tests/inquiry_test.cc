@@ -1,0 +1,370 @@
+#include "repair/inquiry.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/dlgp_parser.h"
+#include "repair/consistency.h"
+#include "repair/user.h"
+
+namespace kbrepair {
+namespace {
+
+KnowledgeBase Parse(const std::string& text) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp(text);
+  EXPECT_TRUE(kb.ok()) << kb.status();
+  return std::move(kb).value();
+}
+
+bool Consistent(KnowledgeBase& kb, const FactBase& facts) {
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  return checker.IsConsistentOpt(facts).value();
+}
+
+constexpr const char* kHospital = R"(
+  prescribed(aspirin, john).
+  hasAllergy(john, aspirin).
+  hasAllergy(mike, penicillin).
+  hasPain(john, migraine).
+  isPainKillerFor(nsaids, migraine).
+  incompatible(aspirin, nsaids).
+  prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+  ! :- prescribed(X, Y), hasAllergy(Y, X).
+  ! :- prescribed(X, Z), prescribed(Y, Z), incompatible(X, Y).
+)";
+
+TEST(InquiryTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kRandom), "random");
+  EXPECT_STREQ(StrategyName(Strategy::kOptiJoin), "opti-join");
+  EXPECT_STREQ(StrategyName(Strategy::kOptiProp), "opti-prop");
+  EXPECT_STREQ(StrategyName(Strategy::kOptiMcd), "opti-mcd");
+}
+
+TEST(InquiryTest, TerminatesAndProducesConsistentKb) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(1);
+  InquiryOptions options;
+  options.strategy = Strategy::kRandom;
+  options.seed = 2;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->num_questions(), 0u);
+  EXPECT_TRUE(Consistent(kb, result->facts));
+  // One applied fix per question, positions all distinct.
+  EXPECT_EQ(result->applied_fixes.size(), result->num_questions());
+  PositionSet positions;
+  for (const Fix& fix : result->applied_fixes) {
+    EXPECT_TRUE(positions.insert(fix.position()).second)
+        << "position fixed twice";
+  }
+}
+
+TEST(InquiryTest, OriginalKbIsNotMutated) {
+  KnowledgeBase kb = Parse(kHospital);
+  const std::string before = kb.facts().ToString(kb.symbols());
+  RandomUser user(1);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  ASSERT_TRUE(engine.Run(user).ok());
+  EXPECT_EQ(kb.facts().ToString(kb.symbols()), before);
+}
+
+TEST(InquiryTest, ConsistentKbNeedsNoQuestions) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b). q(c, d).
+    ! :- p(X, Y), q(Y, X).
+  )");
+  RandomUser user(1);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_questions(), 0u);
+  EXPECT_EQ(result->initial_conflicts, 0u);
+}
+
+TEST(InquiryTest, FailsWhenInitialPiMakesKbUnrepairable) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b). q(b, d).
+    ! :- p(X, Y), q(Y, Z).
+  )");
+  RandomUser user(1);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  const PositionSet frozen = {Position{0, 1}, Position{1, 0}};
+  StatusOr<InquiryResult> result = engine.Run(user, frozen);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InquiryTest, InitialPiIsRespected) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b). q(b, d).
+    ! :- p(X, Y), q(Y, Z).
+  )");
+  RandomUser user(1);
+  InquiryOptions options;
+  options.strategy = Strategy::kRandom;
+  InquiryEngine engine(&kb, options);
+  // Freeze everything except q's join position: the only possible fix.
+  PositionSet pi;
+  for (const Position& p : AllPositions(kb.facts())) pi.insert(p);
+  pi.erase(Position{1, 0});
+  StatusOr<InquiryResult> result = engine.Run(user, pi);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->applied_fixes.size(), 1u);
+  EXPECT_EQ(result->applied_fixes[0].position(), (Position{1, 0}));
+}
+
+TEST(InquiryTest, UserRefusalAborts) {
+  KnowledgeBase kb = Parse(kHospital);
+  CallbackUser refuser(
+      [](const Question&, const InquiryView&) -> std::optional<size_t> {
+        return std::nullopt;
+      });
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(refuser);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InquiryTest, OutOfRangeAnswerAborts) {
+  KnowledgeBase kb = Parse(kHospital);
+  CallbackUser liar([](const Question& question,
+                       const InquiryView&) -> std::optional<size_t> {
+    return question.fixes.size();  // one past the end
+  });
+  InquiryEngine engine(&kb, InquiryOptions{});
+  EXPECT_FALSE(engine.Run(liar).ok());
+}
+
+TEST(InquiryTest, TwoPhaseRecordsPhases) {
+  // Naive conflict + chase-only conflict: phase 1 then phase 2.
+  KnowledgeBase kb = Parse(R"(
+    p(j, a). q(j, b).
+    c0(u, v). other(u, v).
+    c1(X, Y) :- c0(X, Y).
+    ! :- p(X, Y), q(X, Z).
+    ! :- c1(X, Y), other(X, Y).
+  )");
+  CallbackUser null_chooser([&kb](const Question& question,
+                                  const InquiryView&)
+                                -> std::optional<size_t> {
+    // Always pick a fresh-null fix (they always exist).
+    for (size_t i = 0; i < question.fixes.size(); ++i) {
+      if (kb.symbols().IsNull(question.fixes[i].value)) return i;
+    }
+    return 0;
+  });
+  InquiryOptions options;
+  options.strategy = Strategy::kOptiJoin;
+  options.two_phase = true;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(null_chooser);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool saw_phase1 = false;
+  bool saw_phase2 = false;
+  for (const QuestionRecord& record : result->records) {
+    saw_phase1 = saw_phase1 || record.phase == 1;
+    saw_phase2 = saw_phase2 || record.phase == 2;
+    EXPECT_GE(record.delay_seconds, 0.0);
+    EXPECT_GT(record.question_size, 0u);
+  }
+  EXPECT_TRUE(saw_phase1);
+  EXPECT_TRUE(saw_phase2);
+  EXPECT_TRUE(Consistent(kb, result->facts));
+}
+
+TEST(InquiryTest, BasicModeMatchesAlgorithmThree) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(5);
+  InquiryOptions options;
+  options.two_phase = false;
+  options.strategy = Strategy::kRandom;
+  options.seed = 5;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(Consistent(kb, result->facts));
+  for (const QuestionRecord& record : result->records) {
+    EXPECT_EQ(record.phase, 1);  // basic mode has a single phase
+  }
+}
+
+TEST(InquiryTest, ConvergenceRecordingCountsConflicts) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(3);
+  InquiryOptions options;
+  options.record_convergence = ConvergenceRecording::kTotalConflicts;
+  options.strategy = Strategy::kOptiJoin;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->records.empty());
+  // The last record must report zero remaining conflicts.
+  EXPECT_EQ(result->records.back().conflicts_remaining, 0u);
+}
+
+TEST(InquiryTest, InitialConflictCensusMatchesExample24) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(3);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->initial_conflicts, 2u);
+  EXPECT_EQ(result->initial_naive_conflicts, 1u);
+}
+
+TEST(InquiryTest, ResultAggregatesAreConsistent) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(8);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_seconds, 0.0);
+  EXPECT_GE(result->MaxDelaySeconds(), 0.0);
+  EXPECT_LE(result->MeanDelaySeconds(), result->MaxDelaySeconds());
+  EXPECT_NEAR(result->ConflictsPerQuestion(),
+              static_cast<double>(result->initial_conflicts) /
+                  static_cast<double>(result->num_questions()),
+              1e-12);
+}
+
+TEST(InquiryTest, AllStrategiesRepairTheHospitalKb) {
+  for (Strategy strategy :
+       {Strategy::kRandom, Strategy::kOptiJoin, Strategy::kOptiProp,
+        Strategy::kOptiMcd}) {
+    KnowledgeBase kb = Parse(kHospital);
+    RandomUser user(17);
+    InquiryOptions options;
+    options.strategy = strategy;
+    options.seed = 17;
+    InquiryEngine engine(&kb, options);
+    StatusOr<InquiryResult> result = engine.Run(user);
+    ASSERT_TRUE(result.ok())
+        << StrategyName(strategy) << ": " << result.status();
+    EXPECT_TRUE(Consistent(kb, result->facts)) << StrategyName(strategy);
+  }
+}
+
+TEST(InquiryTest, DeterministicGivenSeeds) {
+  auto run = [] {
+    KnowledgeBase kb = Parse(kHospital);
+    RandomUser user(99);
+    InquiryOptions options;
+    options.strategy = Strategy::kOptiJoin;
+    options.seed = 99;
+    InquiryEngine engine(&kb, options);
+    StatusOr<InquiryResult> result = engine.Run(user);
+    EXPECT_TRUE(result.ok());
+    return result->facts.ToString(kb.symbols());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+
+TEST(InquiryTest, InstrumentationCountersArePopulated) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(4);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->question_candidates, 0u);
+  EXPECT_GE(result->question_candidates, result->question_filtered);
+  // With Π growing one position per answer and no rule constants in the
+  // hospital KB, most filtering decisions ride the Π-REPOPT fast path.
+  EXPECT_GT(result->repairability_fast_paths, 0u);
+  // Every candidate is decided by exactly one scope call: a fast path, a
+  // full check, or the inconsistent-base short-circuit (uncounted).
+  EXPECT_LE(result->repairability_fast_paths +
+                result->repairability_full_checks,
+            result->question_candidates);
+}
+
+TEST(InquiryTest, OptiPropReportsPropagatedPositions) {
+  // Two disjoint conflicts: after answering the first question,
+  // opti-prop freezes the question's unchosen positions (they belong to
+  // no other conflict).
+  KnowledgeBase kb = Parse(R"(
+    p(j, a). q(j, b).
+    p(k, c). q(k, d).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  RandomUser user(6);
+  InquiryOptions options;
+  options.strategy = Strategy::kOptiProp;
+  options.seed = 6;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->propagated_positions, 0u);
+
+  // Other strategies never propagate.
+  KnowledgeBase kb2 = Parse(R"(
+    p(j, a). q(j, b).
+    p(k, c). q(k, d).
+    ! :- p(X, Y), q(X, Z).
+  )");
+  RandomUser user2(6);
+  InquiryOptions options2;
+  options2.strategy = Strategy::kOptiJoin;
+  options2.seed = 6;
+  InquiryEngine engine2(&kb2, options2);
+  StatusOr<InquiryResult> result2 = engine2.Run(user2);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->propagated_positions, 0u);
+}
+
+
+TEST(InquiryTest, HandlesCddConstantsEndToEnd) {
+  // Constants in CDD bodies exercise the rule-constant collision path of
+  // Π-REPOPT inside a full inquiry.
+  KnowledgeBase kb = Parse(R"(
+    status(order1, shipped).
+    status(order1, cancelled).
+    status(order2, pending).
+    ! :- status(X, shipped), status(X, cancelled).
+  )");
+  RandomUser user(12);
+  InquiryOptions options;
+  options.strategy = Strategy::kOptiJoin;
+  options.seed = 12;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(Consistent(kb, result->facts));
+  // Constant collisions force at least one full repairability check.
+  EXPECT_GT(result->repairability_full_checks +
+                result->repairability_fast_paths,
+            0u);
+}
+
+TEST(InquiryTest, HandlesMultiHeadTgdEndToEnd) {
+  KnowledgeBase kb = Parse(R"(
+    emp(alice, sales).
+    forbidden(alice, sales).
+    badge(X, B), dept(B, Y) :- emp(X, Y).
+    ! :- badge(X, B), forbidden(X, Y), dept(B, Y).
+  )");
+  ASSERT_TRUE(kb.Validate().ok());
+  RandomUser user(13);
+  InquiryOptions options;
+  options.strategy = Strategy::kRandom;
+  options.seed = 13;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(Consistent(kb, result->facts));
+}
+
+TEST(InquiryTest, EqualityCddEndToEnd) {
+  KnowledgeBase kb = Parse(R"(
+    owner(car1, ann). owner(car2, bob). claimed(car1, bob).
+    ! :- owner(C, X), claimed(D, Y), C = D, X = ann.
+  )");
+  RandomUser user(14);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(Consistent(kb, result->facts));
+}
+
+}  // namespace
+}  // namespace kbrepair

@@ -1,0 +1,146 @@
+#include "chase/query.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/dlgp_parser.h"
+
+namespace kbrepair {
+namespace {
+
+KnowledgeBase Parse(const std::string& text) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp(text);
+  EXPECT_TRUE(kb.ok()) << kb.status();
+  return std::move(kb).value();
+}
+
+constexpr const char* kHospital = R"(
+  prescribed(aspirin, john).
+  hasPain(john, migraine).
+  hasPain(mike, migraine).
+  isPainKillerFor(nsaids, migraine).
+  prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+)";
+
+TEST(QueryTest, ParseUnaryQuery) {
+  KnowledgeBase kb = Parse(kHospital);
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("?(X) :- prescribed(X, john).", kb);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->answer_variables.size(), 1u);
+  EXPECT_EQ(query->body.size(), 1u);
+}
+
+TEST(QueryTest, ParseBooleanQuery) {
+  KnowledgeBase kb = Parse(kHospital);
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("? :- prescribed(nsaids, X).", kb);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_TRUE(query->answer_variables.empty());
+}
+
+TEST(QueryTest, ParseErrors) {
+  KnowledgeBase kb = Parse(kHospital);
+  EXPECT_FALSE(ParseDlgpQuery("p(X) :- q(X).", kb).ok());   // no '?'
+  EXPECT_FALSE(ParseDlgpQuery("?(X) : q(X).", kb).ok());    // bad ':-'
+  EXPECT_FALSE(ParseDlgpQuery("?(x) :- q(x).", kb).ok());   // const answer
+  EXPECT_FALSE(ParseDlgpQuery("?(X) :- q(X)", kb).ok());    // no dot
+  EXPECT_FALSE(ParseDlgpQuery("?(X) :- q(X). extra", kb).ok());
+  // Arity clash with the parsed KB's predicate.
+  EXPECT_FALSE(
+      ParseDlgpQuery("?(X) :- prescribed(X).", kb).ok());
+}
+
+TEST(QueryTest, AnswersIncludeChaseDerivedFacts) {
+  KnowledgeBase kb = Parse(kHospital);
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("?(P, W) :- prescribed(P, W).", kb);
+  ASSERT_TRUE(query.ok());
+  StatusOr<QueryAnswers> answers = AnswerQuery(*query, kb);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  // Asserted: (aspirin, john). Derived: (nsaids, john), (nsaids, mike).
+  EXPECT_EQ(answers->all.size(), 3u);
+  EXPECT_EQ(answers->certain.size(), 3u);
+}
+
+TEST(QueryTest, CertainAnswersExcludeNulls) {
+  KnowledgeBase kb = Parse(R"(
+    person(john).
+    hasParent(X, Z) :- person(X).
+  )");
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("?(X, Y) :- hasParent(X, Y).", kb);
+  ASSERT_TRUE(query.ok());
+  StatusOr<QueryAnswers> answers = AnswerQuery(*query, kb);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->all.size(), 1u);
+  // The parent is a labeled null: present in `all`, absent in `certain`.
+  EXPECT_TRUE(kb.symbols().IsNull(answers->all[0][1]));
+  EXPECT_TRUE(answers->certain.empty());
+}
+
+TEST(QueryTest, BooleanQueryTrueViaChase) {
+  KnowledgeBase kb = Parse(kHospital);
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("? :- prescribed(nsaids, mike).", kb);
+  ASSERT_TRUE(query.ok());
+  StatusOr<QueryAnswers> answers = AnswerQuery(*query, kb);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->boolean_result);
+}
+
+TEST(QueryTest, BooleanQueryFalse) {
+  KnowledgeBase kb = Parse(kHospital);
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("? :- prescribed(aspirin, mike).", kb);
+  ASSERT_TRUE(query.ok());
+  StatusOr<QueryAnswers> answers = AnswerQuery(*query, kb);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_FALSE(answers->boolean_result);
+}
+
+TEST(QueryTest, JoinQueryAcrossDerivedAndAsserted) {
+  KnowledgeBase kb = Parse(kHospital);
+  // Who is prescribed something they have a pain treated by?
+  StatusOr<ConjunctiveQuery> query = ParseDlgpQuery(
+      "?(W) :- prescribed(D, W), hasPain(W, P), isPainKillerFor(D, P).",
+      kb);
+  ASSERT_TRUE(query.ok());
+  StatusOr<QueryAnswers> answers = AnswerQuery(*query, kb);
+  ASSERT_TRUE(answers.ok());
+  // john and mike both get the derived nsaids prescription.
+  EXPECT_EQ(answers->certain.size(), 2u);
+}
+
+TEST(QueryTest, UnsafeQueryRejected) {
+  KnowledgeBase kb = Parse(kHospital);
+  ConjunctiveQuery query;
+  query.answer_variables.push_back(kb.symbols().InternVariable("Zfree"));
+  query.body.push_back(
+      Atom(kb.symbols().FindPredicate("hasPain"),
+           {kb.symbols().InternVariable("A"),
+            kb.symbols().InternVariable("B")}));
+  EXPECT_FALSE(AnswerQuery(query, kb).ok());
+}
+
+TEST(QueryTest, DuplicateAnswersDeduplicated) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b1). p(a, b2).
+  )");
+  StatusOr<ConjunctiveQuery> query = ParseDlgpQuery("?(X) :- p(X, Y).", kb);
+  ASSERT_TRUE(query.ok());
+  StatusOr<QueryAnswers> answers = AnswerQuery(*query, kb);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->all.size(), 1u);  // {a} once, not twice
+}
+
+TEST(QueryTest, ToStringRendersQuery) {
+  KnowledgeBase kb = Parse(kHospital);
+  StatusOr<ConjunctiveQuery> query =
+      ParseDlgpQuery("?(X) :- hasPain(X, migraine).", kb);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->ToString(kb.symbols()),
+            "?(X) :- hasPain(X,migraine)");
+}
+
+}  // namespace
+}  // namespace kbrepair

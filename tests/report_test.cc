@@ -1,0 +1,99 @@
+#include "repair/report.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/dlgp_parser.h"
+#include "repair/user_models.h"
+
+namespace kbrepair {
+namespace {
+
+KnowledgeBase Parse(const std::string& text) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp(text);
+  EXPECT_TRUE(kb.ok()) << kb.status();
+  return std::move(kb).value();
+}
+
+constexpr const char* kHospital = R"(
+  prescribed(aspirin, john).
+  hasAllergy(john, aspirin).
+  hasAllergy(mike, penicillin).
+  hasPain(john, migraine).
+  isPainKillerFor(nsaids, migraine).
+  incompatible(aspirin, nsaids).
+  prescribed(X, Z) :- isPainKillerFor(X, Y), hasPain(Z, Y).
+  ! :- prescribed(X, Y), hasAllergy(Y, X).
+  ! :- prescribed(X, Z), prescribed(Y, Z), incompatible(X, Y).
+)";
+
+TEST(ReportTest, FullReportSections) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser inner(9);
+  SessionTranscript transcript;
+  TranscriptUser user(&inner, &transcript);
+  InquiryOptions options;
+  options.seed = 9;
+  InquiryEngine engine(&kb, options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const std::string report =
+      GenerateRepairReport(kb, *result, &transcript);
+  EXPECT_NE(report.find("# Repair session report"), std::string::npos);
+  EXPECT_NE(report.find("## Summary"), std::string::npos);
+  EXPECT_NE(report.find("6 facts, 1 TGD, 2 CDDs"), std::string::npos);
+  EXPECT_NE(report.find("## Applied fixes"), std::string::npos);
+  EXPECT_NE(report.find("## Dialogue"), std::string::npos);
+  EXPECT_NE(report.find("## Phases"), std::string::npos);
+  EXPECT_NE(report.find("initial conflicts: 2"), std::string::npos);
+  // Before/after rendering of the first fix is present.
+  const Fix& fix = result->applied_fixes.front();
+  EXPECT_NE(
+      report.find(kb.facts().atom(fix.atom).ToString(kb.symbols())),
+      std::string::npos);
+}
+
+TEST(ReportTest, NoTranscriptSkipsDialogue) {
+  KnowledgeBase kb = Parse(kHospital);
+  RandomUser user(9);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  const std::string report = GenerateRepairReport(kb, *result, nullptr);
+  EXPECT_EQ(report.find("## Dialogue"), std::string::npos);
+}
+
+TEST(ReportTest, ConsistentKbReportsNoFixes) {
+  KnowledgeBase kb = Parse("p(a, b). ! :- p(X, Y), p(Y, X).");
+  RandomUser user(1);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  const std::string report = GenerateRepairReport(kb, *result, nullptr);
+  EXPECT_NE(report.find("already consistent"), std::string::npos);
+  EXPECT_NE(report.find("questions asked: 0"), std::string::npos);
+}
+
+TEST(ReportTest, MaxListedTruncatesFixList) {
+  // A KB needing several fixes: a chain of disjoint conflicts.
+  std::string text;
+  for (int i = 0; i < 6; ++i) {
+    text += "p(j" + std::to_string(i) + ", a).\n";
+    text += "q(j" + std::to_string(i) + ", b).\n";
+  }
+  text += "! :- p(X, Y), q(X, Z).\n";
+  KnowledgeBase kb = Parse(text);
+  RandomUser user(2);
+  InquiryEngine engine(&kb, InquiryOptions{});
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->applied_fixes.size(), 4u);
+  ReportOptions options;
+  options.max_listed = 2;
+  const std::string report =
+      GenerateRepairReport(kb, *result, nullptr, options);
+  EXPECT_NE(report.find("more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kbrepair

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "rules/cdd.h"
+#include "rules/knowledge_base.h"
+#include "rules/tgd.h"
+
+namespace kbrepair {
+namespace {
+
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest() {
+    p_ = symbols_.InternPredicate("p", 2);
+    q_ = symbols_.InternPredicate("q", 2);
+    r_ = symbols_.InternPredicate("r", 3);
+    a_ = symbols_.InternConstant("a");
+    x_ = symbols_.InternVariable("X");
+    y_ = symbols_.InternVariable("Y");
+    z_ = symbols_.InternVariable("Z");
+  }
+
+  SymbolTable symbols_;
+  PredicateId p_, q_, r_;
+  TermId a_, x_, y_, z_;
+};
+
+TEST_F(RulesTest, TgdFrontierAndExistentialVariables) {
+  // p(X,Y) -> q(Y,Z): frontier {Y}, existential {Z}.
+  StatusOr<Tgd> tgd = Tgd::Create({Atom(p_, {x_, y_})},
+                                  {Atom(q_, {y_, z_})}, symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->frontier_variables(), std::vector<TermId>{y_});
+  EXPECT_EQ(tgd->existential_variables(), std::vector<TermId>{z_});
+}
+
+TEST_F(RulesTest, TgdWithNoExistentials) {
+  StatusOr<Tgd> tgd =
+      Tgd::Create({Atom(p_, {x_, y_})}, {Atom(q_, {x_, y_})}, symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_TRUE(tgd->existential_variables().empty());
+  EXPECT_EQ(tgd->frontier_variables().size(), 2u);
+}
+
+TEST_F(RulesTest, TgdRejectsEmptyBodyOrHead) {
+  EXPECT_FALSE(Tgd::Create({}, {Atom(q_, {x_, y_})}, symbols_).ok());
+  EXPECT_FALSE(Tgd::Create({Atom(p_, {x_, y_})}, {}, symbols_).ok());
+}
+
+TEST_F(RulesTest, TgdRejectsArityMismatch) {
+  EXPECT_FALSE(
+      Tgd::Create({Atom(p_, {x_, y_, z_})}, {Atom(q_, {x_, y_})}, symbols_)
+          .ok());
+}
+
+TEST_F(RulesTest, TgdRejectsNulls) {
+  const TermId null = symbols_.MakeFreshNull();
+  EXPECT_FALSE(
+      Tgd::Create({Atom(p_, {null, y_})}, {Atom(q_, {y_, y_})}, symbols_)
+          .ok());
+}
+
+TEST_F(RulesTest, TgdToString) {
+  StatusOr<Tgd> tgd =
+      Tgd::Create({Atom(p_, {x_, y_})}, {Atom(q_, {y_, z_})}, symbols_);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->ToString(symbols_), "p(X,Y) -> q(Y,Z)");
+}
+
+TEST_F(RulesTest, CddJoinVariables) {
+  // p(X,Y), q(Y,Z): Y is the only join variable.
+  StatusOr<Cdd> cdd = Cdd::Create(
+      {Atom(p_, {x_, y_}), Atom(q_, {y_, z_})}, symbols_);
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->join_variables(), std::vector<TermId>{y_});
+  EXPECT_TRUE(cdd->has_join_variable());
+}
+
+TEST_F(RulesTest, CddJoinVariableWithinOneAtom) {
+  StatusOr<Cdd> cdd = Cdd::Create({Atom(p_, {x_, x_})}, symbols_);
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->join_variables(), std::vector<TermId>{x_});
+}
+
+TEST_F(RulesTest, CddWithoutJoinVariable) {
+  StatusOr<Cdd> cdd = Cdd::Create({Atom(p_, {x_, y_})}, symbols_);
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_FALSE(cdd->has_join_variable());
+}
+
+TEST_F(RulesTest, CddResolvingPositions) {
+  // p(X,Y), q(Y,a): resolving = join positions (Y) and constants (a).
+  StatusOr<Cdd> cdd = Cdd::Create(
+      {Atom(p_, {x_, y_}), Atom(q_, {y_, a_})}, symbols_);
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->resolving_positions(0), std::vector<int>{1});  // Y in p
+  EXPECT_EQ(cdd->resolving_positions(1), (std::vector<int>{0, 1}));
+}
+
+TEST_F(RulesTest, CddEqualityFoldsVariables) {
+  // p(X,Y), q(Z,W), Y = Z  becomes  p(X,Y), q(Y,W).
+  const TermId w = symbols_.InternVariable("W");
+  StatusOr<Cdd> cdd = Cdd::Create(
+      {Atom(p_, {x_, y_}), Atom(q_, {z_, w})}, symbols_,
+      {TermEquality{y_, z_}});
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->join_variables().size(), 1u);
+  // The folded variable appears in both atoms.
+  const TermId folded = cdd->join_variables()[0];
+  EXPECT_TRUE(folded == y_ || folded == z_);
+}
+
+TEST_F(RulesTest, CddEqualityToConstant) {
+  // p(X,Y), X = a  becomes  p(a,Y).
+  StatusOr<Cdd> cdd = Cdd::Create({Atom(p_, {x_, y_})}, symbols_,
+                                  {TermEquality{x_, a_}});
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->body()[0].args[0], a_);
+}
+
+TEST_F(RulesTest, CddRejectsContradictoryConstantEquality) {
+  const TermId b = symbols_.InternConstant("b");
+  StatusOr<Cdd> cdd = Cdd::Create({Atom(p_, {x_, y_})}, symbols_,
+                                  {TermEquality{a_, b}});
+  EXPECT_FALSE(cdd.ok());
+}
+
+TEST_F(RulesTest, CddTransitiveEqualityToConstant) {
+  // X = Z, Z = a: both fold to a.
+  StatusOr<Cdd> cdd = Cdd::Create(
+      {Atom(p_, {x_, z_})}, symbols_,
+      {TermEquality{x_, z_}, TermEquality{z_, a_}});
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->body()[0].args[0], a_);
+  EXPECT_EQ(cdd->body()[0].args[1], a_);
+}
+
+TEST_F(RulesTest, CddRejectsEmptyBodyAndNulls) {
+  EXPECT_FALSE(Cdd::Create({}, symbols_).ok());
+  const TermId null = symbols_.MakeFreshNull();
+  EXPECT_FALSE(Cdd::Create({Atom(p_, {null, y_})}, symbols_).ok());
+}
+
+TEST_F(RulesTest, CddToString) {
+  StatusOr<Cdd> cdd = Cdd::Create(
+      {Atom(p_, {x_, y_}), Atom(q_, {y_, x_})}, symbols_);
+  ASSERT_TRUE(cdd.ok());
+  EXPECT_EQ(cdd->ToString(symbols_), "p(X,Y), q(Y,X) -> !");
+}
+
+TEST_F(RulesTest, CollectVariablesInFirstOccurrenceOrder) {
+  const std::vector<Atom> atoms = {Atom(p_, {y_, a_}), Atom(q_, {x_, y_})};
+  const std::vector<TermId> vars = CollectVariables(atoms, symbols_);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], y_);
+  EXPECT_EQ(vars[1], x_);
+}
+
+TEST_F(RulesTest, KnowledgeBaseValidateRejectsSchemaConstraint) {
+  KnowledgeBase kb;
+  const PredicateId p = kb.symbols().InternPredicate("p", 2);
+  const TermId x = kb.symbols().InternVariable("X");
+  const TermId y = kb.symbols().InternVariable("Y");
+  StatusOr<Cdd> cdd = Cdd::Create({Atom(p, {x, y})}, kb.symbols());
+  ASSERT_TRUE(cdd.ok());
+  kb.cdds().push_back(std::move(cdd).value());
+  const Status status = kb.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RulesTest, KnowledgeBaseValidateAcceptsConstantOnlySelectiveCdd) {
+  KnowledgeBase kb;
+  const PredicateId p = kb.symbols().InternPredicate("p", 2);
+  const TermId a = kb.symbols().InternConstant("a");
+  const TermId y = kb.symbols().InternVariable("Y");
+  StatusOr<Cdd> cdd = Cdd::Create({Atom(p, {a, y})}, kb.symbols());
+  ASSERT_TRUE(cdd.ok());
+  kb.cdds().push_back(std::move(cdd).value());
+  EXPECT_TRUE(kb.Validate().ok());
+}
+
+}  // namespace
+}  // namespace kbrepair

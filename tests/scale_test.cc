@@ -1,0 +1,105 @@
+// Moderate-scale end-to-end checks: the engine handles benchmark-sized
+// KBs inside CI-friendly time, and the core scaling facts hold
+// (question count bounded by atoms-in-conflict positions, interactive
+// per-question delay). These are the slowest tests in the suite by
+// design; keep them to a handful.
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "repair/consistency.h"
+#include "repair/inquiry.h"
+#include "repair/user.h"
+
+namespace kbrepair {
+namespace {
+
+TEST(ScaleTest, ThousandAtomInquiryWithOptiMcd) {
+  SyntheticKbOptions options;
+  options.seed = 555;
+  options.num_facts = 1000;
+  options.inconsistency_ratio = 0.2;
+  options.num_cdds = 20;
+  options.cdd_min_atoms = 2;
+  options.cdd_max_atoms = 4;
+  options.min_arity = 2;
+  options.max_arity = 6;
+  options.num_tgds = 10;
+  options.conflict_depth = 2;
+  options.routed_violation_share = 0.3;
+  StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  KnowledgeBase& kb = generated->kb;
+
+  RandomUser user(555);
+  InquiryOptions inquiry_options;
+  inquiry_options.strategy = Strategy::kOptiMcd;
+  inquiry_options.seed = 555;
+  InquiryEngine engine(&kb, inquiry_options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_TRUE(checker.IsConsistentOpt(result->facts).value());
+
+  // Effort bounds: far fewer questions than positions; each question
+  // answered with interactive latency (generous CI bound).
+  EXPECT_LT(result->num_questions(), kb.facts().NumPositions() / 4);
+  EXPECT_LT(result->MeanDelaySeconds(), 0.5);
+  EXPECT_GT(result->ConflictsPerQuestion(), 1.0);
+}
+
+TEST(ScaleTest, HighInconsistencyStillConverges) {
+  SyntheticKbOptions options;
+  options.seed = 777;
+  options.num_facts = 400;
+  options.inconsistency_ratio = 0.9;
+  options.num_cdds = 30;
+  options.cdd_min_atoms = 2;
+  options.cdd_max_atoms = 3;
+  StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+  ASSERT_TRUE(generated.ok());
+  KnowledgeBase& kb = generated->kb;
+
+  RandomUser user(777);
+  InquiryOptions inquiry_options;
+  inquiry_options.strategy = Strategy::kOptiJoin;
+  inquiry_options.seed = 777;
+  InquiryEngine engine(&kb, inquiry_options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_TRUE(checker.IsConsistentOpt(result->facts).value());
+}
+
+TEST(ScaleTest, DeepChaseWorkload) {
+  // The Figure 5(c) shape at test scale: depth-4 chains, fully
+  // inconsistent.
+  SyntheticKbOptions options;
+  options.seed = 888;
+  options.num_facts = 150;
+  options.inconsistency_ratio = 1.0;
+  options.num_cdds = 30;
+  options.cdd_min_atoms = 2;
+  options.cdd_max_atoms = 3;
+  options.num_tgds = 40;
+  options.conflict_depth = 4;
+  options.routed_violation_share = 0.6;
+  StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+  ASSERT_TRUE(generated.ok());
+  KnowledgeBase& kb = generated->kb;
+
+  RandomUser user(888);
+  InquiryOptions inquiry_options;
+  inquiry_options.strategy = Strategy::kOptiMcd;
+  inquiry_options.seed = 888;
+  InquiryEngine engine(&kb, inquiry_options);
+  StatusOr<InquiryResult> result = engine.Run(user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ConsistencyChecker checker(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  EXPECT_TRUE(checker.IsConsistentOpt(result->facts).value());
+  EXPECT_TRUE(checker.IsConsistentNaive(result->facts).value());
+}
+
+}  // namespace
+}  // namespace kbrepair

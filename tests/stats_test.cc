@@ -1,0 +1,134 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace kbrepair {
+namespace {
+
+TEST(SampleStatsTest, MeanMinMax) {
+  SampleStats stats;
+  stats.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+  EXPECT_EQ(stats.count(), 4u);
+}
+
+TEST(SampleStatsTest, EmptyMeanIsZero) {
+  SampleStats stats;
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_TRUE(stats.empty());
+}
+
+TEST(SampleStatsTest, QuantileInterpolates) {
+  SampleStats stats;
+  stats.AddAll({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 10.0);
+}
+
+TEST(SampleStatsTest, QuantileSingleSample) {
+  SampleStats stats;
+  stats.Add(7.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.25), 7.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.75), 7.0);
+}
+
+TEST(SampleStatsTest, MedianOfOddCount) {
+  SampleStats stats;
+  stats.AddAll({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 3.0);
+}
+
+TEST(SampleStatsTest, StddevMatchesHandComputation) {
+  SampleStats stats;
+  stats.AddAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stats.Stddev() * stats.Stddev(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(SampleStatsTest, BoxplotFiveNumberSummary) {
+  SampleStats stats;
+  for (int i = 1; i <= 9; ++i) stats.Add(static_cast<double>(i));
+  const BoxplotSummary box = stats.Boxplot();
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.max, 9.0);
+  EXPECT_DOUBLE_EQ(box.q1, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 7.0);
+  EXPECT_EQ(box.count, 9u);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(SampleStatsTest, BoxplotFlagsOutliers) {
+  SampleStats stats;
+  stats.AddAll({1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 100.0});
+  const BoxplotSummary box = stats.Boxplot();
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 100.0);
+}
+
+TEST(FormatDoubleTest, FixedDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(99);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ChooseReturnsMember) {
+  Rng rng(5);
+  const std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int choice = rng.Choose(items);
+    EXPECT_TRUE(choice == 10 || choice == 20 || choice == 30);
+  }
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  const double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.ElapsedSeconds(), t0);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace kbrepair

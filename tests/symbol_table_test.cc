@@ -1,0 +1,89 @@
+#include "kb/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace kbrepair {
+namespace {
+
+TEST(SymbolTableTest, InternTermIsIdempotent) {
+  SymbolTable symbols;
+  const TermId a = symbols.InternConstant("aspirin");
+  const TermId b = symbols.InternConstant("aspirin");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(symbols.num_terms(), 1u);
+}
+
+TEST(SymbolTableTest, SameNameDifferentKindsAreDistinct) {
+  SymbolTable symbols;
+  const TermId constant = symbols.InternConstant("X");
+  const TermId variable = symbols.InternVariable("X");
+  const TermId null = symbols.InternNull("X");
+  EXPECT_NE(constant, variable);
+  EXPECT_NE(variable, null);
+  EXPECT_NE(constant, null);
+  EXPECT_TRUE(symbols.IsConstant(constant));
+  EXPECT_TRUE(symbols.IsVariable(variable));
+  EXPECT_TRUE(symbols.IsNull(null));
+}
+
+TEST(SymbolTableTest, NamesRoundTrip) {
+  SymbolTable symbols;
+  const TermId id = symbols.InternConstant("john");
+  EXPECT_EQ(symbols.term_name(id), "john");
+  EXPECT_EQ(symbols.term_kind(id), TermKind::kConstant);
+}
+
+TEST(SymbolTableTest, FindTermReturnsInvalidWhenAbsent) {
+  SymbolTable symbols;
+  EXPECT_EQ(symbols.FindTerm(TermKind::kConstant, "ghost"), kInvalidTerm);
+  symbols.InternConstant("ghost");
+  EXPECT_NE(symbols.FindTerm(TermKind::kConstant, "ghost"), kInvalidTerm);
+  // Other kinds still absent.
+  EXPECT_EQ(symbols.FindTerm(TermKind::kVariable, "ghost"), kInvalidTerm);
+}
+
+TEST(SymbolTableTest, FreshNullsAreDistinct) {
+  SymbolTable symbols;
+  const TermId n1 = symbols.MakeFreshNull();
+  const TermId n2 = symbols.MakeFreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(symbols.IsNull(n1));
+  EXPECT_TRUE(symbols.IsNull(n2));
+}
+
+TEST(SymbolTableTest, FreshNullAvoidsUserClaimedNames) {
+  SymbolTable symbols;
+  symbols.InternNull("_N1");  // user grabbed the first generated name
+  const TermId fresh = symbols.MakeFreshNull();
+  EXPECT_NE(symbols.term_name(fresh), "_N1");
+}
+
+TEST(SymbolTableTest, FreshVariablesAreDistinct) {
+  SymbolTable symbols;
+  EXPECT_NE(symbols.MakeFreshVariable(), symbols.MakeFreshVariable());
+}
+
+TEST(SymbolTableTest, InternPredicateIsIdempotent) {
+  SymbolTable symbols;
+  const PredicateId p1 = symbols.InternPredicate("prescribed", 2);
+  const PredicateId p2 = symbols.InternPredicate("prescribed", 2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(symbols.predicate_name(p1), "prescribed");
+  EXPECT_EQ(symbols.predicate_arity(p1), 2);
+}
+
+TEST(SymbolTableTest, FindPredicate) {
+  SymbolTable symbols;
+  EXPECT_EQ(symbols.FindPredicate("nope"), kInvalidPredicate);
+  const PredicateId p = symbols.InternPredicate("soil", 1);
+  EXPECT_EQ(symbols.FindPredicate("soil"), p);
+}
+
+TEST(SymbolTableDeathTest, ArityMismatchAborts) {
+  SymbolTable symbols;
+  symbols.InternPredicate("p", 2);
+  EXPECT_DEATH(symbols.InternPredicate("p", 3), "arity");
+}
+
+}  // namespace
+}  // namespace kbrepair
