@@ -29,7 +29,23 @@ struct Token {
   TokenKind kind;
   std::string text;
   int line;
+  int column;
 };
+
+// Renders one input byte for an error message: printable ASCII is shown
+// quoted, anything else (control bytes, NUL, UTF-8 lead bytes) as hex so
+// the message itself stays printable.
+std::string DescribeByte(char c) {
+  const unsigned char byte = static_cast<unsigned char>(c);
+  if (byte >= 0x20 && byte < 0x7f) {
+    return std::string("'") + c + "'";
+  }
+  static const char kHex[] = "0123456789abcdef";
+  std::string out = "byte 0x";
+  out += kHex[byte >> 4];
+  out += kHex[byte & 0xf];
+  return out;
+}
 
 class Lexer {
  public:
@@ -39,40 +55,42 @@ class Lexer {
     std::vector<Token> tokens;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
+      const int column = Column();
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%') {
         while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
       } else if (c == '(') {
-        tokens.push_back({TokenKind::kLeftParen, "(", line_});
+        tokens.push_back({TokenKind::kLeftParen, "(", line_, column});
         ++pos_;
       } else if (c == ')') {
-        tokens.push_back({TokenKind::kRightParen, ")", line_});
+        tokens.push_back({TokenKind::kRightParen, ")", line_, column});
         ++pos_;
       } else if (c == '[') {
-        tokens.push_back({TokenKind::kLeftBracket, "[", line_});
+        tokens.push_back({TokenKind::kLeftBracket, "[", line_, column});
         ++pos_;
       } else if (c == ']') {
-        tokens.push_back({TokenKind::kRightBracket, "]", line_});
+        tokens.push_back({TokenKind::kRightBracket, "]", line_, column});
         ++pos_;
       } else if (c == ',') {
-        tokens.push_back({TokenKind::kComma, ",", line_});
+        tokens.push_back({TokenKind::kComma, ",", line_, column});
         ++pos_;
       } else if (c == '.') {
-        tokens.push_back({TokenKind::kDot, ".", line_});
+        tokens.push_back({TokenKind::kDot, ".", line_, column});
         ++pos_;
       } else if (c == '!') {
-        tokens.push_back({TokenKind::kBang, "!", line_});
+        tokens.push_back({TokenKind::kBang, "!", line_, column});
         ++pos_;
       } else if (c == '=') {
-        tokens.push_back({TokenKind::kEquals, "=", line_});
+        tokens.push_back({TokenKind::kEquals, "=", line_, column});
         ++pos_;
       } else if (c == ':') {
         if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
-          tokens.push_back({TokenKind::kImplies, ":-", line_});
+          tokens.push_back({TokenKind::kImplies, ":-", line_, column});
           pos_ += 2;
         } else {
           return ErrorAt("expected ':-'");
@@ -86,7 +104,7 @@ class Lexer {
         }
         if (pos_ >= text_.size()) return ErrorAt("unterminated string");
         ++pos_;  // closing quote
-        tokens.push_back({TokenKind::kQuoted, value, line_});
+        tokens.push_back({TokenKind::kQuoted, value, line_, column});
       } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
         std::string value;
         while (pos_ < text_.size() &&
@@ -95,23 +113,27 @@ class Lexer {
                 text_[pos_] == '/')) {
           value += text_[pos_++];
         }
-        tokens.push_back({TokenKind::kIdentifier, value, line_});
+        tokens.push_back({TokenKind::kIdentifier, value, line_, column});
       } else {
-        return ErrorAt(std::string("unexpected character '") + c + "'");
+        return ErrorAt("unexpected character " + DescribeByte(c));
       }
     }
-    tokens.push_back({TokenKind::kEnd, "", line_});
+    tokens.push_back({TokenKind::kEnd, "", line_, Column()});
     return tokens;
   }
 
  private:
+  int Column() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
   Status ErrorAt(const std::string& message) {
-    return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
-                                   message);
+    return Status::InvalidArgument("line " + std::to_string(line_) +
+                                   ", column " + std::to_string(Column()) +
+                                   ": " + message);
   }
 
   const std::string& text_;
   size_t pos_ = 0;
+  size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -158,7 +180,8 @@ class Parser {
 
   Status ErrorHere(const std::string& message) {
     return Status::InvalidArgument(
-        "line " + std::to_string(Peek().line) + ": " + message);
+        "line " + std::to_string(Peek().line) + ", column " +
+        std::to_string(Peek().column) + ": " + message);
   }
 
   StatusOr<RawStatement> ParseStatement() {

@@ -40,8 +40,18 @@ double InquiryResult::MaxDelaySeconds() const {
   return max;
 }
 
-// Mutable per-run state bundled so helper methods stay small.
+// Mutable per-run state bundled so helper methods stay small. With the
+// stepwise API this is the *suspended* state of a dialogue between an
+// Answer() and the next NextQuestion() — everything a service needs to
+// park a session between turns.
 struct InquiryEngine::Session {
+  // Which loop of the original algorithms the state machine is in.
+  enum class Mode {
+    kPhaseOne,  // Algorithm 4 phase one: naive conflicts, incremental
+    kPhaseTwo,  // Algorithm 4 phase two: chase-surfaced conflicts
+    kBasic,     // Algorithm 3: allconflicts recomputed each round
+  };
+
   FactBase facts;
   PositionSet pi;
   PositionSet propagated;                 // Π entries added by opti-prop
@@ -49,6 +59,13 @@ struct InquiryEngine::Session {
   Rng rng;
   InquiryResult result;
   WallTimer question_timer;               // restarted after each answer
+  WallTimer total_timer;
+
+  Mode mode;
+  ConflictTracker tracker;                // used in kPhaseOne only
+  std::optional<Question> pending;        // awaiting an Answer()
+  double pending_delay = 0.0;             // delay captured at generation
+  bool done = false;                      // consistent; dialogue over
 
   // Helpers bound to the KB's rules.
   ConflictFinder finder;
@@ -61,6 +78,8 @@ struct InquiryEngine::Session {
   Session(KnowledgeBase* kb, const InquiryOptions& options)
       : facts(kb->facts()),
         rng(options.seed),
+        mode(options.two_phase ? Mode::kPhaseOne : Mode::kBasic),
+        tracker(&finder),
         finder(&kb->symbols(), &kb->tgds(), &kb->cdds(),
                options.chase_options),
         repairability(&kb->symbols(), &kb->tgds(), &kb->cdds(),
@@ -77,15 +96,20 @@ InquiryEngine::InquiryEngine(KnowledgeBase* kb, InquiryOptions options)
   KBREPAIR_CHECK(kb != nullptr);
 }
 
-StatusOr<InquiryResult> InquiryEngine::Run(User& user,
-                                           PositionSet initial_pi) {
-  Session session(kb_, options_);
+InquiryEngine::~InquiryEngine() = default;
+InquiryEngine::InquiryEngine(InquiryEngine&&) noexcept = default;
+InquiryEngine& InquiryEngine::operator=(InquiryEngine&&) noexcept = default;
+
+Status InquiryEngine::Begin(PositionSet initial_pi) {
+  step_ = std::make_unique<Session>(kb_, options_);
+  Session& session = *step_;
   session.pi = std::move(initial_pi);
 
   KBREPAIR_ASSIGN_OR_RETURN(
       const bool repairable,
       session.repairability.IsPiRepairable(session.facts, session.pi));
   if (!repairable) {
+    step_.reset();
     return Status::FailedPrecondition(
         "knowledge base is not Π-repairable for the initial Π");
   }
@@ -97,12 +121,63 @@ StatusOr<InquiryResult> InquiryEngine::Run(User& user,
   session.result.initial_naive_conflicts =
       session.finder.NaiveConflicts(session.facts).size();
 
-  WallTimer total_timer;
+  if (session.mode == Session::Mode::kPhaseOne) {
+    session.tracker.Initialize(session.facts);
+  }
+
+  session.total_timer.Restart();
   session.question_timer.Restart();
-  Status status = options_.two_phase ? RunTwoPhase(session, user)
-                                     : RunBasic(session, user);
-  KBREPAIR_RETURN_IF_ERROR(status);
-  session.result.total_seconds = total_timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+StatusOr<const Question*> InquiryEngine::NextQuestion() {
+  if (step_ == nullptr) {
+    return Status::FailedPrecondition("NextQuestion() before Begin()");
+  }
+  Session& session = *step_;
+  if (session.done) return static_cast<const Question*>(nullptr);
+  if (!session.pending.has_value()) {
+    KBREPAIR_RETURN_IF_ERROR(ComputeNextQuestion(session));
+  }
+  if (session.done) return static_cast<const Question*>(nullptr);
+  return static_cast<const Question*>(&*session.pending);
+}
+
+Status InquiryEngine::Answer(size_t choice) {
+  if (step_ == nullptr) {
+    return Status::FailedPrecondition("Answer() before Begin()");
+  }
+  if (!step_->pending.has_value()) {
+    return Status::FailedPrecondition("Answer() with no pending question");
+  }
+  return ApplyAnswer(*step_, choice);
+}
+
+bool InquiryEngine::finished() const {
+  return step_ != nullptr && step_->done;
+}
+
+const FactBase& InquiryEngine::working_facts() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return step_->facts;
+}
+
+const InquiryResult& InquiryEngine::progress() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return step_->result;
+}
+
+InquiryView InquiryEngine::View() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return InquiryView{&kb_->symbols(), &step_->facts, step_->cdds};
+}
+
+StatusOr<InquiryResult> InquiryEngine::Finish() {
+  if (step_ == nullptr) {
+    return Status::FailedPrecondition("Finish() before Begin()");
+  }
+  Session& session = *step_;
+  session.result.total_seconds = session.total_timer.ElapsedSeconds();
   session.result.question_candidates = session.generator.total_candidates();
   session.result.question_filtered = session.generator.total_filtered();
   session.result.repairability_fast_paths =
@@ -110,7 +185,27 @@ StatusOr<InquiryResult> InquiryEngine::Run(User& user,
   session.result.repairability_full_checks =
       session.generator.total_full_checks();
   session.result.facts = std::move(session.facts);
-  return std::move(session.result);
+  InquiryResult result = std::move(session.result);
+  step_.reset();
+  return result;
+}
+
+StatusOr<InquiryResult> InquiryEngine::Run(User& user,
+                                           PositionSet initial_pi) {
+  KBREPAIR_RETURN_IF_ERROR(Begin(std::move(initial_pi)));
+  while (true) {
+    KBREPAIR_ASSIGN_OR_RETURN(const Question* question, NextQuestion());
+    if (question == nullptr) break;
+    const InquiryView view = View();
+    const std::optional<size_t> choice = user.ChooseFix(*question, view);
+    if (!choice.has_value() || *choice >= question->fixes.size()) {
+      step_.reset();
+      return Status::FailedPrecondition(
+          "user did not choose a fix from the question");
+    }
+    KBREPAIR_RETURN_IF_ERROR(Answer(*choice));
+  }
+  return Finish();
 }
 
 namespace {
@@ -223,26 +318,121 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
   return Question{};  // caller decides: unfreeze propagated Π or fail
 }
 
-Status InquiryEngine::AskAndApply(Session& session, User& user,
-                                  const Question& question, int phase,
-                                  ConflictTracker* tracker) {
-  QuestionRecord record;
-  record.phase = phase;
-  record.delay_seconds = session.question_timer.ElapsedSeconds();
-  record.question_size = question.fixes.size();
-  record.num_positions = question.considered_positions.size();
+Status InquiryEngine::ComputeNextQuestion(Session& session) {
+  while (true) {
+    std::vector<Conflict> chase_conflicts;  // owns phase-2/basic conflicts
+    std::vector<const Conflict*> conflicts;
 
-  InquiryView view{&kb_->symbols(), &session.facts, session.cdds};
-  const std::optional<size_t> choice = user.ChooseFix(question, view);
-  if (!choice.has_value() || *choice >= question.fixes.size()) {
+    switch (session.mode) {
+      case Session::Mode::kPhaseOne: {
+        // --- Phase one: naive conflicts with incremental maintenance.
+        if (session.tracker.empty()) {
+          session.mode = Session::Mode::kPhaseTwo;
+          continue;
+        }
+        conflicts.reserve(session.tracker.size());
+        for (const auto& [id, conflict] : session.tracker.conflicts()) {
+          conflicts.push_back(&conflict);
+        }
+        break;
+      }
+      case Session::Mode::kPhaseTwo: {
+        // --- Phase two: conflicts surfacing through the chase.
+        if (options_.strategy == Strategy::kOptiMcd ||
+            options_.record_convergence != ConvergenceRecording::kOff) {
+          // The ranking needs the whole conflict set.
+          KBREPAIR_ASSIGN_OR_RETURN(
+              chase_conflicts, session.finder.AllConflicts(session.facts));
+        } else {
+          // CHECKCONSISTENCY-OPT: stop the chase at the first violation
+          // and question it.
+          ChaseEngine engine(&kb_->symbols(), &kb_->tgds(), &kb_->cdds(),
+                             options_.chase_options);
+          KBREPAIR_ASSIGN_OR_RETURN(ChaseResult chased,
+                                    engine.Run(session.facts));
+          if (chased.violation().has_value()) {
+            Conflict conflict;
+            conflict.cdd_index = chased.violation()->cdd_index;
+            conflict.matched = chased.violation()->matched;
+            conflict.support = chased.OriginalSupport(conflict.matched);
+            chase_conflicts.push_back(std::move(conflict));
+          }
+        }
+        if (chase_conflicts.empty()) {
+          session.done = true;
+          return Status::Ok();
+        }
+        if (options_.strategy == Strategy::kOptiProp) {
+          ApplyPendingPropagation(session, [&](AtomId atom) {
+            for (const Conflict& c : chase_conflicts) {
+              if (std::binary_search(c.support.begin(), c.support.end(),
+                                     atom)) {
+                return true;
+              }
+            }
+            return false;
+          });
+        }
+        conflicts.reserve(chase_conflicts.size());
+        for (const Conflict& c : chase_conflicts) conflicts.push_back(&c);
+        break;
+      }
+      case Session::Mode::kBasic: {
+        // Plain Algorithm 3: recompute allconflicts every round.
+        KBREPAIR_ASSIGN_OR_RETURN(chase_conflicts,
+                                  session.finder.AllConflicts(session.facts));
+        if (chase_conflicts.empty()) {
+          session.done = true;
+          return Status::Ok();
+        }
+        if (options_.strategy == Strategy::kOptiProp) {
+          ApplyPendingPropagation(session, [&](AtomId atom) {
+            for (const Conflict& c : chase_conflicts) {
+              if (std::binary_search(c.support.begin(), c.support.end(),
+                                     atom)) {
+                return true;
+              }
+            }
+            return false;
+          });
+        }
+        conflicts.reserve(chase_conflicts.size());
+        for (const Conflict& c : chase_conflicts) conflicts.push_back(&c);
+        break;
+      }
+    }
+
+    KBREPAIR_ASSIGN_OR_RETURN(Question question,
+                              SelectQuestion(session, conflicts));
+    if (question.fixes.empty()) {
+      if (UnfreezePropagated(session)) continue;
+      return Status::Internal(
+          "no sound question exists; knowledge base is not Π-repairable");
+    }
+    session.pending = std::move(question);
+    session.pending_delay = session.question_timer.ElapsedSeconds();
+    return Status::Ok();
+  }
+}
+
+Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
+  const Question& question = *session.pending;
+  if (choice >= question.fixes.size()) {
     return Status::FailedPrecondition(
         "user did not choose a fix from the question");
   }
-  const Fix fix = question.fixes[*choice];
+
+  QuestionRecord record;
+  record.phase = session.mode == Session::Mode::kPhaseTwo ? 2 : 1;
+  record.delay_seconds = session.pending_delay;
+  record.question_size = question.fixes.size();
+  record.num_positions = question.considered_positions.size();
+
+  const Fix fix = question.fixes[choice];
   record.chosen = fix;
-  record.chosen_index = *choice;
+  record.chosen_index = choice;
   if (options_.strategy == Strategy::kOptiLearn) {
-    session.preferences.Observe(question, *choice, session.facts);
+    session.preferences.Observe(question, choice, session.facts);
   }
 
   session.question_timer.Restart();  // post-answer work counts toward the
@@ -252,8 +442,9 @@ Status InquiryEngine::AskAndApply(Session& session, User& user,
   session.pi.insert(fix.position());
   session.result.applied_fixes.push_back(fix);
 
-  if (tracker != nullptr) {
-    tracker->OnFixApplied(session.facts, fix.atom);
+  const bool in_phase_one = session.mode == Session::Mode::kPhaseOne;
+  if (in_phase_one) {
+    session.tracker.OnFixApplied(session.facts, fix.atom);
   }
 
   if (options_.strategy == Strategy::kOptiProp) {
@@ -262,9 +453,9 @@ Status InquiryEngine::AskAndApply(Session& session, User& user,
     for (const Position& p : question.considered_positions) {
       if (p != fix.position()) session.pending_propagation.push_back(p);
     }
-    if (tracker != nullptr) {
+    if (in_phase_one) {
       ApplyPendingPropagation(session, [&](AtomId atom) {
-        return tracker->NumConflictsTouching(atom) > 0;
+        return session.tracker.NumConflictsTouching(atom) > 0;
       });
     }
   }
@@ -273,15 +464,16 @@ Status InquiryEngine::AskAndApply(Session& session, User& user,
       options_.record_convergence == ConvergenceRecording::kTotalConflicts ||
       (options_.record_convergence ==
            ConvergenceRecording::kDiscoveredConflicts &&
-       (phase == 2 || tracker == nullptr));
+       !in_phase_one);
   if (census_needed) {
     KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
                               session.finder.AllConflicts(session.facts));
     record.conflicts_remaining = all.size();
-  } else if (tracker != nullptr) {
-    record.conflicts_remaining = tracker->size();
+  } else if (in_phase_one) {
+    record.conflicts_remaining = session.tracker.size();
   }
 
+  session.pending.reset();
   session.result.records.push_back(record);
   if (session.result.records.size() > options_.max_questions) {
     return Status::Internal("inquiry exceeded max_questions");
@@ -308,115 +500,6 @@ void InquiryEngine::ApplyPendingPropagation(Session& session,
     }
   }
   session.pending_propagation.clear();
-}
-
-Status InquiryEngine::RunTwoPhase(Session& session, User& user) {
-  // --- Phase one: naive conflicts with incremental maintenance.
-  ConflictTracker tracker(&session.finder);
-  tracker.Initialize(session.facts);
-
-  while (!tracker.empty()) {
-    std::vector<const Conflict*> conflicts;
-    conflicts.reserve(tracker.size());
-    for (const auto& [id, conflict] : tracker.conflicts()) {
-      conflicts.push_back(&conflict);
-    }
-    KBREPAIR_ASSIGN_OR_RETURN(const Question question,
-                              SelectQuestion(session, conflicts));
-    if (question.fixes.empty()) {
-      if (UnfreezePropagated(session)) continue;
-      return Status::Internal(
-          "no sound question exists; knowledge base is not Π-repairable");
-    }
-    KBREPAIR_RETURN_IF_ERROR(
-        AskAndApply(session, user, question, /*phase=*/1, &tracker));
-  }
-
-  // --- Phase two: conflicts surfacing through the chase.
-  while (true) {
-    std::vector<Conflict> chase_conflicts;
-    if (options_.strategy == Strategy::kOptiMcd ||
-        options_.record_convergence != ConvergenceRecording::kOff) {
-      // The ranking needs the whole conflict set.
-      KBREPAIR_ASSIGN_OR_RETURN(chase_conflicts,
-                                session.finder.AllConflicts(session.facts));
-    } else {
-      // CHECKCONSISTENCY-OPT: stop the chase at the first violation and
-      // question it.
-      ChaseEngine engine(&kb_->symbols(), &kb_->tgds(), &kb_->cdds(),
-                         options_.chase_options);
-      KBREPAIR_ASSIGN_OR_RETURN(ChaseResult chased,
-                                engine.Run(session.facts));
-      if (chased.violation().has_value()) {
-        Conflict conflict;
-        conflict.cdd_index = chased.violation()->cdd_index;
-        conflict.matched = chased.violation()->matched;
-        conflict.support = chased.OriginalSupport(conflict.matched);
-        chase_conflicts.push_back(std::move(conflict));
-      }
-    }
-    if (chase_conflicts.empty()) break;
-
-    if (options_.strategy == Strategy::kOptiProp) {
-      ApplyPendingPropagation(session, [&](AtomId atom) {
-        for (const Conflict& c : chase_conflicts) {
-          if (std::binary_search(c.support.begin(), c.support.end(),
-                                 atom)) {
-            return true;
-          }
-        }
-        return false;
-      });
-    }
-
-    std::vector<const Conflict*> conflicts;
-    conflicts.reserve(chase_conflicts.size());
-    for (const Conflict& c : chase_conflicts) conflicts.push_back(&c);
-    KBREPAIR_ASSIGN_OR_RETURN(const Question question,
-                              SelectQuestion(session, conflicts));
-    if (question.fixes.empty()) {
-      if (UnfreezePropagated(session)) continue;
-      return Status::Internal(
-          "no sound question exists; knowledge base is not Π-repairable");
-    }
-    KBREPAIR_RETURN_IF_ERROR(
-        AskAndApply(session, user, question, /*phase=*/2, nullptr));
-  }
-  return Status::Ok();
-}
-
-Status InquiryEngine::RunBasic(Session& session, User& user) {
-  while (true) {
-    KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
-                              session.finder.AllConflicts(session.facts));
-    if (all.empty()) break;
-
-    if (options_.strategy == Strategy::kOptiProp) {
-      ApplyPendingPropagation(session, [&](AtomId atom) {
-        for (const Conflict& c : all) {
-          if (std::binary_search(c.support.begin(), c.support.end(),
-                                 atom)) {
-            return true;
-          }
-        }
-        return false;
-      });
-    }
-
-    std::vector<const Conflict*> conflicts;
-    conflicts.reserve(all.size());
-    for (const Conflict& c : all) conflicts.push_back(&c);
-    KBREPAIR_ASSIGN_OR_RETURN(const Question question,
-                              SelectQuestion(session, conflicts));
-    if (question.fixes.empty()) {
-      if (UnfreezePropagated(session)) continue;
-      return Status::Internal(
-          "no sound question exists; knowledge base is not Π-repairable");
-    }
-    KBREPAIR_RETURN_IF_ERROR(
-        AskAndApply(session, user, question, /*phase=*/1, nullptr));
-  }
-  return Status::Ok();
 }
 
 }  // namespace kbrepair

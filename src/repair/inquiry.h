@@ -29,6 +29,7 @@
 #define KBREPAIR_REPAIR_INQUIRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -146,28 +147,77 @@ class InquiryEngine {
   // the starting facts, which are copied — the original KB is not
   // repaired in place.
   InquiryEngine(KnowledgeBase* kb, InquiryOptions options);
+  ~InquiryEngine();
+
+  InquiryEngine(InquiryEngine&&) noexcept;
+  InquiryEngine& operator=(InquiryEngine&&) noexcept;
 
   // INQUIRY(K, Π): runs the dialogue to consistency. Fails with
   // FailedPrecondition if K is not Π-repairable for the initial Π or the
   // user declines to answer; Internal on safety-valve trips.
+  //
+  // Implemented on top of the stepwise API below, so a driven session
+  // (service, remote user) and a blocking Run produce bit-identical
+  // repairs for the same options and answers.
   StatusOr<InquiryResult> Run(User& user, PositionSet initial_pi = {});
+
+  // --- Stepwise API -------------------------------------------------------
+  //
+  // One question/answer round is a pair of resumable calls, so a session
+  // can be suspended between turns (the scaling unit of the repair
+  // service):
+  //
+  //   engine.Begin();
+  //   while (const Question* q = *engine.NextQuestion()) {
+  //     size_t choice = ...;        // any out-of-process dialogue
+  //     engine.Answer(choice);
+  //   }
+  //   InquiryResult result = *engine.Finish();
+
+  // Starts a dialogue: checks Π-repairability, takes the initial
+  // conflict census. Discards any session in progress.
+  Status Begin(PositionSet initial_pi = {});
+
+  // Produces (or returns the already-pending) next question. Returns
+  // nullptr once the working base is consistent. Repeated calls without
+  // an intervening Answer() return the same pending question.
+  StatusOr<const Question*> NextQuestion();
+
+  // Applies the `choice`-th fix of the pending question and advances the
+  // state machine. FailedPrecondition if no question is pending or the
+  // index is out of range.
+  Status Answer(size_t choice);
+
+  // True once Begin() has been called and Finish() has not.
+  bool started() const { return step_ != nullptr; }
+  // True when the dialogue reached consistency (NextQuestion == nullptr).
+  bool finished() const;
+
+  // The working fact base of the in-progress session. Requires started().
+  const FactBase& working_facts() const;
+  // Rounds recorded so far (facts/result totals are filled by Finish()).
+  const InquiryResult& progress() const;
+  // Rendering context for the current session's questions.
+  InquiryView View() const;
+
+  // Finalizes timing/instrumentation, moves the result out and ends the
+  // session. Callable mid-dialogue (e.g., when a service session is
+  // evicted): the result then holds the partial repair.
+  StatusOr<InquiryResult> Finish();
 
  private:
   struct Session;  // per-run mutable state
 
-  Status RunTwoPhase(Session& session, User& user);
-  Status RunBasic(Session& session, User& user);
+  // Advances to the next pending question (or to done). No-op when a
+  // question is already pending or the session is finished.
+  Status ComputeNextQuestion(Session& session);
+  Status ApplyAnswer(Session& session, size_t choice);
 
   // Picks a conflict + question for the current round from `conflicts`.
   // Returns an empty question when no sound question exists (the caller
   // then unfreezes propagated positions or errors out).
   StatusOr<Question> SelectQuestion(Session& session,
                                     const std::vector<const Conflict*>& conflicts);
-
-  // Asks, applies, freezes, records. `tracker` may be null (phase 2 /
-  // basic mode).
-  Status AskAndApply(Session& session, User& user, const Question& question,
-                     int phase, ConflictTracker* tracker);
 
   // Removes every propagation-frozen position from Π. Returns true if
   // anything was unfrozen.
@@ -179,6 +229,7 @@ class InquiryEngine {
 
   KnowledgeBase* kb_;
   InquiryOptions options_;
+  std::unique_ptr<Session> step_;  // live stepwise session, if any
 };
 
 }  // namespace kbrepair

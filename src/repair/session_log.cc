@@ -25,6 +25,141 @@ std::string SessionTranscript::Render(const SymbolTable& symbols,
   return out;
 }
 
+namespace {
+
+const char* TermKindTag(TermKind kind) {
+  switch (kind) {
+    case TermKind::kConstant:
+      return "constant";
+    case TermKind::kVariable:
+      return "variable";
+    case TermKind::kNull:
+      return "null";
+  }
+  return "constant";
+}
+
+StatusOr<TermKind> TermKindFromTag(const std::string& tag) {
+  if (tag == "constant") return TermKind::kConstant;
+  if (tag == "variable") return TermKind::kVariable;
+  if (tag == "null") return TermKind::kNull;
+  return Status::InvalidArgument("unknown term kind '" + tag + "'");
+}
+
+JsonValue FixToJson(const Fix& fix, const SymbolTable& symbols) {
+  JsonValue out = JsonValue::Object();
+  out.Set("atom", JsonValue::Number(static_cast<int64_t>(fix.atom)));
+  out.Set("arg", JsonValue::Number(static_cast<int64_t>(fix.arg)));
+  out.Set("kind", JsonValue::String(TermKindTag(symbols.term_kind(fix.value))));
+  out.Set("value", JsonValue::String(symbols.term_name(fix.value)));
+  return out;
+}
+
+StatusOr<Fix> FixFromJson(const JsonValue& json, SymbolTable& symbols) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("transcript fix must be an object");
+  }
+  Fix fix;
+  fix.atom = static_cast<AtomId>(json.Get("atom").AsInt(-1));
+  fix.arg = static_cast<int>(json.Get("arg").AsInt(-1));
+  if (!json.Get("atom").is_number() || !json.Get("arg").is_number() ||
+      fix.arg < 0) {
+    return Status::InvalidArgument("transcript fix needs atom/arg numbers");
+  }
+  KBREPAIR_ASSIGN_OR_RETURN(const TermKind kind,
+                            TermKindFromTag(json.Get("kind").AsString()));
+  if (!json.Get("value").is_string()) {
+    return Status::InvalidArgument("transcript fix needs a value string");
+  }
+  fix.value = symbols.InternTerm(kind, json.Get("value").AsString());
+  return fix;
+}
+
+}  // namespace
+
+JsonValue SessionTranscript::ToJson(const SymbolTable& symbols) const {
+  JsonValue entries = JsonValue::Array();
+  for (const TranscriptEntry& entry : entries_) {
+    JsonValue question = JsonValue::Object();
+    question.Set("source_cdd", JsonValue::Number(static_cast<int64_t>(
+                                   entry.question.source_cdd)));
+    JsonValue positions = JsonValue::Array();
+    for (const Position& p : entry.question.considered_positions) {
+      JsonValue pos = JsonValue::Array();
+      pos.Append(JsonValue::Number(static_cast<int64_t>(p.atom)));
+      pos.Append(JsonValue::Number(static_cast<int64_t>(p.arg)));
+      positions.Append(std::move(pos));
+    }
+    question.Set("positions", std::move(positions));
+    JsonValue fixes = JsonValue::Array();
+    for (const Fix& fix : entry.question.fixes) {
+      fixes.Append(FixToJson(fix, symbols));
+    }
+    question.Set("fixes", std::move(fixes));
+
+    JsonValue record = JsonValue::Object();
+    record.Set("chosen", JsonValue::Number(static_cast<int64_t>(
+                             entry.chosen_index)));
+    record.Set("question", std::move(question));
+    entries.Append(std::move(record));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("entries", std::move(entries));
+  return out;
+}
+
+StatusOr<SessionTranscript> SessionTranscript::FromJson(
+    const JsonValue& json, SymbolTable& symbols) {
+  const JsonValue& entries = json.Get("entries");
+  if (!entries.is_array()) {
+    return Status::InvalidArgument(
+        "transcript JSON needs an 'entries' array");
+  }
+  SessionTranscript transcript;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const JsonValue& record = entries.at(i);
+    const JsonValue& question_json = record.Get("question");
+    if (!record.Get("chosen").is_number() || !question_json.is_object()) {
+      return Status::InvalidArgument(
+          "transcript entry " + std::to_string(i) +
+          " needs 'chosen' and 'question'");
+    }
+    Question question;
+    question.source_cdd = static_cast<size_t>(
+        question_json.Get("source_cdd").AsInt(0));
+    const JsonValue& positions = question_json.Get("positions");
+    for (size_t j = 0; j < positions.size(); ++j) {
+      const JsonValue& pos = positions.at(j);
+      if (!pos.is_array() || pos.size() != 2) {
+        return Status::InvalidArgument(
+            "transcript position must be an [atom, arg] pair");
+      }
+      question.considered_positions.push_back(
+          Position{static_cast<AtomId>(pos.at(0).AsInt(0)),
+                   static_cast<int>(pos.at(1).AsInt(0))});
+    }
+    const JsonValue& fixes = question_json.Get("fixes");
+    if (!fixes.is_array() || fixes.size() == 0) {
+      return Status::InvalidArgument(
+          "transcript entry " + std::to_string(i) + " has no fixes");
+    }
+    for (size_t j = 0; j < fixes.size(); ++j) {
+      KBREPAIR_ASSIGN_OR_RETURN(Fix fix,
+                                FixFromJson(fixes.at(j), symbols));
+      question.fixes.push_back(fix);
+    }
+    const size_t chosen =
+        static_cast<size_t>(record.Get("chosen").AsInt(0));
+    if (chosen >= question.fixes.size()) {
+      return Status::InvalidArgument(
+          "transcript entry " + std::to_string(i) +
+          " chose a fix index out of range");
+    }
+    transcript.Record(question, chosen);
+  }
+  return transcript;
+}
+
 ReplayUser::ReplayUser(const SessionTranscript* transcript,
                        const SymbolTable* symbols)
     : transcript_(transcript), symbols_(symbols) {

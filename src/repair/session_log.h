@@ -18,6 +18,7 @@
 
 #include "repair/question.h"
 #include "repair/user.h"
+#include "util/json.h"
 #include "util/status.h"
 
 namespace kbrepair {
@@ -40,6 +41,15 @@ class SessionTranscript {
   //   Q1 (cdd 0, 6 fixes): chose [2] (hasAllergy(...), 2, penicillin)
   std::string Render(const SymbolTable& symbols,
                      const FactBase& original_facts) const;
+
+  // JSON round-trip. Atom ids are serialized numerically (stable for a
+  // given KB) and terms symbolically (kind + name), so a transcript
+  // written by one process re-loads against a *fresh* symbol table of
+  // the same KB — any interactive session becomes a portable regression
+  // fixture (served by the repair service's `snapshot` command).
+  JsonValue ToJson(const SymbolTable& symbols) const;
+  static StatusOr<SessionTranscript> FromJson(const JsonValue& json,
+                                              SymbolTable& symbols);
 
  private:
   std::vector<TranscriptEntry> entries_;

@@ -1,0 +1,429 @@
+// kbrepair-client: scripted driver and correctness checker for
+// `kbrepaird`.
+//
+// Spawns the daemon as a child process, then runs N concurrent scripted
+// repair sessions against it over the JSON-lines protocol. Each driver
+// thread answers every question with Rng(seed_i).UniformIndex(num_fixes)
+// — the same draw RandomUser makes — so the whole dialogue is
+// deterministic. After closing its session (include_facts) the driver
+// replays the identical inquiry in-process with a fresh engine and the
+// same seed and demands the repaired fact base match byte for byte:
+// concurrency in the service must not change any repair.
+//
+// Exit 0 iff every session verified and the final metrics are coherent
+// (opened == completed == N, active == 0, no errors).
+//
+// Usage:
+//   kbrepair-client [--server PATH] [--sessions N] [--workers N]
+//                   [--kb NAME] [--strategy NAME] [--seed S] [--quiet]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repair/inquiry.h"
+#include "service/protocol.h"
+#include "service/session.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kbrepair {
+namespace {
+
+// ------------------------------------------------------------------
+// A pipelined JSON-lines connection to a spawned kbrepaird process.
+// Many threads issue Call()s concurrently; a reader thread demuxes the
+// out-of-order responses by correlation id.
+class ServerConnection {
+ public:
+  // argv must be null-terminated. Returns false if spawning failed.
+  bool Spawn(const std::vector<std::string>& args) {
+    int to_child[2];
+    int from_child[2];
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (const std::string& arg : args) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      std::cerr << "exec " << args[0] << " failed: " << std::strerror(errno)
+                << "\n";
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    write_fd_ = to_child[1];
+    read_fd_ = from_child[0];
+    reader_ = std::thread([this] { ReaderLoop(); });
+    return true;
+  }
+
+  // Sends `request` (stamping a fresh "id") and blocks for its response
+  // envelope. Fails if the server hangs up first.
+  StatusOr<JsonValue> Call(JsonValue request) {
+    const std::string id = "r-" + std::to_string(next_id_.fetch_add(1));
+    request.Set("id", JsonValue::String(id));
+    const std::string line = request.Dump() + "\n";
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      size_t off = 0;
+      while (off < line.size()) {
+        ssize_t n = write(write_fd_, line.data() + off, line.size() - off);
+        if (n <= 0) return Status::Internal("write to server failed");
+        off += static_cast<size_t>(n);
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return responses_.count(id) != 0 || closed_; });
+    auto it = responses_.find(id);
+    if (it == responses_.end()) {
+      return Status::Internal("server closed before answering " + id);
+    }
+    JsonValue response = std::move(it->second);
+    responses_.erase(it);
+    lock.unlock();
+    if (!response.Get("ok").AsBool(false)) {
+      const JsonValue& error = response.Get("error");
+      return Status::Internal("server error [" +
+                              error.Get("code").AsString() + "] " +
+                              error.Get("message").AsString());
+    }
+    return response.Get("result");  // copy; the envelope dies here
+  }
+
+  // Closes the server's stdin (EOF triggers its graceful shutdown) and
+  // reaps it. Returns the child's exit code, or -1.
+  int ShutdownAndWait() {
+    if (write_fd_ >= 0) {
+      close(write_fd_);
+      write_fd_ = -1;
+    }
+    if (reader_.joinable()) reader_.join();
+    if (read_fd_ >= 0) {
+      close(read_fd_);
+      read_fd_ = -1;
+    }
+    if (pid_ <= 0) return -1;
+    int wstatus = 0;
+    if (waitpid(pid_, &wstatus, 0) != pid_) return -1;
+    pid_ = -1;
+    return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+
+  size_t garbled_lines() const {
+    return garbled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ReaderLoop() {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = read(read_fd_, chunk, sizeof chunk);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t pos;
+      while ((pos = buffer.find('\n')) != std::string::npos) {
+        HandleLine(buffer.substr(0, pos));
+        buffer.erase(0, pos + 1);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  void HandleLine(const std::string& line) {
+    if (line.empty()) return;
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok() || !parsed->is_object() ||
+        !parsed->Get("id").is_string()) {
+      garbled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    responses_.emplace(parsed->Get("id").AsString(),
+                       std::move(parsed).value());
+    cv_.notify_all();
+  }
+
+  pid_t pid_ = -1;
+  int write_fd_ = -1;
+  int read_fd_ = -1;
+  std::mutex write_mu_;
+  std::thread reader_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> garbled_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, JsonValue> responses_;
+  bool closed_ = false;
+};
+
+// ------------------------------------------------------------------
+
+struct ClientOptions {
+  std::string server_path;
+  size_t sessions = 8;
+  size_t workers = 4;
+  std::string kb = "synthetic";
+  std::string strategy = "random";
+  uint64_t seed = 20180326;  // EDBT'18
+  bool quiet = false;
+};
+
+JsonValue CreateParams(const ClientOptions& options, uint64_t seed_i) {
+  JsonValue params = JsonValue::Object();
+  params.Set("kb", JsonValue::String(options.kb));
+  params.Set("kb_seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
+  params.Set("strategy", JsonValue::String(options.strategy));
+  params.Set("seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
+  return params;
+}
+
+// Replays the exact inquiry locally: same KB params, same options, same
+// per-turn draw. Returns the repaired facts rendered as strings.
+StatusOr<std::vector<std::string>> OracleFacts(const ClientOptions& options,
+                                               uint64_t seed_i) {
+  const JsonValue params = CreateParams(options, seed_i);
+  std::string label;
+  KBREPAIR_ASSIGN_OR_RETURN(KnowledgeBase kb,
+                            BuildKbFromParams(params, &label));
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryOptions inquiry_options,
+                            InquiryOptionsFromParams(params));
+  InquiryEngine engine(&kb, inquiry_options);
+  KBREPAIR_RETURN_IF_ERROR(engine.Begin());
+  Rng rng(seed_i);
+  for (;;) {
+    KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
+                              engine.NextQuestion());
+    if (question == nullptr) break;
+    KBREPAIR_RETURN_IF_ERROR(
+        engine.Answer(rng.UniformIndex(question->fixes.size())));
+  }
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryResult result, engine.Finish());
+  std::vector<std::string> facts;
+  facts.reserve(result.facts.size());
+  for (AtomId id = 0; id < result.facts.size(); ++id) {
+    facts.push_back(result.facts.atom(id).ToString(kb.symbols()));
+  }
+  return facts;
+}
+
+// One scripted session over the wire. On success returns the number of
+// questions answered; any mismatch or server error is a Status.
+StatusOr<size_t> DriveSession(ServerConnection& server,
+                              const ClientOptions& options, size_t index) {
+  const uint64_t seed_i = options.seed + index;
+  Rng rng(seed_i);
+
+  JsonValue create = CreateParams(options, seed_i);
+  create.Set("command", JsonValue::String("create"));
+  KBREPAIR_ASSIGN_OR_RETURN(JsonValue created, server.Call(std::move(create)));
+  const std::string session = created.Get("session").AsString();
+  if (session.empty()) {
+    return Status::Internal("create returned no session id");
+  }
+
+  size_t answered = 0;
+  for (;;) {
+    JsonValue ask = JsonValue::Object();
+    ask.Set("command", JsonValue::String("ask"));
+    ask.Set("session", JsonValue::String(session));
+    KBREPAIR_ASSIGN_OR_RETURN(JsonValue asked, server.Call(std::move(ask)));
+    if (asked.Get("done").AsBool(false)) break;
+    const int64_t num_fixes =
+        asked.Get("question").Get("num_fixes").AsInt(0);
+    if (num_fixes <= 0) {
+      return Status::Internal("question with no fixes on " + session);
+    }
+    JsonValue answer = JsonValue::Object();
+    answer.Set("command", JsonValue::String("answer"));
+    answer.Set("session", JsonValue::String(session));
+    answer.Set("choice",
+               JsonValue::Number(static_cast<int64_t>(
+                   rng.UniformIndex(static_cast<size_t>(num_fixes)))));
+    KBREPAIR_RETURN_IF_ERROR(server.Call(std::move(answer)).status());
+    ++answered;
+    if (answered > 100000) {
+      return Status::Internal("session " + session + " does not converge");
+    }
+  }
+
+  JsonValue close = JsonValue::Object();
+  close.Set("command", JsonValue::String("close"));
+  close.Set("session", JsonValue::String(session));
+  close.Set("include_facts", JsonValue::Bool(true));
+  KBREPAIR_ASSIGN_OR_RETURN(JsonValue closed, server.Call(std::move(close)));
+  if (!closed.Get("consistent").AsBool(false)) {
+    return Status::Internal("session " + session + " closed inconsistent");
+  }
+
+  // Byte-for-byte comparison against the single-threaded engine.
+  KBREPAIR_ASSIGN_OR_RETURN(std::vector<std::string> oracle,
+                            OracleFacts(options, seed_i));
+  const JsonValue& facts = closed.Get("facts");
+  if (!facts.is_array() || facts.size() != oracle.size()) {
+    return Status::Internal(
+        "session " + session + ": service repaired " +
+        std::to_string(facts.size()) + " facts, oracle " +
+        std::to_string(oracle.size()));
+  }
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    if (facts.at(i).AsString() != oracle[i]) {
+      return Status::Internal("session " + session + ": fact " +
+                              std::to_string(i) + " diverged: service '" +
+                              facts.at(i).AsString() + "' vs oracle '" +
+                              oracle[i] + "'");
+    }
+  }
+  return answered;
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--server PATH] [--sessions N] [--workers N] [--kb NAME]"
+               " [--strategy NAME] [--seed S] [--quiet]\n";
+  return 2;
+}
+
+std::string DefaultServerPath(const char* argv0) {
+  const std::string self = argv0;
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "./kbrepaird";
+  return self.substr(0, slash + 1) + "kbrepaird";
+}
+
+int Main(int argc, char** argv) {
+  ClientOptions options;
+  options.server_path = DefaultServerPath(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--server" && (v = next_value())) {
+      options.server_path = v;
+    } else if (arg == "--sessions" && (v = next_value())) {
+      options.sessions = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--workers" && (v = next_value())) {
+      options.workers = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--kb" && (v = next_value())) {
+      options.kb = v;
+    } else if (arg == "--strategy" && (v = next_value())) {
+      options.strategy = v;
+    } else if (arg == "--seed" && (v = next_value())) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown or incomplete flag '" << arg << "'\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (options.sessions == 0) options.sessions = 1;
+
+  ServerConnection server;
+  if (!server.Spawn({options.server_path, "--workers",
+                     std::to_string(options.workers)})) {
+    std::cerr << "failed to spawn " << options.server_path << "\n";
+    return 1;
+  }
+
+  std::mutex report_mu;
+  std::vector<std::string> failures;
+  std::atomic<size_t> total_questions{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(options.sessions);
+  for (size_t i = 0; i < options.sessions; ++i) {
+    drivers.emplace_back([&, i] {
+      StatusOr<size_t> outcome = DriveSession(server, options, i);
+      if (outcome.ok()) {
+        total_questions.fetch_add(*outcome, std::memory_order_relaxed);
+      } else {
+        std::lock_guard<std::mutex> lock(report_mu);
+        failures.push_back("session " + std::to_string(i) + ": " +
+                           outcome.status().ToString());
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  // The lifecycle ledger must balance: every session opened was closed.
+  JsonValue metrics_request = JsonValue::Object();
+  metrics_request.Set("command", JsonValue::String("metrics"));
+  StatusOr<JsonValue> metrics = server.Call(std::move(metrics_request));
+  if (!metrics.ok()) {
+    failures.push_back("metrics: " + metrics.status().ToString());
+  } else {
+    const JsonValue& sessions = metrics->Get("sessions");
+    const int64_t opened = sessions.Get("opened").AsInt(-1);
+    const int64_t completed = sessions.Get("completed").AsInt(-1);
+    const int64_t active = sessions.Get("active").AsInt(-1);
+    const int64_t expected = static_cast<int64_t>(options.sessions);
+    if (opened != expected || completed != expected || active != 0) {
+      failures.push_back(
+          "metrics imbalance: opened=" + std::to_string(opened) +
+          " completed=" + std::to_string(completed) +
+          " active=" + std::to_string(active) + " expected " +
+          std::to_string(expected) + "/" + std::to_string(expected) + "/0");
+    }
+    if (!options.quiet) {
+      std::cout << "metrics: " << metrics->Dump() << "\n";
+    }
+  }
+
+  const int server_exit = server.ShutdownAndWait();
+  if (server_exit != 0) {
+    failures.push_back("server exited with code " +
+                       std::to_string(server_exit));
+  }
+  if (server.garbled_lines() != 0) {
+    failures.push_back(std::to_string(server.garbled_lines()) +
+                       " garbled response lines");
+  }
+
+  if (!failures.empty()) {
+    for (const std::string& failure : failures) {
+      std::cerr << "FAIL: " << failure << "\n";
+    }
+    return 1;
+  }
+  std::cout << "OK: " << options.sessions << " sessions, "
+            << total_questions.load() << " questions, repairs byte-identical"
+            << " to the single-threaded engine\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbrepair
+
+int main(int argc, char** argv) { return kbrepair::Main(argc, argv); }

@@ -1,0 +1,87 @@
+// kbrepaird: the repair-session daemon.
+//
+// Speaks the JSON-lines protocol over stdin/stdout: one request object
+// per input line, one response object per output line, correlated by the
+// client-chosen "id" (responses may be out of order — they are written
+// as workers finish). EOF on stdin triggers a graceful shutdown: queued
+// commands drain, transcripts flush, then the process exits 0.
+//
+// Usage:
+//   kbrepaird [--workers N] [--max-queue N] [--ttl-seconds S]
+//             [--transcript-dir DIR]
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "service/session_manager.h"
+
+namespace kbrepair {
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--workers N] [--max-queue N] [--ttl-seconds S]"
+               " [--transcript-dir DIR]\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      const char* v = next_value("--workers");
+      if (v == nullptr) return Usage(argv[0]);
+      config.num_workers = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--max-queue") {
+      const char* v = next_value("--max-queue");
+      if (v == nullptr) return Usage(argv[0]);
+      config.max_queue = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--ttl-seconds") {
+      const char* v = next_value("--ttl-seconds");
+      if (v == nullptr) return Usage(argv[0]);
+      config.idle_ttl_seconds = std::strtod(v, nullptr);
+    } else if (arg == "--transcript-dir") {
+      const char* v = next_value("--transcript-dir");
+      if (v == nullptr) return Usage(argv[0]);
+      config.transcript_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return Usage(argv[0]);
+    }
+  }
+
+  SessionManager manager(config);
+  // Workers complete concurrently; one mutex keeps response lines whole.
+  std::mutex stdout_mu;
+  auto emit = [&stdout_mu](std::string line) {
+    std::lock_guard<std::mutex> lock(stdout_mu);
+    std::cout << line << "\n" << std::flush;
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    manager.SubmitLine(line, emit);
+  }
+  manager.Shutdown();  // drain + flush before exiting
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbrepair
+
+int main(int argc, char** argv) { return kbrepair::Main(argc, argv); }

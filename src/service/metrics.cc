@@ -1,0 +1,105 @@
+#include "service/metrics.h"
+
+#include <cmath>
+
+namespace kbrepair {
+
+namespace {
+
+size_t BucketFor(uint64_t micros) {
+  size_t bucket = 0;
+  while ((uint64_t{1} << (bucket + 1)) <= micros &&
+         bucket + 1 < 40) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void LatencyHistogram::Observe(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const uint64_t micros = static_cast<uint64_t>(seconds * 1e6);
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_micros_.compare_exchange_weak(seen, micros,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1e6;
+}
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      return static_cast<double>(uint64_t{1} << (i + 1)) / 1e6;
+    }
+  }
+  return MaxSeconds();
+}
+
+double LatencyHistogram::MaxSeconds() const {
+  return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+JsonValue LatencyHistogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", JsonValue::Number(count()));
+  out.Set("mean_ms", JsonValue::Number(MeanSeconds() * 1e3));
+  out.Set("p50_ms", JsonValue::Number(QuantileSeconds(0.5) * 1e3));
+  out.Set("p95_ms", JsonValue::Number(QuantileSeconds(0.95) * 1e3));
+  out.Set("max_ms", JsonValue::Number(MaxSeconds() * 1e3));
+  return out;
+}
+
+JsonValue ServiceMetrics::ToJson() const {
+  JsonValue sessions = JsonValue::Object();
+  sessions.Set("opened",
+               JsonValue::Number(sessions_opened.load(std::memory_order_relaxed)));
+  sessions.Set("completed",
+               JsonValue::Number(sessions_completed.load(std::memory_order_relaxed)));
+  sessions.Set("evicted",
+               JsonValue::Number(sessions_evicted.load(std::memory_order_relaxed)));
+  sessions.Set("failed",
+               JsonValue::Number(sessions_failed.load(std::memory_order_relaxed)));
+  sessions.Set("active",
+               JsonValue::Number(sessions_active.load(std::memory_order_relaxed)));
+
+  JsonValue traffic = JsonValue::Object();
+  traffic.Set("questions_served",
+              JsonValue::Number(questions_served.load(std::memory_order_relaxed)));
+  traffic.Set("answers_applied",
+              JsonValue::Number(answers_applied.load(std::memory_order_relaxed)));
+  traffic.Set("requests_total",
+              JsonValue::Number(requests_total.load(std::memory_order_relaxed)));
+  traffic.Set("errors_total",
+              JsonValue::Number(errors_total.load(std::memory_order_relaxed)));
+  traffic.Set("rejected_overload",
+              JsonValue::Number(rejected_overload.load(std::memory_order_relaxed)));
+
+  JsonValue out = JsonValue::Object();
+  out.Set("sessions", std::move(sessions));
+  out.Set("traffic", std::move(traffic));
+  out.Set("turn_delay", turn_delay.ToJson());
+  out.Set("request_latency", request_latency.ToJson());
+  return out;
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,77 @@
+// Service-wide counters and latency histograms, surfaced through the
+// wire protocol's `metrics` command.
+//
+// Everything here is updated from worker threads on the hot path, so the
+// implementation is lock-free: plain atomic counters plus a fixed-bucket
+// logarithmic histogram (the standard approach of server metric
+// libraries — increments are one relaxed fetch_add, quantiles are
+// estimated from bucket upper bounds at read time).
+
+#ifndef KBREPAIR_SERVICE_METRICS_H_
+#define KBREPAIR_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/json.h"
+
+namespace kbrepair {
+
+// Log2-bucketed latency histogram: bucket i counts samples in
+// [2^i, 2^(i+1)) microseconds; the last bucket absorbs the tail.
+// Quantile() returns the upper bound of the bucket holding the q-th
+// sample — an overestimate by at most 2x, which is the usual trade for
+// lock-free recording.
+class LatencyHistogram {
+ public:
+  void Observe(double seconds);
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double MeanSeconds() const;
+  double QuantileSeconds(double q) const;
+  double MaxSeconds() const;
+
+  // {"count":n,"mean_ms":..,"p50_ms":..,"p95_ms":..,"max_ms":..}
+  JsonValue ToJson() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 40;  // up to ~2^40 us ≈ 12.7 days
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+// The service's aggregate state. One instance per SessionManager.
+struct ServiceMetrics {
+  // Session lifecycle.
+  std::atomic<uint64_t> sessions_opened{0};
+  std::atomic<uint64_t> sessions_completed{0};  // closed via `close`
+  std::atomic<uint64_t> sessions_evicted{0};    // reaped by the idle TTL
+  std::atomic<uint64_t> sessions_failed{0};     // create/step errors
+  std::atomic<int64_t> sessions_active{0};
+
+  // Dialogue traffic.
+  std::atomic<uint64_t> questions_served{0};
+  std::atomic<uint64_t> answers_applied{0};
+
+  // Wire traffic.
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> errors_total{0};
+  std::atomic<uint64_t> rejected_overload{0};
+
+  // Per-turn question-production delay (Prop. 4.10's service-latency
+  // bound, measured) and end-to-end per-command service time.
+  LatencyHistogram turn_delay;
+  LatencyHistogram request_latency;
+
+  JsonValue ToJson() const;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_METRICS_H_

@@ -1,0 +1,269 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "gen/durum_wheat.h"
+#include "gen/synthetic.h"
+#include "parser/dlgp_parser.h"
+
+namespace kbrepair {
+
+namespace {
+
+StatusOr<Strategy> StrategyFromName(const std::string& name) {
+  if (name == "random") return Strategy::kRandom;
+  if (name == "opti-join") return Strategy::kOptiJoin;
+  if (name == "opti-prop") return Strategy::kOptiProp;
+  if (name == "opti-mcd") return Strategy::kOptiMcd;
+  if (name == "opti-learn") return Strategy::kOptiLearn;
+  return Status::InvalidArgument("unknown strategy '" + name + "'");
+}
+
+JsonValue FactsToJson(const FactBase& facts, const SymbolTable& symbols) {
+  JsonValue out = JsonValue::Array();
+  for (AtomId id = 0; id < facts.size(); ++id) {
+    out.Append(JsonValue::String(facts.atom(id).ToString(symbols)));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<KnowledgeBase> BuildKbFromParams(const JsonValue& params,
+                                          std::string* label) {
+  if (params.Get("kb_dlgp").is_string()) {
+    KBREPAIR_ASSIGN_OR_RETURN(
+        KnowledgeBase kb, ParseDlgp(params.Get("kb_dlgp").AsString()));
+    KBREPAIR_RETURN_IF_ERROR(kb.Validate());
+    *label = "dlgp";
+    return kb;
+  }
+  const std::string name = params.Get("kb").AsString();
+  if (name == "durum_wheat_v1" || name == "durum_wheat_v2") {
+    DurumWheatOptions options;
+    options.version = name == "durum_wheat_v1" ? DurumWheatVersion::kV1
+                                               : DurumWheatVersion::kV2;
+    if (params.Get("kb_seed").is_number()) {
+      options.seed = static_cast<uint64_t>(params.Get("kb_seed").AsInt());
+    }
+    KBREPAIR_ASSIGN_OR_RETURN(DurumWheatKb durum,
+                              GenerateDurumWheatKb(options));
+    *label = name;
+    return std::move(durum.kb);
+  }
+  if (name == "synthetic") {
+    SyntheticKbOptions options;
+    // Service defaults favour fast interactive sessions; callers scale
+    // up explicitly.
+    options.num_facts = 60;
+    options.num_cdds = 6;
+    options.inconsistency_ratio = 0.3;
+    if (params.Get("kb_seed").is_number()) {
+      options.seed = static_cast<uint64_t>(params.Get("kb_seed").AsInt());
+    }
+    if (params.Get("num_facts").is_number()) {
+      options.num_facts =
+          static_cast<size_t>(params.Get("num_facts").AsInt());
+    }
+    if (params.Get("num_cdds").is_number()) {
+      options.num_cdds = static_cast<size_t>(params.Get("num_cdds").AsInt());
+    }
+    if (params.Get("inconsistency_ratio").is_number()) {
+      options.inconsistency_ratio =
+          params.Get("inconsistency_ratio").AsDouble();
+    }
+    KBREPAIR_ASSIGN_OR_RETURN(SyntheticKb synthetic,
+                              GenerateSyntheticKb(options));
+    *label = "synthetic";
+    return std::move(synthetic.kb);
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        "create needs a 'kb' name or inline 'kb_dlgp' text");
+  }
+  return Status::InvalidArgument("unknown kb '" + name + "'");
+}
+
+StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params) {
+  InquiryOptions options;
+  if (params.Get("strategy").is_string()) {
+    KBREPAIR_ASSIGN_OR_RETURN(
+        options.strategy, StrategyFromName(params.Get("strategy").AsString()));
+  }
+  if (params.Get("seed").is_number()) {
+    options.seed = static_cast<uint64_t>(params.Get("seed").AsInt());
+  }
+  if (params.Get("two_phase").is_bool()) {
+    options.two_phase = params.Get("two_phase").AsBool();
+  }
+  if (params.Get("max_questions").is_number()) {
+    options.max_questions =
+        static_cast<size_t>(params.Get("max_questions").AsInt());
+  }
+  return options;
+}
+
+RepairSession::RepairSession(std::string id, std::string kb_label,
+                             KnowledgeBase kb, InquiryOptions options)
+    : id_(std::move(id)),
+      kb_label_(std::move(kb_label)),
+      kb_(std::move(kb)),
+      options_(options),
+      engine_(std::make_unique<InquiryEngine>(&kb_, options_)) {}
+
+StatusOr<std::unique_ptr<RepairSession>> RepairSession::Create(
+    std::string id, const JsonValue& params) {
+  std::string label;
+  KBREPAIR_ASSIGN_OR_RETURN(KnowledgeBase kb,
+                            BuildKbFromParams(params, &label));
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryOptions options,
+                            InquiryOptionsFromParams(params));
+  std::unique_ptr<RepairSession> session(new RepairSession(
+      std::move(id), std::move(label), std::move(kb), options));
+  KBREPAIR_RETURN_IF_ERROR(session->engine_->Begin());
+  return session;
+}
+
+StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
+  KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
+                            engine_->NextQuestion());
+  JsonValue out = JsonValue::Object();
+  out.Set("session", JsonValue::String(id_));
+  const size_t answered = engine_->progress().records.size();
+  if (question == nullptr) {
+    out.Set("done", JsonValue::Bool(true));
+    out.Set("questions", JsonValue::Number(static_cast<int64_t>(answered)));
+    return out;
+  }
+  if (!question_outstanding_) {
+    question_outstanding_ = true;
+    if (metrics != nullptr) {
+      metrics->questions_served.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  out.Set("done", JsonValue::Bool(false));
+  out.Set("turn", JsonValue::Number(static_cast<int64_t>(answered + 1)));
+  out.Set("question", QuestionToWireJson(*question, engine_->View()));
+  return out;
+}
+
+StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
+                                          ServiceMetrics* metrics) {
+  if (!params.Get("choice").is_number() ||
+      params.Get("choice").AsInt() < 0) {
+    return Status::InvalidArgument(
+        "answer needs a non-negative numeric 'choice'");
+  }
+  const size_t choice = static_cast<size_t>(params.Get("choice").AsInt());
+  KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
+                            engine_->NextQuestion());
+  if (question == nullptr) {
+    return Status::FailedPrecondition("session is already consistent");
+  }
+  if (choice >= question->fixes.size()) {
+    return Status::InvalidArgument(
+        "choice " + std::to_string(choice) + " out of range (question has " +
+        std::to_string(question->fixes.size()) + " fixes)");
+  }
+  // Copy before Answer() invalidates the pending question.
+  const Question recorded = *question;
+  KBREPAIR_RETURN_IF_ERROR(engine_->Answer(choice));
+  transcript_.Record(recorded, choice);
+  question_outstanding_ = false;
+
+  const QuestionRecord& record = engine_->progress().records.back();
+  if (metrics != nullptr) {
+    metrics->answers_applied.fetch_add(1, std::memory_order_relaxed);
+    metrics->turn_delay.Observe(record.delay_seconds);
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("session", JsonValue::String(id_));
+  out.Set("applied", JsonValue::Bool(true));
+  out.Set("turn", JsonValue::Number(static_cast<int64_t>(
+                      engine_->progress().records.size())));
+  out.Set("phase", JsonValue::Number(static_cast<int64_t>(record.phase)));
+  out.Set("conflicts_remaining",
+          JsonValue::Number(static_cast<int64_t>(record.conflicts_remaining)));
+  return out;
+}
+
+JsonValue RepairSession::StatusInfo() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("session", JsonValue::String(id_));
+  out.Set("kb", JsonValue::String(kb_label_));
+  out.Set("strategy", JsonValue::String(StrategyName(options_.strategy)));
+  out.Set("seed", JsonValue::Number(static_cast<int64_t>(options_.seed)));
+  const char* state = "active";
+  if (closed_) {
+    state = "closed";
+  } else if (engine_->finished()) {
+    state = "consistent";
+  } else if (question_outstanding_) {
+    state = "awaiting_answer";
+  }
+  out.Set("state", JsonValue::String(state));
+  out.Set("questions", JsonValue::Number(static_cast<int64_t>(
+                           engine_->started()
+                               ? engine_->progress().records.size()
+                               : transcript_.size())));
+  if (engine_->started()) {
+    out.Set("facts", JsonValue::Number(static_cast<int64_t>(
+                         engine_->working_facts().size())));
+    out.Set("initial_conflicts",
+            JsonValue::Number(static_cast<int64_t>(
+                engine_->progress().initial_conflicts)));
+  }
+  return out;
+}
+
+StatusOr<JsonValue> RepairSession::Snapshot() const {
+  if (!engine_->started()) {
+    return Status::FailedPrecondition("session is closed");
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("session", JsonValue::String(id_));
+  out.Set("consistent", JsonValue::Bool(engine_->finished()));
+  out.Set("questions", JsonValue::Number(static_cast<int64_t>(
+                           engine_->progress().records.size())));
+  out.Set("transcript", transcript_.ToJson(kb_.symbols()));
+  out.Set("facts", FactsToJson(engine_->working_facts(), kb_.symbols()));
+  return out;
+}
+
+StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
+                                         ServiceMetrics* metrics) {
+  if (closed_) {
+    return Status::FailedPrecondition("session is already closed");
+  }
+  const bool consistent = engine_->finished();
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryResult result, engine_->Finish());
+  closed_ = true;
+  (void)metrics;
+  JsonValue out = JsonValue::Object();
+  out.Set("session", JsonValue::String(id_));
+  out.Set("closed", JsonValue::Bool(true));
+  out.Set("consistent", JsonValue::Bool(consistent));
+  out.Set("questions",
+          JsonValue::Number(static_cast<int64_t>(result.num_questions())));
+  out.Set("applied_fixes",
+          JsonValue::Number(static_cast<int64_t>(result.applied_fixes.size())));
+  out.Set("total_seconds", JsonValue::Number(result.total_seconds));
+  out.Set("mean_delay_ms",
+          JsonValue::Number(result.MeanDelaySeconds() * 1e3));
+  if (params.Get("include_facts").AsBool(false)) {
+    out.Set("facts", FactsToJson(result.facts, kb_.symbols()));
+  }
+  return out;
+}
+
+JsonValue RepairSession::TranscriptJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("session", JsonValue::String(id_));
+  out.Set("kb", JsonValue::String(kb_label_));
+  out.Set("strategy", JsonValue::String(StrategyName(options_.strategy)));
+  out.Set("seed", JsonValue::Number(static_cast<int64_t>(options_.seed)));
+  out.Set("transcript", transcript_.ToJson(kb_.symbols()));
+  return out;
+}
+
+}  // namespace kbrepair

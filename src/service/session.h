@@ -1,0 +1,92 @@
+// One managed repair session: a knowledge base plus a suspended inquiry
+// dialogue, driven one protocol command at a time.
+//
+// A RepairSession owns its KnowledgeBase (and thus its symbol table), so
+// sessions share no mutable state and can run on different workers
+// concurrently. Within one session, the SessionManager serializes
+// command execution — handlers here assume single-threaded access.
+
+#ifndef KBREPAIR_SERVICE_SESSION_H_
+#define KBREPAIR_SERVICE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "repair/inquiry.h"
+#include "repair/session_log.h"
+#include "rules/knowledge_base.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+// Parses a `create` request's KB source:
+//   "kb": "durum_wheat_v1" | "durum_wheat_v2" | "synthetic"
+//         (synthetic honours kb_seed, num_facts, num_cdds,
+//          inconsistency_ratio), or
+//   "kb_dlgp": inline DLGP text.
+// The KB is validated (weak acyclicity etc.) before use. `label` gets a
+// short description for status/metrics output.
+StatusOr<KnowledgeBase> BuildKbFromParams(const JsonValue& params,
+                                          std::string* label);
+
+// Parses strategy/seed/two_phase/max_questions from `create` params.
+StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params);
+
+class RepairSession {
+ public:
+  // Builds the KB, starts the dialogue (Π-repairability check + initial
+  // conflict census). Fails without registering anything on bad params
+  // or an unrepairable KB.
+  static StatusOr<std::unique_ptr<RepairSession>> Create(
+      std::string id, const JsonValue& params);
+
+  const std::string& id() const { return id_; }
+  const std::string& kb_label() const { return kb_label_; }
+
+  // `ask`: the pending question (generating it if necessary), or
+  // {"done":true} once consistent. Idempotent between answers.
+  StatusOr<JsonValue> Ask(ServiceMetrics* metrics);
+
+  // `answer`: applies params["choice"], records the transcript entry.
+  StatusOr<JsonValue> Answer(const JsonValue& params,
+                             ServiceMetrics* metrics);
+
+  // `status`: cheap introspection; never advances the dialogue.
+  JsonValue StatusInfo() const;
+
+  // `snapshot`: transcript JSON + current working facts.
+  StatusOr<JsonValue> Snapshot() const;
+
+  // `close`: finalizes the inquiry and reports totals; with
+  // params["include_facts"] the repaired fact base rides along.
+  StatusOr<JsonValue> Close(const JsonValue& params,
+                            ServiceMetrics* metrics);
+
+  // Transcript + identity, written to disk by the manager on close or
+  // shutdown (when a transcript directory is configured).
+  JsonValue TranscriptJson() const;
+
+  bool closed() const { return closed_; }
+
+ private:
+  RepairSession(std::string id, std::string kb_label, KnowledgeBase kb,
+                InquiryOptions options);
+
+  std::string id_;
+  std::string kb_label_;
+  KnowledgeBase kb_;
+  InquiryOptions options_;
+  // Constructed after kb_ reaches its final address (the engine keeps a
+  // KnowledgeBase*).
+  std::unique_ptr<InquiryEngine> engine_;
+  SessionTranscript transcript_;
+  bool question_outstanding_ = false;  // served but not yet answered
+  bool closed_ = false;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_SESSION_H_

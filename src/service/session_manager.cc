@@ -1,0 +1,353 @@
+#include "service/session_manager.h"
+
+#include <fstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+namespace {
+
+// Commands that do not address an existing session.
+bool IsIndependentCommand(const std::string& command) {
+  return command == "create" || command == "metrics";
+}
+
+}  // namespace
+
+SessionManager::SessionManager(ServiceConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_workers == 0) config_.num_workers = 1;
+  if (config_.max_queue == 0) config_.max_queue = 1;
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+void SessionManager::Submit(ServiceRequest request, Completion done) {
+  metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  Task task;
+  task.request = std::move(request);
+  task.done = std::move(done);
+
+  Status rejection = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejection = Status::FailedPrecondition("service is shutting down");
+    } else if (tasks_in_flight_ >= config_.max_queue) {
+      metrics_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      rejection = Status::FailedPrecondition(
+          "service overloaded (" + std::to_string(tasks_in_flight_) +
+          " commands in flight, max " + std::to_string(config_.max_queue) +
+          ")");
+    } else if (IsIndependentCommand(task.request.command)) {
+      ++tasks_in_flight_;
+      ready_.push_back(std::move(task));
+      work_cv_.notify_one();
+      return;
+    } else if (task.request.session_id.empty()) {
+      rejection = Status::InvalidArgument(
+          "command '" + task.request.command + "' needs a 'session' id");
+    } else {
+      auto it = sessions_.find(task.request.session_id);
+      if (it == sessions_.end()) {
+        rejection = Status::NotFound("unknown session '" +
+                                     task.request.session_id + "'");
+      } else {
+        ++tasks_in_flight_;
+        SessionEntry& entry = it->second;
+        entry.waiting.push_back(std::move(task));
+        // A session key sits in ready_ at most once: it is enqueued only
+        // on the idle -> busy transition, and the owning worker re-enqueues
+        // it (or clears `busy`) when it finishes a command.
+        if (!entry.busy) {
+          entry.busy = true;
+          ready_.push_back(it->first);
+        }
+        work_cv_.notify_one();
+        return;
+      }
+    }
+  }
+  Complete(task, rejection, JsonValue::Null());
+}
+
+void SessionManager::SubmitLine(const std::string& line,
+                                std::function<void(std::string)> emit) {
+  StatusOr<ServiceRequest> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+    metrics_.errors_total.fetch_add(1, std::memory_order_relaxed);
+    emit(ErrorResponseForLine(line, parsed.status()));
+    return;
+  }
+  ServiceRequest request = std::move(parsed).value();
+  std::string id = request.id;
+  Submit(std::move(request),
+         [id = std::move(id), emit = std::move(emit)](Status status,
+                                                      JsonValue result) {
+           ServiceRequest echo;
+           echo.id = id;
+           emit(status.ok() ? OkResponseLine(echo, std::move(result))
+                            : ErrorResponseLine(echo, status));
+         });
+}
+
+StatusOr<JsonValue> SessionManager::Execute(ServiceRequest request) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Status status = Status::Ok();
+  JsonValue result;
+  Submit(std::move(request), [&](Status s, JsonValue r) {
+    std::lock_guard<std::mutex> lock(mu);
+    status = std::move(s);
+    result = std::move(r);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  if (!status.ok()) return status;
+  return result;
+}
+
+void SessionManager::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    stopping_ = true;
+    drain_cv_.wait(lock, [this] { return tasks_in_flight_ == 0; });
+    exiting_ = true;
+    shut_down_ = true;
+  }
+  work_cv_.notify_all();
+  reaper_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  if (reaper_.joinable()) reaper_.join();
+  // Single-threaded from here: flush transcripts of sessions that were
+  // never closed, then drop them.
+  for (const auto& [id, entry] : sessions_) {
+    if (!config_.transcript_dir.empty() && entry.session != nullptr) {
+      WriteTranscriptFile(id, entry.session->TranscriptJson().Dump());
+    }
+  }
+  sessions_.clear();
+}
+
+void SessionManager::WorkerLoop() {
+  for (;;) {
+    ReadyItem item{std::string()};
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return exiting_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // exiting_ after drain
+      item = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    if (std::holds_alternative<Task>(item)) {
+      RunIndependent(std::move(std::get<Task>(item)));
+    } else {
+      RunSessionCommand(std::get<std::string>(item));
+    }
+  }
+}
+
+void SessionManager::RunIndependent(Task task) {
+  if (task.request.command == "create") {
+    RunCreate(std::move(task));
+    return;
+  }
+  // metrics
+  Complete(task, Status::Ok(), MetricsJson());
+  TaskDone();
+}
+
+void SessionManager::RunCreate(Task task) {
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = "s-" + std::to_string(++next_session_);
+  }
+  StatusOr<std::unique_ptr<RepairSession>> created =
+      RepairSession::Create(id, task.request.params);
+  if (!created.ok()) {
+    metrics_.sessions_failed.fetch_add(1, std::memory_order_relaxed);
+    Complete(task, created.status(), JsonValue::Null());
+    TaskDone();
+    return;
+  }
+  std::unique_ptr<RepairSession> session = std::move(created).value();
+  // Compute the response before registering: once the entry is visible,
+  // another worker could legally run a command against it.
+  JsonValue info = session->StatusInfo();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionEntry entry;
+    entry.session = std::move(session);
+    entry.last_activity = std::chrono::steady_clock::now();
+    sessions_.emplace(id, std::move(entry));
+    metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_active.fetch_add(1, std::memory_order_relaxed);
+  }
+  Complete(task, Status::Ok(), std::move(info));
+  TaskDone();
+}
+
+void SessionManager::RunSessionCommand(const std::string& key) {
+  Task task;
+  RepairSession* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(key);
+    KBREPAIR_DCHECK(it != sessions_.end()) << "scheduled session vanished";
+    KBREPAIR_DCHECK(!it->second.waiting.empty());
+    task = std::move(it->second.waiting.front());
+    it->second.waiting.pop_front();
+    session = it->second.session.get();
+  }
+
+  // The busy flag keeps every other worker (and the reaper) away from
+  // this session, so the handler runs without holding mu_.
+  StatusOr<JsonValue> outcome =
+      DispatchToSession(session, task.request);
+  const bool closing = task.request.command == "close" && outcome.ok();
+  std::string transcript_dump;
+  if (closing && !config_.transcript_dir.empty()) {
+    transcript_dump = session->TranscriptJson().Dump();
+  }
+
+  std::vector<Task> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(key);
+    KBREPAIR_DCHECK(it != sessions_.end());
+    it->second.last_activity = std::chrono::steady_clock::now();
+    if (closing) {
+      metrics_.sessions_completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+      while (!it->second.waiting.empty()) {
+        orphaned.push_back(std::move(it->second.waiting.front()));
+        it->second.waiting.pop_front();
+      }
+      sessions_.erase(it);
+    } else if (!it->second.waiting.empty()) {
+      ready_.push_back(key);
+      work_cv_.notify_one();
+    } else {
+      it->second.busy = false;
+    }
+  }
+
+  if (!transcript_dump.empty()) WriteTranscriptFile(key, transcript_dump);
+  if (outcome.ok()) {
+    Complete(task, Status::Ok(), std::move(outcome).value());
+  } else {
+    Complete(task, outcome.status(), JsonValue::Null());
+  }
+  TaskDone();
+  for (Task& orphan : orphaned) {
+    Complete(orphan, Status::NotFound("session '" + key + "' was closed"),
+             JsonValue::Null());
+    TaskDone();
+  }
+}
+
+StatusOr<JsonValue> SessionManager::DispatchToSession(
+    RepairSession* session, const ServiceRequest& request) {
+  if (request.command == "ask") return session->Ask(&metrics_);
+  if (request.command == "answer") {
+    return session->Answer(request.params, &metrics_);
+  }
+  if (request.command == "status") return session->StatusInfo();
+  if (request.command == "snapshot") return session->Snapshot();
+  if (request.command == "close") {
+    return session->Close(request.params, &metrics_);
+  }
+  return Status::InvalidArgument("unknown command '" + request.command + "'");
+}
+
+JsonValue SessionManager::MetricsJson() {
+  JsonValue out = metrics_.ToJson();
+  JsonValue service = JsonValue::Object();
+  service.Set("workers",
+              JsonValue::Number(static_cast<int64_t>(config_.num_workers)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    service.Set("commands_in_flight",
+                JsonValue::Number(static_cast<int64_t>(tasks_in_flight_)));
+    service.Set("sessions_registered",
+                JsonValue::Number(static_cast<int64_t>(sessions_.size())));
+  }
+  out.Set("service", std::move(service));
+  return out;
+}
+
+void SessionManager::Complete(Task& task, const Status& status,
+                              JsonValue result) {
+  metrics_.request_latency.Observe(task.timer.ElapsedSeconds());
+  if (!status.ok()) {
+    metrics_.errors_total.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (task.done) task.done(status, std::move(result));
+}
+
+void SessionManager::TaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  KBREPAIR_DCHECK(tasks_in_flight_ > 0);
+  --tasks_in_flight_;
+  if (tasks_in_flight_ == 0) drain_cv_.notify_all();
+}
+
+void SessionManager::ReaperLoop() {
+  for (;;) {
+    std::vector<std::pair<std::string, std::string>> flushes;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto interval = std::chrono::milliseconds(
+          config_.idle_ttl_seconds > 0
+              ? std::max<int64_t>(
+                    10, static_cast<int64_t>(config_.idle_ttl_seconds * 250))
+              : 500);
+      reaper_cv_.wait_for(lock, interval, [this] { return exiting_; });
+      if (exiting_) return;
+      if (config_.idle_ttl_seconds <= 0) continue;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        SessionEntry& entry = it->second;
+        const double idle =
+            std::chrono::duration<double>(now - entry.last_activity).count();
+        if (!entry.busy && entry.waiting.empty() &&
+            idle > config_.idle_ttl_seconds) {
+          if (!config_.transcript_dir.empty()) {
+            flushes.emplace_back(it->first,
+                                 entry.session->TranscriptJson().Dump());
+          }
+          metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+          metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+          it = sessions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& [id, dump] : flushes) WriteTranscriptFile(id, dump);
+  }
+}
+
+void SessionManager::WriteTranscriptFile(const std::string& session_id,
+                                         const std::string& dump) const {
+  const std::string path =
+      config_.transcript_dir + "/" + session_id + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;  // best effort; the transcript also lives in memory
+  out << dump << "\n";
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,138 @@
+// SessionManager: the thread-safe registry and scheduler behind
+// `kbrepaird`.
+//
+// Scheduling model (the classic "serial executor per key over a shared
+// pool" used by actor runtimes and HTTP/2 servers):
+//  * N workers pull from one ready queue (bounded by max_queue across
+//    all pending commands; excess submissions are rejected, not
+//    buffered — backpressure instead of unbounded memory);
+//  * commands addressed to one session are executed strictly in arrival
+//    order by at most one worker at a time (a `busy` bit plus a
+//    per-session wait queue), so session state needs no locking of its
+//    own while distinct sessions run fully in parallel;
+//  * `create`/`metrics` are session-less and run as independent tasks;
+//  * a reaper thread evicts sessions idle longer than the TTL;
+//  * Shutdown() stops intake, drains every queued command, joins the
+//    workers and flushes all remaining transcripts to transcript_dir.
+//
+// Completions run on worker threads; they must not call back into the
+// manager (the daemon's completion just writes one line to stdout).
+
+#ifndef KBREPAIR_SERVICE_SESSION_MANAGER_H_
+#define KBREPAIR_SERVICE_SESSION_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/session.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace kbrepair {
+
+struct ServiceConfig {
+  size_t num_workers = 4;
+  // Cap on commands queued or executing across all sessions; beyond it
+  // submissions fail fast with FailedPrecondition.
+  size_t max_queue = 1024;
+  // Sessions idle (no queued or executing command) longer than this are
+  // evicted by the reaper. <= 0 disables eviction.
+  double idle_ttl_seconds = 0.0;
+  // When non-empty, transcripts are written here as <session-id>.json on
+  // close, eviction and shutdown.
+  std::string transcript_dir;
+};
+
+class SessionManager {
+ public:
+  // Completion callbacks receive the handler outcome; the error/result
+  // envelope is the wire layer's business (SubmitLine does it).
+  using Completion = std::function<void(Status, JsonValue)>;
+
+  explicit SessionManager(ServiceConfig config);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Enqueues a command; `done` fires exactly once, on a worker thread
+  // (or inline on rejection).
+  void Submit(ServiceRequest request, Completion done);
+
+  // Wire-level submit: parses `line`, runs it, and emits exactly one
+  // JSON response line (envelope included) through `emit`.
+  void SubmitLine(const std::string& line,
+                  std::function<void(std::string)> emit);
+
+  // Blocking convenience for tests and synchronous clients.
+  StatusOr<JsonValue> Execute(ServiceRequest request);
+
+  // Stops intake, drains all queued commands, joins threads, flushes
+  // transcripts. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServiceMetrics& metrics() { return metrics_; }
+  size_t num_workers() const { return config_.num_workers; }
+
+ private:
+  struct Task {
+    ServiceRequest request;
+    Completion done;
+    WallTimer timer;  // request latency, submission to completion
+  };
+  struct SessionEntry {
+    std::unique_ptr<RepairSession> session;
+    std::deque<Task> waiting;
+    bool busy = false;  // a worker owns this session right now
+    std::chrono::steady_clock::time_point last_activity;
+  };
+  // An independent task, or the key of a session with queued commands.
+  using ReadyItem = std::variant<Task, std::string>;
+
+  void WorkerLoop();
+  void ReaperLoop();
+  void RunIndependent(Task task);
+  void RunCreate(Task task);
+  void RunSessionCommand(const std::string& key);
+  StatusOr<JsonValue> DispatchToSession(RepairSession* session,
+                                        const ServiceRequest& request);
+  JsonValue MetricsJson();
+  // Finishes one task: records latency/error metrics, fires `done`.
+  void Complete(Task& task, const Status& status, JsonValue result);
+  void TaskDone();  // decrements tasks_in_flight_, wakes Shutdown
+  void WriteTranscriptFile(const std::string& session_id,
+                           const std::string& dump) const;
+
+  ServiceConfig config_;
+  ServiceMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;    // workers wait for ready items
+  std::condition_variable drain_cv_;   // Shutdown waits for in-flight 0
+  std::condition_variable reaper_cv_;  // reaper interval / exit
+  std::deque<ReadyItem> ready_;
+  std::unordered_map<std::string, SessionEntry> sessions_;
+  size_t tasks_in_flight_ = 0;  // queued + executing
+  uint64_t next_session_ = 0;
+  bool stopping_ = false;  // intake closed
+  bool exiting_ = false;   // drain finished; threads may return
+  bool shut_down_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_SESSION_MANAGER_H_

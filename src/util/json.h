@@ -1,0 +1,139 @@
+// A minimal JSON value type with a hand-rolled parser and compact
+// writer — just enough for the repair service's newline-delimited wire
+// protocol and transcript snapshots, with no third-party dependency.
+//
+// Deliberate simplifications:
+//  * numbers are stored as double (exact for integers up to 2^53, which
+//    covers every id and counter the project produces);
+//  * objects preserve insertion order and are searched linearly (wire
+//    objects have a handful of keys);
+//  * Dump() emits compact one-line JSON with no embedded newlines, so a
+//    dumped value is always a valid JSON-lines record.
+
+#ifndef KBREPAIR_UTIL_JSON_H_
+#define KBREPAIR_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kbrepair {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Default-constructs JSON null.
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = value;
+    return v;
+  }
+  static JsonValue Number(double value) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+  static JsonValue Number(int64_t value) {
+    return Number(static_cast<double>(value));
+  }
+  static JsonValue Number(uint64_t value) {
+    return Number(static_cast<double>(value));
+  }
+  static JsonValue String(std::string value) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(value);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Accessors return a neutral default when the kind mismatches, so wire
+  // handlers can probe optional fields without branching on kind first.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+
+  // --- Arrays ------------------------------------------------------------
+
+  size_t size() const {
+    return is_array() ? items_.size() : (is_object() ? members_.size() : 0);
+  }
+  const JsonValue& at(size_t index) const;
+  JsonValue& Append(JsonValue value);
+
+  // --- Objects -----------------------------------------------------------
+
+  // Returns the member value or nullptr when absent / not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Find() with a JSON-null fallback, for one-liner optional reads.
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  // Inserts or overwrites a member; returns *this for chaining.
+  JsonValue& Set(const std::string& key, JsonValue value);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Compact serialization (no whitespace, '\n'-free; see header comment).
+  std::string Dump() const;
+
+  // Parses one JSON document; trailing non-whitespace is an error.
+  // Errors carry a byte offset.
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;    // kObject
+};
+
+// Escapes `text` as a JSON string literal, including the quotes.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_JSON_H_

@@ -1,0 +1,110 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kbrepair {
+namespace {
+
+TEST(JsonTest, DumpsScalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Number(int64_t{42}).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Number(2.5).Dump(), "2.5");
+  EXPECT_EQ(JsonValue::String("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(JsonValue::String("a\"b\\c\n\t").Dump(),
+            "\"a\\\"b\\\\c\\n\\t\"");
+  // Control bytes become \u escapes; the dump stays one printable line.
+  const std::string dumped = JsonValue::String(std::string("\x01", 1)).Dump();
+  EXPECT_EQ(dumped, "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("z", JsonValue::Number(int64_t{1}));
+  object.Set("a", JsonValue::Number(int64_t{2}));
+  object.Set("m", JsonValue::Number(int64_t{3}));
+  EXPECT_EQ(object.Dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  // Overwriting keeps the original position.
+  object.Set("a", JsonValue::Number(int64_t{9}));
+  EXPECT_EQ(object.Dump(), "{\"z\":1,\"a\":9,\"m\":3}");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(
+      R"( {"a": [1, 2.5, -3], "b": {"c": null, "d": [true, false]},
+           "e": "x\ny"} )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Get("a").size(), 3u);
+  EXPECT_EQ(parsed->Get("a").at(0).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(parsed->Get("a").at(1).AsDouble(), 2.5);
+  EXPECT_EQ(parsed->Get("a").at(2).AsInt(), -3);
+  EXPECT_TRUE(parsed->Get("b").Get("c").is_null());
+  EXPECT_TRUE(parsed->Get("b").Get("d").at(0).AsBool());
+  EXPECT_EQ(parsed->Get("e").AsString(), "x\ny");
+}
+
+TEST(JsonTest, RoundTripsThroughDump) {
+  JsonValue original = JsonValue::Object();
+  JsonValue list = JsonValue::Array();
+  list.Append(JsonValue::String("a \"quoted\" string"));
+  list.Append(JsonValue::Number(int64_t{123456789}));
+  list.Append(JsonValue::Bool(false));
+  list.Append(JsonValue::Null());
+  original.Set("list", std::move(list));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("k", JsonValue::Number(0.125));
+  original.Set("nested", std::move(nested));
+
+  StatusOr<JsonValue> reparsed = JsonValue::Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(JsonTest, ParseErrorsCarryByteOffsets) {
+  StatusOr<JsonValue> bad = JsonValue::Parse("{\"a\": }");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("byte"), std::string::npos);
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{} x").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+}
+
+TEST(JsonTest, RejectsUnterminatedInput) {
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": [1, 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"abc").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, MissingMembersReadAsNull) {
+  JsonValue object = JsonValue::Object();
+  EXPECT_TRUE(object.Get("absent").is_null());
+  EXPECT_EQ(object.Get("absent").AsInt(-1), -1);
+  EXPECT_FALSE(object.Has("absent"));
+  EXPECT_EQ(object.Find("absent"), nullptr);
+}
+
+TEST(JsonTest, DumpIsSingleLine) {
+  JsonValue value = JsonValue::Object();
+  value.Set("text", JsonValue::String("line1\nline2\rline3"));
+  const std::string dumped = value.Dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+  EXPECT_EQ(dumped.find('\r'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kbrepair

@@ -128,6 +128,60 @@ TEST(ParserTest, RejectsEqualityInTgd) {
   EXPECT_FALSE(ParseDlgp("q(X, Y) :- p(X, Y), X = Y.").ok());
 }
 
+// --- Malformed-input corpus -------------------------------------------
+// Every case must fail with a clean InvalidArgument carrying a
+// line/column position — never a crash, hang, or silent acceptance.
+
+TEST(ParserTest, TruncatedAtomReportsPosition) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp("p(a,");
+  ASSERT_FALSE(kb.ok());
+  EXPECT_EQ(kb.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(kb.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(kb.status().message().find("column 5"), std::string::npos);
+}
+
+TEST(ParserTest, UnbalancedParensReportPosition) {
+  // Extra ')' after a complete atom: the parser expects '.' there.
+  StatusOr<KnowledgeBase> kb = ParseDlgp("p(a, b)).");
+  ASSERT_FALSE(kb.ok());
+  EXPECT_EQ(kb.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(kb.status().message().find("line 1, column 8"),
+            std::string::npos);
+
+  // Missing ')' swallows the '.' as a term separator error.
+  EXPECT_FALSE(ParseDlgp("p(a, b. q(c).").ok());
+}
+
+TEST(ParserTest, StrayBottomSymbolReportsHexByte) {
+  // "⊥" (U+22A5) is not part of the DLGP syntax; the CDD head marker is
+  // '!'. The error must name the offending byte in printable hex.
+  StatusOr<KnowledgeBase> kb = ParseDlgp("⊥ :- p(X, X).");
+  ASSERT_FALSE(kb.ok());
+  EXPECT_EQ(kb.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(kb.status().message().find("line 1, column 1"),
+            std::string::npos);
+  EXPECT_NE(kb.status().message().find("0xe2"), std::string::npos);
+  // The raw multi-byte character itself must not leak into the message.
+  EXPECT_EQ(kb.status().message().find("\xe2\x8a\xa5"), std::string::npos);
+}
+
+TEST(ParserTest, EmbeddedNulByteReportsHexByte) {
+  const std::string text("p(a\0b).", 7);
+  StatusOr<KnowledgeBase> kb = ParseDlgp(text);
+  ASSERT_FALSE(kb.ok());
+  EXPECT_EQ(kb.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(kb.status().message().find("0x00"), std::string::npos);
+  EXPECT_NE(kb.status().message().find("column 4"), std::string::npos);
+}
+
+TEST(ParserTest, ColumnsResetAcrossLines) {
+  StatusOr<KnowledgeBase> kb = ParseDlgp("p(a).\nq(b).\n  r(@).");
+  ASSERT_FALSE(kb.ok());
+  EXPECT_NE(kb.status().message().find("line 3, column 5"),
+            std::string::npos);
+  EXPECT_NE(kb.status().message().find("'@'"), std::string::npos);
+}
+
 TEST(ParserTest, RejectsLoneColon) {
   EXPECT_FALSE(ParseDlgp("p(a) : q(b).").ok());
 }
