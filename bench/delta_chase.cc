@@ -1,0 +1,204 @@
+// Delta-chase microbench: per-question delay of the scratch conflict
+// engine (full re-chase + AllConflicts before every question) against
+// the incremental engine (maintained chased base + index-anchored
+// conflict census) on the Fig. 5 synthetic workload.
+//
+// Two ladders, both TGD-heavy so the chase dominates the delay:
+//   size   — growing fact count at fixed depth, the Fig. 5 (b) shape;
+//   depth  — fixed size, conflict depth d1..d4 with growing TGD sets,
+//            the Fig. 5 (c) shape.
+// Both engines see the same KBs, seeds and random users, so they ask
+// the same number of questions and the delay ratio isolates the engine.
+//
+// `--json` appends a machine-readable baseline (the BENCH_delta_chase.json
+// format) after the tables; the checked-in baseline is produced with
+//   ./build/bench/delta_chase --json
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/synthetic.h"
+#include "util/logging.h"
+
+namespace kbrepair {
+namespace bench {
+namespace {
+
+constexpr int kRepetitions = 3;
+
+struct EngineRun {
+  double mean_delay_ms = 0;
+  double median_delay_ms = 0;
+  double max_delay_ms = 0;
+  double questions = 0;
+};
+
+struct Comparison {
+  std::string label;
+  size_t num_facts = 0;
+  size_t num_tgds = 0;
+  int depth = 0;
+  EngineRun scratch;
+  EngineRun incremental;
+  double speedup = 0;  // scratch mean delay / incremental mean delay
+};
+
+EngineRun RunEngine(const SyntheticKbOptions& gen_options,
+                    ConflictEngineKind engine) {
+  SampleStats delays;
+  SampleStats questions;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    SyntheticKbOptions options = gen_options;
+    options.seed = gen_options.seed + static_cast<uint64_t>(rep);
+    StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
+    KBREPAIR_CHECK(generated.ok()) << generated.status();
+    InquiryOptions inquiry_options;
+    inquiry_options.conflict_engine = engine;
+    const StrategyRun run =
+        RunStrategy(generated->kb, Strategy::kOptiMcd, /*repetitions=*/1,
+                    /*base_seed=*/777 + static_cast<uint64_t>(rep),
+                    inquiry_options);
+    delays.AddAll(run.delays.samples());
+    questions.AddAll(run.questions.samples());
+  }
+  EngineRun out;
+  const BoxplotSummary box = delays.Boxplot();
+  out.mean_delay_ms = box.mean * 1e3;
+  out.median_delay_ms = box.median * 1e3;
+  out.max_delay_ms = box.max * 1e3;
+  out.questions = questions.Mean();
+  return out;
+}
+
+Comparison Compare(const SyntheticKbOptions& options,
+                   const std::string& label) {
+  Comparison c;
+  c.label = label;
+  c.num_facts = options.num_facts;
+  c.num_tgds = options.num_tgds;
+  c.depth = options.conflict_depth;
+  c.scratch = RunEngine(options, ConflictEngineKind::kScratch);
+  c.incremental = RunEngine(options, ConflictEngineKind::kIncremental);
+  c.speedup = c.incremental.mean_delay_ms > 0
+                  ? c.scratch.mean_delay_ms / c.incremental.mean_delay_ms
+                  : 0;
+  return c;
+}
+
+void PrintComparison(const Comparison& c) {
+  PrintRow({c.label, FormatDouble(c.scratch.mean_delay_ms, 2),
+            FormatDouble(c.incremental.mean_delay_ms, 2),
+            FormatDouble(c.speedup, 2) + "x",
+            FormatDouble(c.scratch.questions, 1)},
+           {18, 16, 16, 10, 12});
+}
+
+std::string ComparisonJson(const Comparison& c) {
+  auto engine_json = [](const EngineRun& run) {
+    return std::string("{\"mean_delay_ms\": ") +
+           FormatDouble(run.mean_delay_ms, 3) +
+           ", \"median_delay_ms\": " + FormatDouble(run.median_delay_ms, 3) +
+           ", \"max_delay_ms\": " + FormatDouble(run.max_delay_ms, 3) +
+           ", \"avg_questions\": " + FormatDouble(run.questions, 1) + "}";
+  };
+  return "    {\"config\": \"" + c.label +
+         "\", \"num_facts\": " + std::to_string(c.num_facts) +
+         ", \"num_tgds\": " + std::to_string(c.num_tgds) +
+         ", \"conflict_depth\": " + std::to_string(c.depth) +
+         ",\n     \"scratch\": " + engine_json(c.scratch) +
+         ",\n     \"incremental\": " + engine_json(c.incremental) +
+         ",\n     \"speedup\": " + FormatDouble(c.speedup, 2) + "}";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kbrepair
+
+int main(int argc, char** argv) {
+  using namespace kbrepair;
+  using namespace kbrepair::bench;
+
+  bool emit_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
+  }
+
+  std::printf(
+      "Delta-chase microbench — per-question delay (ms), opti-mcd, "
+      "scratch vs incremental engine, %d repetitions\n",
+      kRepetitions);
+
+  std::vector<Comparison> size_ladder;
+  PrintHeader("size ladder — depth 2, 60 TGDs, 30% inconsistency");
+  PrintRow({"size", "scratch (ms)", "incremental (ms)", "speedup",
+            "avg #questions"},
+           {18, 16, 16, 10, 12});
+  for (size_t num_facts : {400, 1000, 2000, 3000}) {
+    SyntheticKbOptions options;
+    options.seed = 21;
+    options.num_facts = num_facts;
+    options.inconsistency_ratio = 0.3;
+    options.num_cdds = 40;
+    options.cdd_min_atoms = 2;
+    options.cdd_max_atoms = 4;
+    options.min_arity = 2;
+    options.max_arity = 6;
+    options.num_tgds = 60;
+    options.conflict_depth = 2;
+    options.routed_violation_share = 0.6;
+    options.min_multiplicity = 1;
+    options.max_multiplicity = 2;
+    size_ladder.push_back(
+        Compare(options, std::to_string(num_facts) + " atoms"));
+    PrintComparison(size_ladder.back());
+  }
+
+  std::vector<Comparison> depth_ladder;
+  PrintHeader(
+      "depth ladder — 400 atoms, 100% inconsistent, 150 CDDs, d1..d4");
+  PrintRow({"depth", "scratch (ms)", "incremental (ms)", "speedup",
+            "avg #questions"},
+           {18, 16, 16, 10, 12});
+  for (int depth = 1; depth <= 4; ++depth) {
+    SyntheticKbOptions options;
+    options.seed = 13;  // the Fig. 5 (c) seed
+    options.num_facts = 400;
+    options.inconsistency_ratio = 1.0;
+    options.num_cdds = 150;
+    options.cdd_min_atoms = 2;
+    options.cdd_max_atoms = 3;
+    options.min_arity = 2;
+    options.max_arity = 4;
+    options.num_tgds = static_cast<size_t>(50 * depth);
+    options.conflict_depth = depth;
+    options.routed_violation_share = 0.6;
+    options.min_multiplicity = 1;
+    options.max_multiplicity = 2;
+    depth_ladder.push_back(Compare(
+        options, "d" + std::to_string(depth) + " (" +
+                     std::to_string(options.num_tgds) + " TGDs)"));
+    PrintComparison(depth_ladder.back());
+  }
+
+  if (emit_json) {
+    std::printf("\n--- JSON baseline ---\n");
+    std::printf("{\n  \"bench\": \"delta_chase\",\n");
+    std::printf("  \"strategy\": \"opti-mcd\",\n");
+    std::printf("  \"repetitions\": %d,\n", kRepetitions);
+    std::printf("  \"size_ladder\": [\n");
+    for (size_t i = 0; i < size_ladder.size(); ++i) {
+      std::printf("%s%s\n", ComparisonJson(size_ladder[i]).c_str(),
+                  i + 1 < size_ladder.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"depth_ladder\": [\n");
+    for (size_t i = 0; i < depth_ladder.size(); ++i) {
+      std::printf("%s%s\n", ComparisonJson(depth_ladder[i]).c_str(),
+                  i + 1 < depth_ladder.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  }
+  return 0;
+}

@@ -1,0 +1,304 @@
+#include "chase/incremental_chase.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "kb/homomorphism.h"
+#include "util/logging.h"
+
+namespace kbrepair {
+
+IncrementalChase::IncrementalChase(SymbolTable* symbols,
+                                   const std::vector<Tgd>* tgds,
+                                   ChaseOptions options)
+    : symbols_(symbols), tgds_(tgds), options_(options) {
+  KBREPAIR_CHECK(symbols != nullptr);
+  KBREPAIR_CHECK(tgds != nullptr);
+}
+
+Status IncrementalChase::Initialize(const FactBase& facts) {
+  KBREPAIR_CHECK(facts.num_alive() == facts.size());
+  initialized_ = false;
+  chased_ = facts;
+  num_original_ = facts.size();
+  derivations_.clear();
+  children_.clear();
+  suppressed_.clear();
+  suppressed_by_witness_.clear();
+
+  anchor_index_.clear();
+  for (size_t r = 0; r < tgds_->size(); ++r) {
+    const std::vector<Atom>& body = (*tgds_)[r].body();
+    for (size_t j = 0; j < body.size(); ++j) {
+      anchor_index_[body[j].predicate].emplace_back(r, j);
+    }
+  }
+
+  std::deque<AtomId> work;
+  for (AtomId id = 0; id < chased_.size(); ++id) work.push_back(id);
+  KBREPAIR_RETURN_IF_ERROR(Saturate(std::move(work)));
+  initialized_ = true;
+  return Status::Ok();
+}
+
+AtomId IncrementalChase::FindAtom(const Atom& atom) const {
+  const std::vector<AtomId>& candidates =
+      atom.args.empty()
+          ? chased_.AtomsWithPredicate(atom.predicate)
+          : chased_.AtomsWithTermAt(atom.predicate, 0, atom.args[0]);
+  for (AtomId id : candidates) {
+    if (chased_.atom(id) == atom) return id;
+  }
+  return kInvalidAtom;
+}
+
+void IncrementalChase::RecordSuppressed(
+    size_t tgd_index, std::vector<AtomId> matched,
+    std::unordered_map<TermId, TermId> bindings,
+    const std::vector<AtomId>& witnesses) {
+  const size_t entry = suppressed_.size();
+  suppressed_.push_back(SuppressedTrigger{tgd_index, std::move(matched),
+                                          std::move(bindings)});
+  for (AtomId witness : witnesses) {
+    suppressed_by_witness_[witness].push_back(entry);
+  }
+}
+
+Status IncrementalChase::FireTrigger(
+    size_t tgd_index, const std::vector<AtomId>& matched,
+    const std::unordered_map<TermId, TermId>& bindings,
+    std::deque<AtomId>* work) {
+  const Tgd& tgd = (*tgds_)[tgd_index];
+  std::unordered_map<TermId, TermId> head_bindings = bindings;
+  for (TermId var : tgd.existential_variables()) {
+    head_bindings[var] = symbols_->MakeFreshNull();
+  }
+  for (const Atom& head_atom : tgd.head()) {
+    const Atom instance = SubstituteTerms(head_atom, head_bindings);
+    bool has_fresh_null = false;
+    for (TermId arg : instance.args) {
+      for (TermId var : tgd.existential_variables()) {
+        has_fresh_null = has_fresh_null || head_bindings[var] == arg;
+      }
+    }
+    if (!has_fresh_null) {
+      // Ground duplicate: remember the trigger keyed by the blocking
+      // atom so retraction can revive it.
+      const AtomId duplicate = FindAtom(instance);
+      if (duplicate != kInvalidAtom) {
+        RecordSuppressed(tgd_index, matched, bindings, {duplicate});
+        continue;
+      }
+    }
+    if (chased_.num_alive() >= options_.max_atoms) {
+      return Status::Internal(
+          "chase exceeded max_atoms; TGD set likely not weakly acyclic or "
+          "cap too low");
+    }
+    const AtomId new_id = chased_.Add(instance);
+    KBREPAIR_CHECK_EQ(new_id - num_original_, derivations_.size());
+    Derivation derivation;
+    derivation.tgd_index = tgd_index;
+    derivation.parents = matched;
+    derivations_.push_back(std::move(derivation));
+    for (AtomId parent : matched) children_[parent].push_back(new_id);
+    work->push_back(new_id);
+    ++total_added_;
+  }
+  return Status::Ok();
+}
+
+Status IncrementalChase::Saturate(std::deque<AtomId> work) {
+  HomomorphismFinder finder(symbols_, &chased_);
+  while (!work.empty()) {
+    const AtomId current = work.front();
+    work.pop_front();
+    if (!chased_.alive(current)) continue;
+    const PredicateId pred = chased_.atom(current).predicate;
+    auto it = anchor_index_.find(pred);
+    if (it == anchor_index_.end()) continue;
+    for (const auto& [tgd_index, body_pos] : it->second) {
+      const Tgd& tgd = (*tgds_)[tgd_index];
+      // Materialize triggers before firing: firing mutates the base the
+      // enumeration reads.
+      std::vector<Homomorphism> triggers;
+      finder.FindAllPinned(tgd.body(), body_pos, current,
+                           [&](const Homomorphism& hom) {
+                             triggers.push_back(hom);
+                             return true;
+                           });
+      for (const Homomorphism& trigger : triggers) {
+        const std::vector<Atom> head_query =
+            SubstituteTerms(tgd.head(), trigger.bindings);
+        std::optional<Homomorphism> witness = finder.FindFirst(head_query);
+        if (witness.has_value()) {
+          RecordSuppressed(tgd_index, trigger.matched, trigger.bindings,
+                           witness->matched);
+          continue;
+        }
+        KBREPAIR_RETURN_IF_ERROR(FireTrigger(tgd_index, trigger.matched,
+                                             trigger.bindings, &work));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void IncrementalChase::RetractAtom(AtomId id) {
+  KBREPAIR_DCHECK(!IsOriginal(id));
+  chased_.Remove(id);
+  const Derivation& derivation = derivations_[id - num_original_];
+  for (AtomId parent : derivation.parents) {
+    auto it = children_.find(parent);
+    if (it == children_.end()) continue;
+    auto entry = std::find(it->second.begin(), it->second.end(), id);
+    if (entry != it->second.end()) {
+      *entry = it->second.back();
+      it->second.pop_back();
+      if (it->second.empty()) children_.erase(it);
+    }
+  }
+  children_.erase(id);
+  ++total_retracted_;
+}
+
+std::vector<size_t> IncrementalChase::TakeSuppressedByWitness(
+    AtomId witness) {
+  auto it = suppressed_by_witness_.find(witness);
+  if (it == suppressed_by_witness_.end()) return {};
+  std::vector<size_t> entries = std::move(it->second);
+  suppressed_by_witness_.erase(it);
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](size_t e) {
+                                 return suppressed_[e].matched.empty();
+                               }),
+                entries.end());
+  return entries;
+}
+
+StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
+                                                             int arg,
+                                                             TermId value) {
+  KBREPAIR_CHECK(initialized_);
+  KBREPAIR_CHECK(IsOriginal(atom));
+  Delta delta;
+  delta.modified = atom;
+
+  chased_.SetArg(atom, arg, value);
+
+  // --- Retract the cone of the fixed atom: every derived atom whose
+  // provenance (transitively) used it.
+  std::vector<AtomId> frontier;
+  {
+    auto it = children_.find(atom);
+    if (it != children_.end()) {
+      frontier.assign(it->second.begin(), it->second.end());
+    }
+  }
+  std::vector<AtomId> cone;
+  while (!frontier.empty()) {
+    const AtomId id = frontier.back();
+    frontier.pop_back();
+    if (!chased_.alive(id)) continue;  // already collected via another path
+    auto it = children_.find(id);
+    if (it != children_.end()) {
+      frontier.insert(frontier.end(), it->second.begin(), it->second.end());
+    }
+    RetractAtom(id);
+    cone.push_back(id);
+  }
+  std::sort(cone.begin(), cone.end());
+  delta.retracted = cone;
+
+  // --- Collect suppressed triggers whose witness was retracted or
+  // rewritten; they may be unblocked now.
+  std::vector<size_t> revive = TakeSuppressedByWitness(atom);
+  for (AtomId id : cone) {
+    std::vector<size_t> more = TakeSuppressedByWitness(id);
+    revive.insert(revive.end(), more.begin(), more.end());
+  }
+  std::sort(revive.begin(), revive.end());
+  revive.erase(std::unique(revive.begin(), revive.end()), revive.end());
+  // Canonical re-check order: (tgd index, matched atom ids). Matched ids
+  // of original atoms are stable, so this matches the order in which a
+  // from-scratch run would reach the competing triggers.
+  std::sort(revive.begin(), revive.end(), [&](size_t a, size_t b) {
+    const SuppressedTrigger& ta = suppressed_[a];
+    const SuppressedTrigger& tb = suppressed_[b];
+    if (ta.tgd_index != tb.tgd_index) return ta.tgd_index < tb.tgd_index;
+    return ta.matched < tb.matched;
+  });
+
+  const size_t size_before = chased_.size();
+  std::deque<AtomId> work;
+  work.push_back(atom);
+
+  HomomorphismFinder finder(symbols_, &chased_);
+  for (size_t entry_index : revive) {
+    SuppressedTrigger& entry = suppressed_[entry_index];
+    if (entry.matched.empty()) continue;  // killed meanwhile
+    const Tgd& tgd = (*tgds_)[entry.tgd_index];
+    // The body must still be alive and still match under the recorded
+    // bindings (the fixed atom may have invalidated it).
+    bool valid = true;
+    for (size_t j = 0; valid && j < entry.matched.size(); ++j) {
+      valid = chased_.alive(entry.matched[j]) &&
+              SubstituteTerms(tgd.body()[j], entry.bindings) ==
+                  chased_.atom(entry.matched[j]);
+    }
+    if (!valid) {
+      entry.matched.clear();
+      continue;
+    }
+    const std::vector<Atom> head_query =
+        SubstituteTerms(tgd.head(), entry.bindings);
+    std::optional<Homomorphism> witness = finder.FindFirst(head_query);
+    if (witness.has_value()) {
+      // Still blocked; re-register under the current witness.
+      for (AtomId w : witness->matched) {
+        suppressed_by_witness_[w].push_back(entry_index);
+      }
+      continue;
+    }
+    // Unblocked: fire now. Move the entry out — firing may record new
+    // suppressions, which can reallocate suppressed_.
+    SuppressedTrigger fired = std::move(entry);
+    entry.matched.clear();
+    ++total_refired_;
+    KBREPAIR_RETURN_IF_ERROR(
+        FireTrigger(fired.tgd_index, fired.matched, fired.bindings, &work));
+  }
+
+  KBREPAIR_RETURN_IF_ERROR(Saturate(std::move(work)));
+
+  for (AtomId id = static_cast<AtomId>(size_before); id < chased_.size();
+       ++id) {
+    delta.added.push_back(id);
+  }
+  return delta;
+}
+
+std::vector<AtomId> IncrementalChase::OriginalSupport(
+    const std::vector<AtomId>& ids) const {
+  std::vector<AtomId> support;
+  std::unordered_set<AtomId> visited;
+  std::vector<AtomId> frontier(ids.begin(), ids.end());
+  while (!frontier.empty()) {
+    const AtomId id = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(id).second) continue;
+    if (IsOriginal(id)) {
+      support.push_back(id);
+    } else {
+      KBREPAIR_DCHECK(chased_.alive(id));
+      const Derivation& d = derivations_[id - num_original_];
+      frontier.insert(frontier.end(), d.parents.begin(), d.parents.end());
+    }
+  }
+  std::sort(support.begin(), support.end());
+  return support;
+}
+
+}  // namespace kbrepair

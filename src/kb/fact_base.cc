@@ -21,6 +21,7 @@ AtomId FactBase::Add(const Atom& atom) {
 
 void FactBase::SetArg(AtomId id, int pos, TermId term) {
   KBREPAIR_DCHECK(id < atoms_.size());
+  KBREPAIR_DCHECK(alive(id));
   Atom& atom = atoms_[id];
   KBREPAIR_DCHECK(pos >= 0 && pos < atom.arity());
   const TermId old_term = atom.args[static_cast<size_t>(pos)];
@@ -28,6 +29,27 @@ void FactBase::SetArg(AtomId id, int pos, TermId term) {
   UnindexArg(id, pos, old_term);
   atom.args[static_cast<size_t>(pos)] = term;
   IndexArg(id, pos, term);
+}
+
+void FactBase::Remove(AtomId id) {
+  KBREPAIR_DCHECK(id < atoms_.size());
+  KBREPAIR_DCHECK(alive(id));
+  const Atom& atom = atoms_[id];
+  for (int pos = 0; pos < atom.arity(); ++pos) {
+    UnindexArg(id, pos, atom.args[static_cast<size_t>(pos)]);
+  }
+  auto pred_it = by_predicate_.find(atom.predicate);
+  KBREPAIR_DCHECK(pred_it != by_predicate_.end());
+  std::vector<AtomId>& postings = pred_it->second;
+  auto entry = std::find(postings.begin(), postings.end(), id);
+  KBREPAIR_DCHECK(entry != postings.end());
+  *entry = postings.back();
+  postings.pop_back();
+  if (postings.empty()) by_predicate_.erase(pred_it);
+  num_positions_ -= static_cast<size_t>(atom.arity());
+  if (dead_.size() < atoms_.size()) dead_.resize(atoms_.size(), false);
+  dead_[id] = true;
+  ++num_dead_;
 }
 
 const std::vector<AtomId>& FactBase::AtomsWithPredicate(
@@ -77,8 +99,9 @@ size_t FactBase::TermUseCount(TermId term) const {
 
 std::string FactBase::ToString(const SymbolTable& symbols) const {
   std::string out;
-  for (const Atom& atom : atoms_) {
-    out += atom.ToString(symbols);
+  for (AtomId id = 0; id < atoms_.size(); ++id) {
+    if (!alive(id)) continue;
+    out += atoms_[id].ToString(symbols);
     out += '\n';
   }
   return out;

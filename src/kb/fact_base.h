@@ -10,6 +10,15 @@
 //   * predicate -> atom ids            (scan candidates for a body atom)
 //   * (predicate, position, term) -> atom ids   (selective join probes)
 // plus a per-term usage count used by the Pi-REPOPT fresh-value fast path.
+//
+// Retraction. The *original* facts of a repair session are never removed,
+// but the incremental chase (chase/incremental_chase.h) maintains a
+// long-lived chased base in which derived atoms come and go as fixes
+// invalidate their derivations. Remove(id) supports this: it tombstones
+// the atom and withdraws it from every index, so homomorphism search —
+// which draws candidates exclusively from the indexes — never sees dead
+// atoms. Ids are not recycled; atom(id) keeps returning the last value of
+// a dead atom (provenance rendering), and alive(id) distinguishes.
 
 #ifndef KBREPAIR_KB_FACT_BASE_H_
 #define KBREPAIR_KB_FACT_BASE_H_
@@ -51,7 +60,23 @@ class FactBase {
   }
 
   // Rewrites argument `pos` of atom `id` to `term`, maintaining indexes.
+  // The atom must be alive.
   void SetArg(AtomId id, int pos, TermId term);
+
+  // Tombstones atom `id`: removes it from every index so scans and join
+  // probes no longer return it. The id stays allocated (never recycled)
+  // and atom(id) keeps returning the final arguments. Removing a dead
+  // atom is a DCHECK failure.
+  void Remove(AtomId id);
+
+  // False once `id` has been Remove()d.
+  bool alive(AtomId id) const {
+    KBREPAIR_DCHECK(id < atoms_.size());
+    return id >= dead_.size() || !dead_[id];
+  }
+
+  // Number of atoms minus tombstones.
+  size_t num_alive() const { return atoms_.size() - num_dead_; }
 
   // All atom ids sharing a predicate (insertion order).
   const std::vector<AtomId>& AtomsWithPredicate(PredicateId pred) const;
@@ -94,6 +119,10 @@ class FactBase {
   std::unordered_map<uint64_t, std::vector<AtomId>> by_probe_;
   std::unordered_map<int32_t, size_t> term_use_count_;
   size_t num_positions_ = 0;
+  // Tombstone flags; lazily sized on the first Remove() so bases that
+  // never retract (the common case) pay nothing.
+  std::vector<bool> dead_;
+  size_t num_dead_ = 0;
 };
 
 }  // namespace kbrepair

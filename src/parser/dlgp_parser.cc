@@ -441,6 +441,21 @@ StatusOr<KnowledgeBase> ParseDlgp(const std::string& text) {
 
 namespace {
 
+// True iff the lexer would read `name` back as one identifier token:
+// alnum/underscore start, then alnum/underscore/dash/slash.
+bool LexesAsIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  const unsigned char first = static_cast<unsigned char>(name[0]);
+  if (!std::isalnum(first) && first != '_') return false;
+  for (const char c : name) {
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (!std::isalnum(byte) && c != '_' && c != '-' && c != '/') {
+      return false;
+    }
+  }
+  return true;
+}
+
 // Quotes a term name if it would not re-parse with the same kind.
 std::string PrintTerm(const SymbolTable& symbols, TermId term,
                       bool rule_context) {
@@ -451,7 +466,7 @@ std::string PrintTerm(const SymbolTable& symbols, TermId term,
           rule_context && !name.empty() &&
           std::isupper(static_cast<unsigned char>(name[0]));
       const bool looks_null = !name.empty() && name[0] == '_';
-      if (looks_variable || looks_null || name.empty()) {
+      if (looks_variable || looks_null || !LexesAsIdentifier(name)) {
         return '"' + name + '"';
       }
       return name;

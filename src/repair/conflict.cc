@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chase/support.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -37,12 +38,17 @@ StatusOr<std::vector<Conflict>> ConflictFinder::AllConflicts(
 
   std::vector<Conflict> conflicts;
   HomomorphismFinder finder(symbols_, &chased.facts());
+  // Supports go through the canonical resolver, not fire-time
+  // provenance, so they are a function of the chased base alone and
+  // comparable with the incremental engine's (see chase/support.h).
+  CanonicalSupportResolver support(symbols_, tgds_, &chased.facts(),
+                                   chased.num_original());
   for (size_t c = 0; c < cdds_->size(); ++c) {
     finder.FindAll((*cdds_)[c].body(), [&](const Homomorphism& hom) {
       Conflict conflict;
       conflict.cdd_index = c;
       conflict.matched = hom.matched;
-      conflict.support = chased.OriginalSupport(hom.matched);
+      conflict.support = support.Support(hom.matched);
       conflicts.push_back(std::move(conflict));
       return true;
     });
@@ -239,10 +245,10 @@ void ConflictTracker::Initialize(const FactBase& facts) {
 void ConflictTracker::OnFixApplied(const FactBase& facts, AtomId atom) {
   // Drop every conflict whose support contains the modified atom.
   for (uint64_t id : ConflictsTouching(atom)) RemoveConflict(id);
-  // Re-evaluate only CDDs related to the atom, anchored at it; guard
-  // against duplicates (a re-found conflict may coincide with a live one
-  // that does not touch `atom` — impossible by construction, but cheap
-  // to assert through SameAs in debug).
+  // Re-evaluate only CDDs related to the atom, anchored at it. A
+  // re-found conflict cannot coincide with a surviving one: every
+  // re-found homomorphism uses `atom`, and all such conflicts were just
+  // removed. AddConflict asserts this in debug builds.
   for (Conflict& conflict : finder_->NaiveConflictsTouching(facts, atom)) {
     AddConflict(std::move(conflict));
   }
@@ -260,6 +266,13 @@ size_t ConflictTracker::NumConflictsTouching(AtomId atom) const {
 }
 
 void ConflictTracker::AddConflict(Conflict conflict) {
+#ifndef NDEBUG
+  for (const auto& [existing_id, existing] : conflicts_) {
+    KBREPAIR_DCHECK(!existing.SameAs(conflict))
+        << "duplicate naive conflict added for CDD "
+        << conflict.cdd_index;
+  }
+#endif
   const uint64_t id = next_id_++;
   for (AtomId atom : conflict.support) by_atom_[atom].insert(id);
   conflicts_.emplace(id, std::move(conflict));

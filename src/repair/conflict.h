@@ -112,7 +112,12 @@ std::string ConflictHypergraphToDot(const std::vector<Conflict>& conflicts,
                                     const FactBase& facts,
                                     const SymbolTable& symbols);
 
-// Incremental naive-conflict maintenance (UPDATECONFLICTS in Section 5).
+// Incremental *naive*-conflict maintenance (UPDATECONFLICTS in
+// Section 5) — the phase-one engine. It never chases: conflicts whose
+// homomorphisms pass through derived atoms are invisible to it by
+// design, and phase two handles them (scratch re-enumeration or the
+// maintained DeltaConflictEngine of repair/delta_conflicts.h, selected
+// by InquiryOptions::conflict_engine).
 class ConflictTracker {
  public:
   // The finder (and the structures it points to) must outlive the
@@ -122,9 +127,12 @@ class ConflictTracker {
   // Computes the initial naive conflicts of `facts`.
   void Initialize(const FactBase& facts);
 
-  // Notifies that position (atom, arg) of `facts` was already rewritten;
-  // drops conflicts touching `atom` and re-evaluates the related CDDs
-  // anchored at it.
+  // Notifies that some position of `atom` in `facts` was already
+  // rewritten (which position does not matter: conflicts are indexed by
+  // supporting atom). Drops the conflicts whose support contains `atom`
+  // and re-evaluates only the CDDs related to it, anchored at it. Debug
+  // builds assert the re-found conflicts never duplicate (SameAs) a
+  // surviving one.
   void OnFixApplied(const FactBase& facts, AtomId atom);
 
   bool empty() const { return conflicts_.empty(); }

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "repair/delta_conflicts.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -21,6 +22,16 @@ const char* StrategyName(Strategy strategy) {
       return "opti-mcd";
     case Strategy::kOptiLearn:
       return "opti-learn";
+  }
+  return "unknown";
+}
+
+const char* ConflictEngineName(ConflictEngineKind kind) {
+  switch (kind) {
+    case ConflictEngineKind::kScratch:
+      return "scratch";
+    case ConflictEngineKind::kIncremental:
+      return "incremental";
   }
   return "unknown";
 }
@@ -63,6 +74,15 @@ struct InquiryEngine::Session {
 
   Mode mode;
   ConflictTracker tracker;                // used in kPhaseOne only
+  // Maintained chased-conflict engine (ConflictEngineKind::kIncremental).
+  // Created lazily at the first round or census that needs chased
+  // conflicts, then notified of every subsequent fix.
+  std::unique_ptr<DeltaConflictEngine> delta;
+  // Maintained Π-skeleton census (kIncremental): empty() is the
+  // Π-repairability verdict. Mirrors every Π change as a rewrite of the
+  // affected position (fix value, frozen facts value, or — on unfreeze —
+  // the position's stable scratch null).
+  std::unique_ptr<DeltaConflictEngine> skeleton_delta;
   std::optional<Question> pending;        // awaiting an Answer()
   double pending_delay = 0.0;             // delay captured at generation
   bool done = false;                      // consistent; dialogue over
@@ -253,6 +273,14 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
     Session& session, const std::vector<const Conflict*>& conflicts) {
   KBREPAIR_CHECK(!conflicts.empty());
 
+  // In incremental mode the Π-repairability verdict comes off the
+  // maintained skeleton census instead of a per-Scope skeleton chase.
+  std::optional<bool> base_repairable;
+  if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
+    KBREPAIR_RETURN_IF_ERROR(EnsureSkeletonEngine(session));
+    base_repairable = session.skeleton_delta->empty();
+  }
+
   if (options_.strategy == Strategy::kOptiMcd ||
       options_.strategy == Strategy::kOptiLearn) {
     // Ask about the maximally-contained position; walk down the ranking
@@ -269,7 +297,8 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
             Question question,
             session.generator.SoundQuestion(
                 session.facts, session.pi, *conflict, *session.cdds,
-                PositionSelection::kResolvingPositions, position));
+                PositionSelection::kResolvingPositions, position,
+                base_repairable));
         if (!question.fixes.empty()) {
           if (options_.strategy == Strategy::kOptiLearn) {
             session.preferences.OrderQuestion(question, session.facts);
@@ -303,7 +332,8 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
     KBREPAIR_ASSIGN_OR_RETURN(
         Question question,
         session.generator.SoundQuestion(session.facts, session.pi, conflict,
-                                        *session.cdds, preferred));
+                                        *session.cdds, preferred,
+                                        std::nullopt, base_repairable));
     if (!question.fixes.empty()) return finalize(std::move(question));
     if (preferred == PositionSelection::kResolvingPositions) {
       // All resolving positions frozen or filtered: widen to every
@@ -311,11 +341,31 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
       KBREPAIR_ASSIGN_OR_RETURN(
           question, session.generator.SoundQuestion(
                         session.facts, session.pi, conflict, *session.cdds,
-                        PositionSelection::kAllPositions));
+                        PositionSelection::kAllPositions, std::nullopt,
+                        base_repairable));
       if (!question.fixes.empty()) return finalize(std::move(question));
     }
   }
   return Question{};  // caller decides: unfreeze propagated Π or fail
+}
+
+Status InquiryEngine::EnsureDeltaEngine(Session& session) {
+  KBREPAIR_DCHECK(options_.conflict_engine ==
+                  ConflictEngineKind::kIncremental);
+  if (session.delta != nullptr) return Status::Ok();
+  session.delta = std::make_unique<DeltaConflictEngine>(
+      &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
+  return session.delta->Initialize(session.facts);
+}
+
+Status InquiryEngine::EnsureSkeletonEngine(Session& session) {
+  KBREPAIR_DCHECK(options_.conflict_engine ==
+                  ConflictEngineKind::kIncremental);
+  if (session.skeleton_delta != nullptr) return Status::Ok();
+  session.skeleton_delta = std::make_unique<DeltaConflictEngine>(
+      &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
+  return session.skeleton_delta->Initialize(
+      session.repairability.BuildSkeleton(session.facts, session.pi));
 }
 
 Status InquiryEngine::ComputeNextQuestion(Session& session) {
@@ -338,11 +388,17 @@ Status InquiryEngine::ComputeNextQuestion(Session& session) {
       }
       case Session::Mode::kPhaseTwo: {
         // --- Phase two: conflicts surfacing through the chase.
-        if (options_.strategy == Strategy::kOptiMcd ||
-            options_.record_convergence != ConvergenceRecording::kOff) {
+        if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
+          // The maintained census is current; selection sees the whole
+          // set (CHECKCONSISTENCY-OPT's early stop buys nothing here).
+          KBREPAIR_RETURN_IF_ERROR(EnsureDeltaEngine(session));
+          chase_conflicts = session.delta->CanonicalConflicts();
+        } else if (options_.strategy == Strategy::kOptiMcd ||
+                   options_.record_convergence != ConvergenceRecording::kOff) {
           // The ranking needs the whole conflict set.
           KBREPAIR_ASSIGN_OR_RETURN(
               chase_conflicts, session.finder.AllConflicts(session.facts));
+          CanonicalizeConflicts(chase_conflicts, session.facts.size());
         } else {
           // CHECKCONSISTENCY-OPT: stop the chase at the first violation
           // and question it.
@@ -363,38 +419,47 @@ Status InquiryEngine::ComputeNextQuestion(Session& session) {
           return Status::Ok();
         }
         if (options_.strategy == Strategy::kOptiProp) {
-          ApplyPendingPropagation(session, [&](AtomId atom) {
-            for (const Conflict& c : chase_conflicts) {
-              if (std::binary_search(c.support.begin(), c.support.end(),
-                                     atom)) {
-                return true;
-              }
-            }
-            return false;
-          });
+          KBREPAIR_RETURN_IF_ERROR(
+              ApplyPendingPropagation(session, [&](AtomId atom) {
+                for (const Conflict& c : chase_conflicts) {
+                  if (std::binary_search(c.support.begin(), c.support.end(),
+                                         atom)) {
+                    return true;
+                  }
+                }
+                return false;
+              }));
         }
         conflicts.reserve(chase_conflicts.size());
         for (const Conflict& c : chase_conflicts) conflicts.push_back(&c);
         break;
       }
       case Session::Mode::kBasic: {
-        // Plain Algorithm 3: recompute allconflicts every round.
-        KBREPAIR_ASSIGN_OR_RETURN(chase_conflicts,
-                                  session.finder.AllConflicts(session.facts));
+        // Plain Algorithm 3: allconflicts before every question —
+        // recomputed from scratch or read off the maintained engine.
+        if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
+          KBREPAIR_RETURN_IF_ERROR(EnsureDeltaEngine(session));
+          chase_conflicts = session.delta->CanonicalConflicts();
+        } else {
+          KBREPAIR_ASSIGN_OR_RETURN(
+              chase_conflicts, session.finder.AllConflicts(session.facts));
+          CanonicalizeConflicts(chase_conflicts, session.facts.size());
+        }
         if (chase_conflicts.empty()) {
           session.done = true;
           return Status::Ok();
         }
         if (options_.strategy == Strategy::kOptiProp) {
-          ApplyPendingPropagation(session, [&](AtomId atom) {
-            for (const Conflict& c : chase_conflicts) {
-              if (std::binary_search(c.support.begin(), c.support.end(),
-                                     atom)) {
-                return true;
-              }
-            }
-            return false;
-          });
+          KBREPAIR_RETURN_IF_ERROR(
+              ApplyPendingPropagation(session, [&](AtomId atom) {
+                for (const Conflict& c : chase_conflicts) {
+                  if (std::binary_search(c.support.begin(), c.support.end(),
+                                         atom)) {
+                    return true;
+                  }
+                }
+                return false;
+              }));
         }
         conflicts.reserve(chase_conflicts.size());
         for (const Conflict& c : chase_conflicts) conflicts.push_back(&c);
@@ -405,7 +470,9 @@ Status InquiryEngine::ComputeNextQuestion(Session& session) {
     KBREPAIR_ASSIGN_OR_RETURN(Question question,
                               SelectQuestion(session, conflicts));
     if (question.fixes.empty()) {
-      if (UnfreezePropagated(session)) continue;
+      KBREPAIR_ASSIGN_OR_RETURN(const bool unfroze,
+                                UnfreezePropagated(session));
+      if (unfroze) continue;
       return Status::Internal(
           "no sound question exists; knowledge base is not Π-repairable");
     }
@@ -446,6 +513,18 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
   if (in_phase_one) {
     session.tracker.OnFixApplied(session.facts, fix.atom);
   }
+  if (session.delta != nullptr) {
+    // The maintained engine mirrors every fix from the moment it is
+    // created (lazy creation snapshots the then-current facts).
+    KBREPAIR_RETURN_IF_ERROR(
+        session.delta->OnFixApplied(fix.atom, fix.arg, fix.value));
+  }
+  if (session.skeleton_delta != nullptr) {
+    // The fixed position joined Π, so the skeleton now carries its real
+    // value instead of the position's scratch null.
+    KBREPAIR_RETURN_IF_ERROR(
+        session.skeleton_delta->OnFixApplied(fix.atom, fix.arg, fix.value));
+  }
 
   if (options_.strategy == Strategy::kOptiProp) {
     // Defer freezing until conflicts are up to date for this round;
@@ -454,9 +533,10 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
       if (p != fix.position()) session.pending_propagation.push_back(p);
     }
     if (in_phase_one) {
-      ApplyPendingPropagation(session, [&](AtomId atom) {
-        return session.tracker.NumConflictsTouching(atom) > 0;
-      });
+      KBREPAIR_RETURN_IF_ERROR(
+          ApplyPendingPropagation(session, [&](AtomId atom) {
+            return session.tracker.NumConflictsTouching(atom) > 0;
+          }));
     }
   }
 
@@ -466,9 +546,14 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
            ConvergenceRecording::kDiscoveredConflicts &&
        !in_phase_one);
   if (census_needed) {
-    KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
-                              session.finder.AllConflicts(session.facts));
-    record.conflicts_remaining = all.size();
+    if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
+      KBREPAIR_RETURN_IF_ERROR(EnsureDeltaEngine(session));
+      record.conflicts_remaining = session.delta->size();
+    } else {
+      KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
+                                session.finder.AllConflicts(session.facts));
+      record.conflicts_remaining = all.size();
+    }
   } else if (in_phase_one) {
     record.conflicts_remaining = session.tracker.size();
   }
@@ -481,25 +566,40 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
   return Status::Ok();
 }
 
-bool InquiryEngine::UnfreezePropagated(Session& session) {
+StatusOr<bool> InquiryEngine::UnfreezePropagated(Session& session) {
   if (session.propagated.empty()) return false;
-  for (const Position& p : session.propagated) session.pi.erase(p);
+  for (const Position& p : session.propagated) {
+    session.pi.erase(p);
+    if (session.skeleton_delta != nullptr) {
+      // Leaving Π reverts the position to its stable scratch null.
+      KBREPAIR_RETURN_IF_ERROR(session.skeleton_delta->OnFixApplied(
+          p.atom, p.arg,
+          session.repairability.SkeletonNullFor(session.facts, p)));
+    }
+  }
   session.propagated.clear();
   return true;
 }
 
 template <typename TouchFn>
-void InquiryEngine::ApplyPendingPropagation(Session& session,
-                                            TouchFn&& touches) {
+Status InquiryEngine::ApplyPendingPropagation(Session& session,
+                                              TouchFn&& touches) {
   for (const Position& p : session.pending_propagation) {
     if (session.pi.count(p) > 0) continue;
     if (!touches(p.atom)) {
       session.pi.insert(p);
       session.propagated.insert(p);
       ++session.result.propagated_positions;
+      if (session.skeleton_delta != nullptr) {
+        // Freezing exposes the position's current value to the skeleton.
+        KBREPAIR_RETURN_IF_ERROR(session.skeleton_delta->OnFixApplied(
+            p.atom, p.arg,
+            session.facts.atom(p.atom).args[static_cast<size_t>(p.arg)]));
+      }
     }
   }
   session.pending_propagation.clear();
+  return Status::Ok();
 }
 
 }  // namespace kbrepair

@@ -63,6 +63,22 @@ enum class Strategy {
 // "random", "opti-join", "opti-prop", "opti-mcd", "opti-learn".
 const char* StrategyName(Strategy strategy);
 
+// How chased conflicts (phase two / Algorithm 3) are computed.
+enum class ConflictEngineKind {
+  // Re-chase the working base and re-enumerate every CDD body before
+  // each question. The reference implementation and test oracle.
+  kScratch,
+  // Delta-chase conflict engine (repair/delta_conflicts.h): a maintained
+  // chased base with provenance-guided retraction plus index-anchored
+  // conflict maintenance. Produces the same dialogue per-seed for KBs
+  // whose conflict-feeding TGDs are full (see DESIGN.md, "Delta-chase
+  // invariants"); the differential suite enforces it.
+  kIncremental,
+};
+
+// "scratch" / "incremental".
+const char* ConflictEngineName(ConflictEngineKind kind);
+
 // What the per-question conflicts_remaining field records.
 enum class ConvergenceRecording {
   // Cheap default: the naive-conflict tracker's size (phase one only).
@@ -92,6 +108,12 @@ struct InquiryOptions {
   size_t max_questions = 1000000;
 
   ConvergenceRecording record_convergence = ConvergenceRecording::kOff;
+
+  // Scratch recomputation vs the maintained delta-chase engine. With
+  // kIncremental, the non-mcd phase-two rounds select from the full
+  // maintained census instead of CHECKCONSISTENCY-OPT's first violation
+  // (the census is already paid for).
+  ConflictEngineKind conflict_engine = ConflictEngineKind::kScratch;
 
   ChaseOptions chase_options;
 };
@@ -208,6 +230,17 @@ class InquiryEngine {
  private:
   struct Session;  // per-run mutable state
 
+  // Lazily constructs + initializes the delta conflict engine from the
+  // current working facts (kIncremental only). No-op when already live.
+  Status EnsureDeltaEngine(Session& session);
+
+  // Lazily constructs + initializes the maintained Π-skeleton census
+  // (kIncremental only): a second delta engine over the skeleton of the
+  // current (facts, Π), whose emptiness is the Π-repairability verdict
+  // question generation needs each round. Every later Π change is
+  // replayed onto it as a position rewrite. No-op when already live.
+  Status EnsureSkeletonEngine(Session& session);
+
   // Advances to the next pending question (or to done). No-op when a
   // question is already pending or the session is finished.
   Status ComputeNextQuestion(Session& session);
@@ -220,12 +253,13 @@ class InquiryEngine {
                                     const std::vector<const Conflict*>& conflicts);
 
   // Removes every propagation-frozen position from Π. Returns true if
-  // anything was unfrozen.
-  bool UnfreezePropagated(Session& session);
+  // anything was unfrozen. (Status: the skeleton engine replays each
+  // unfreeze as a rewrite back to the position's stable scratch null.)
+  StatusOr<bool> UnfreezePropagated(Session& session);
 
   // Freezes pending opti-prop positions that no longer touch a conflict.
   template <typename TouchFn>
-  void ApplyPendingPropagation(Session& session, TouchFn&& touches);
+  Status ApplyPendingPropagation(Session& session, TouchFn&& touches);
 
   KnowledgeBase* kb_;
   InquiryOptions options_;

@@ -55,7 +55,8 @@ std::vector<Position> QuestionGenerator::RetrievePositions(
 StatusOr<Question> QuestionGenerator::SoundQuestion(
     const FactBase& facts, const PositionSet& pi, const Conflict& conflict,
     const std::vector<Cdd>& cdds, PositionSelection selection,
-    std::optional<Position> restrict_to) const {
+    std::optional<Position> restrict_to,
+    std::optional<bool> base_repairable) const {
   Question question;
   question.source_cdd = conflict.cdd_index;
 
@@ -71,7 +72,8 @@ StatusOr<Question> QuestionGenerator::SoundQuestion(
 
   // Build candidate fixes: per mutable position, active-domain values
   // different from the current one, plus one fresh null.
-  RepairabilityChecker::Scope scope(repairability_, facts, pi);
+  RepairabilityChecker::Scope scope(repairability_, facts, pi,
+                                    base_repairable);
   for (const Position& position : positions) {
     if (pi.count(position) > 0) continue;
     question.considered_positions.push_back(position);

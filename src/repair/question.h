@@ -51,13 +51,18 @@ class QuestionGenerator {
   // SOUNDQUESTION(K, Π, X). `restrict_to` (opti-mcd) limits the question
   // to a single position, which must belong to the conflict.
   //
+  // `base_repairable`, when supplied, is the caller's maintained verdict
+  // for "the Π-skeleton of `facts` is consistent" and spares the
+  // repairability scope its own skeleton chase (see Scope).
+  //
   // Returns an empty question iff K is not Π-repairable or all candidate
   // positions are frozen/filtered; Lemma 4.3 guarantees non-emptiness for
   // kAllPositions with no restriction whenever K is Π-repairable.
   StatusOr<Question> SoundQuestion(
       const FactBase& facts, const PositionSet& pi, const Conflict& conflict,
       const std::vector<Cdd>& cdds, PositionSelection selection,
-      std::optional<Position> restrict_to = std::nullopt) const;
+      std::optional<Position> restrict_to = std::nullopt,
+      std::optional<bool> base_repairable = std::nullopt) const;
 
   // The positions RETRIEVE-POSITIONS yields for a conflict (deduplicated).
   // For conflicts whose homomorphism involves chase-derived atoms, the

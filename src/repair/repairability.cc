@@ -57,16 +57,25 @@ TermId RepairabilityChecker::ScratchNull(size_t index) const {
 FactBase RepairabilityChecker::BuildSkeleton(const FactBase& facts,
                                              const PositionSet& pi) const {
   FactBase skeleton = facts;
-  size_t next_scratch = 0;
+  size_t flat = 0;  // flat position index; advances over Π positions too
   for (AtomId id = 0; id < skeleton.size(); ++id) {
     const int arity = skeleton.atom(id).arity();
-    for (int arg = 0; arg < arity; ++arg) {
+    for (int arg = 0; arg < arity; ++arg, ++flat) {
       if (pi.count(Position{id, arg}) == 0) {
-        skeleton.SetArg(id, arg, ScratchNull(next_scratch++));
+        skeleton.SetArg(id, arg, ScratchNull(flat));
       }
     }
   }
   return skeleton;
+}
+
+TermId RepairabilityChecker::SkeletonNullFor(const FactBase& facts,
+                                             const Position& p) const {
+  size_t flat = 0;
+  for (AtomId id = 0; id < p.atom; ++id) {
+    flat += static_cast<size_t>(facts.atom(id).arity());
+  }
+  return ScratchNull(flat + static_cast<size_t>(p.arg));
 }
 
 StatusOr<bool> RepairabilityChecker::IsPiRepairable(
@@ -78,17 +87,25 @@ StatusOr<bool> RepairabilityChecker::IsPiRepairable(
 
 RepairabilityChecker::Scope::Scope(const RepairabilityChecker* checker,
                                    const FactBase& facts,
-                                   const PositionSet& pi)
-    : checker_(checker) {
+                                   const PositionSet& pi,
+                                   std::optional<bool> known_base_consistent)
+    : checker_(checker), facts_(&facts), pi_(&pi) {
   KBREPAIR_CHECK(checker != nullptr);
-  skeleton_ = checker->BuildSkeleton(facts, pi);
   for (const Position& position : pi) {
     if (position.atom < facts.size() &&
         position.arg < facts.atom(position.atom).arity()) {
-      pi_values_.insert(
-          facts.atom(position.atom).args[static_cast<size_t>(position.arg)]);
+      ++pi_value_counts_[facts.atom(position.atom)
+                             .args[static_cast<size_t>(position.arg)]];
     }
   }
+  if (known_base_consistent.has_value()) {
+    // The caller maintains the skeleton census incrementally; trust its
+    // verdict and defer materializing the skeleton until a full per-fix
+    // check needs one.
+    base_consistent_ = *known_base_consistent;
+    return;
+  }
+  EnsureSkeleton();
   ConsistencyChecker consistency(checker->symbols_, checker->tgds_,
                                  checker->cdds_, checker->chase_options_);
   StatusOr<bool> consistent = consistency.IsConsistentOpt(skeleton_);
@@ -98,16 +115,27 @@ RepairabilityChecker::Scope::Scope(const RepairabilityChecker* checker,
   base_consistent_ = consistent.ok() && consistent.value();
 }
 
+void RepairabilityChecker::Scope::EnsureSkeleton() {
+  if (skeleton_built_) return;
+  skeleton_ = checker_->BuildSkeleton(*facts_, *pi_);
+  skeleton_built_ = true;
+}
+
+size_t RepairabilityChecker::Scope::PiUseCount(TermId value) const {
+  auto it = pi_value_counts_.find(value);
+  return it == pi_value_counts_.end() ? 0 : it->second;
+}
+
 StatusOr<bool> RepairabilityChecker::Scope::FixKeepsRepairable(
     const Fix& fix) {
   if (!base_consistent_) return false;  // short-circuit (2) above
 
   const SymbolTable& symbols = *checker_->symbols_;
   const TermId value = fix.value;
-  const bool is_fresh_null =
-      symbols.IsNull(value) && skeleton_.TermUseCount(value) == 0 &&
-      pi_values_.count(value) == 0;
-  const bool is_fresh_value = pi_values_.count(value) == 0 &&
+  // Candidate values never collide with the skeleton's scratch nulls, so
+  // occurrences at Π positions are exactly the skeleton's use count.
+  const bool is_fresh_null = symbols.IsNull(value) && PiUseCount(value) == 0;
+  const bool is_fresh_value = PiUseCount(value) == 0 &&
                               checker_->rule_constants_.count(value) == 0 &&
                               !symbols.IsVariable(value);
   if (is_fresh_null || is_fresh_value) {
@@ -116,6 +144,7 @@ StatusOr<bool> RepairabilityChecker::Scope::FixKeepsRepairable(
   }
 
   ++num_full_checks_;
+  EnsureSkeleton();
   const TermId saved =
       skeleton_.atom(fix.atom).args[static_cast<size_t>(fix.arg)];
   skeleton_.SetArg(fix.atom, fix.arg, value);

@@ -22,6 +22,8 @@
 #ifndef KBREPAIR_REPAIR_REPAIRABILITY_H_
 #define KBREPAIR_REPAIR_REPAIRABILITY_H_
 
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -48,13 +50,30 @@ class RepairabilityChecker {
   StatusOr<bool> IsPiRepairable(const FactBase& facts,
                                 const PositionSet& pi) const;
 
+  // Builds the Π-skeleton of `facts`: non-Π positions become pairwise
+  // distinct scratch nulls. Scratch nulls are assigned by *flat position
+  // index* (atom-major, argument-minor), so the null standing in for a
+  // given position is stable across skeleton builds no matter how Π has
+  // grown — which is what lets an incrementally maintained skeleton
+  // (inquiry.cc) replay Π changes as position rewrites.
+  FactBase BuildSkeleton(const FactBase& facts, const PositionSet& pi) const;
+
+  // The stable scratch null standing in for `p` in any skeleton of
+  // `facts` (see BuildSkeleton).
+  TermId SkeletonNullFor(const FactBase& facts, const Position& p) const;
+
   // Per-question scratch implementing Π-REPOPT. Construct once per
   // question over the *current* (facts, Π); then each candidate fix is
   // tested with FixKeepsRepairable.
   class Scope {
    public:
+    // With `known_base_consistent` the caller vouches for the skeleton's
+    // consistency verdict (e.g. from a maintained skeleton census) and
+    // the Scope skips its own skeleton chase; the skeleton is then only
+    // materialized if a full per-fix check needs it.
     Scope(const RepairabilityChecker* checker, const FactBase& facts,
-          const PositionSet& pi);
+          const PositionSet& pi,
+          std::optional<bool> known_base_consistent = std::nullopt);
 
     // True iff the base skeleton is consistent, i.e., K is Π-repairable.
     // When false, every FixKeepsRepairable call answers false.
@@ -69,9 +88,23 @@ class RepairabilityChecker {
     size_t num_full_checks() const { return num_full_checks_; }
 
    private:
+    // Builds skeleton_ on demand (immediately when the Scope must chase
+    // it itself; lazily, for full checks only, when the verdict was
+    // supplied by the caller).
+    void EnsureSkeleton();
+
+    // Occurrences of `value` at Π positions — identical to the
+    // skeleton's term-use count for any candidate value, since every
+    // non-Π skeleton position holds a scratch null candidates never
+    // collide with.
+    size_t PiUseCount(TermId value) const;
+
     const RepairabilityChecker* checker_;
+    const FactBase* facts_;
+    const PositionSet* pi_;
     FactBase skeleton_;
-    std::unordered_set<TermId> pi_values_;
+    bool skeleton_built_ = false;
+    std::unordered_map<TermId, size_t> pi_value_counts_;
     bool base_consistent_ = false;
     size_t num_fast_paths_ = 0;
     size_t num_full_checks_ = 0;
@@ -79,10 +112,6 @@ class RepairabilityChecker {
 
  private:
   friend class Scope;
-
-  // Builds the Π-skeleton of `facts`: non-Π positions become pairwise
-  // distinct scratch nulls.
-  FactBase BuildSkeleton(const FactBase& facts, const PositionSet& pi) const;
 
   // Scratch null #index; the pool is reused across skeletons so the
   // symbol table does not grow with every question.

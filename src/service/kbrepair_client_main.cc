@@ -192,6 +192,7 @@ struct ClientOptions {
   size_t workers = 4;
   std::string kb = "synthetic";
   std::string strategy = "random";
+  std::string engine = "scratch";
   uint64_t seed = 20180326;  // EDBT'18
   bool quiet = false;
 };
@@ -201,6 +202,7 @@ JsonValue CreateParams(const ClientOptions& options, uint64_t seed_i) {
   params.Set("kb", JsonValue::String(options.kb));
   params.Set("kb_seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
   params.Set("strategy", JsonValue::String(options.strategy));
+  params.Set("engine", JsonValue::String(options.engine));
   params.Set("seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
   return params;
 }
@@ -307,7 +309,7 @@ StatusOr<size_t> DriveSession(ServerConnection& server,
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--server PATH] [--sessions N] [--workers N] [--kb NAME]"
-               " [--strategy NAME] [--seed S] [--quiet]\n";
+               " [--strategy NAME] [--engine NAME] [--seed S] [--quiet]\n";
   return 2;
 }
 
@@ -337,6 +339,8 @@ int Main(int argc, char** argv) {
       options.kb = v;
     } else if (arg == "--strategy" && (v = next_value())) {
       options.strategy = v;
+    } else if (arg == "--engine" && (v = next_value())) {
+      options.engine = v;
     } else if (arg == "--seed" && (v = next_value())) {
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--quiet") {

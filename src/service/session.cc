@@ -19,6 +19,13 @@ StatusOr<Strategy> StrategyFromName(const std::string& name) {
   return Status::InvalidArgument("unknown strategy '" + name + "'");
 }
 
+StatusOr<ConflictEngineKind> ConflictEngineFromName(const std::string& name) {
+  if (name == "scratch") return ConflictEngineKind::kScratch;
+  if (name == "incremental") return ConflictEngineKind::kIncremental;
+  return Status::InvalidArgument("unknown engine '" + name +
+                                 "' (expected 'scratch' or 'incremental')");
+}
+
 JsonValue FactsToJson(const FactBase& facts, const SymbolTable& symbols) {
   JsonValue out = JsonValue::Array();
   for (AtomId id = 0; id < facts.size(); ++id) {
@@ -99,6 +106,11 @@ StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params) {
   if (params.Get("max_questions").is_number()) {
     options.max_questions =
         static_cast<size_t>(params.Get("max_questions").AsInt());
+  }
+  if (params.Get("engine").is_string()) {
+    KBREPAIR_ASSIGN_OR_RETURN(
+        options.conflict_engine,
+        ConflictEngineFromName(params.Get("engine").AsString()));
   }
   return options;
 }
@@ -192,6 +204,8 @@ JsonValue RepairSession::StatusInfo() const {
   out.Set("session", JsonValue::String(id_));
   out.Set("kb", JsonValue::String(kb_label_));
   out.Set("strategy", JsonValue::String(StrategyName(options_.strategy)));
+  out.Set("engine",
+          JsonValue::String(ConflictEngineName(options_.conflict_engine)));
   out.Set("seed", JsonValue::Number(static_cast<int64_t>(options_.seed)));
   const char* state = "active";
   if (closed_) {

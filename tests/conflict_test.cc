@@ -256,6 +256,43 @@ TEST_F(ConflictTrackerTest, AgreesWithFullRecomputeUnderRandomFixes) {
 }
 
 
+TEST_F(ConflictTrackerTest, NoSameAsDuplicatesAcrossIncrementalUpdates) {
+  // Two CDDs sharing body atoms: re-evaluation anchored at a fixed atom
+  // re-finds conflicts of both. No surviving conflict may be SameAs a
+  // re-found one (AddConflict's debug invariant); verify it holds — and
+  // the census stays duplicate-free — through a fix churn that repeatedly
+  // breaks and restores the same homomorphisms.
+  Build(R"(
+    p(j, a1). p(j, a2).
+    q(j, b1).
+    r(j, c1).
+    ! :- p(X, Y), q(X, Z).
+    ! :- p(X, Y), r(X, Z).
+  )");
+  const TermId j = kb_.symbols().FindTerm(TermKind::kConstant, "j");
+  const TermId fresh = kb_.symbols().MakeFreshNull();
+  for (int round = 0; round < 4; ++round) {
+    // Break and restore the q-atom's join; the p/r conflicts survive both
+    // updates untouched and must not be re-added.
+    for (const TermId value : {fresh, j}) {
+      ApplyFix(kb_.facts(), Fix{2, 0, value});
+      tracker_->OnFixApplied(kb_.facts(), 2);
+      std::vector<const Conflict*> live;
+      for (const auto& [id, conflict] : tracker_->conflicts()) {
+        live.push_back(&conflict);
+      }
+      for (size_t i = 0; i < live.size(); ++i) {
+        for (size_t k = i + 1; k < live.size(); ++k) {
+          EXPECT_FALSE(live[i]->SameAs(*live[k]))
+              << "duplicate conflict in round " << round;
+        }
+      }
+      ASSERT_EQ(tracker_->size(),
+                finder_->NaiveConflicts(kb_.facts()).size());
+    }
+  }
+}
+
 TEST_F(ConflictTrackerTest, PositionRankEqualsAtomDegree) {
   Build(R"(
     p(j, a1). p(j, a2).
