@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "kb/homomorphism.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -47,6 +48,11 @@ ChaseEngine::ChaseEngine(SymbolTable* symbols, const std::vector<Tgd>* tgds,
 }
 
 StatusOr<ChaseResult> ChaseEngine::Run(const FactBase& facts) const {
+  KBREPAIR_FAILPOINT("chase.saturate",
+                     Status::Internal("injected chase saturation fault"));
+  if (options_.cancel != nullptr) {
+    KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("chase"));
+  }
   ChaseResult result;
   result.facts_ = facts;
   result.num_original_ = facts.size();
@@ -77,7 +83,13 @@ StatusOr<ChaseResult> ChaseEngine::Run(const FactBase& facts) const {
 
   HomomorphismFinder finder(symbols_, &result.facts_);
 
+  size_t steps = 0;
   while (!work.empty()) {
+    // Poll the deadline every few steps: cheap enough to leave on, tight
+    // enough that a wedged saturation is cut off promptly.
+    if (options_.cancel != nullptr && (++steps & 63) == 0) {
+      KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("chase"));
+    }
     const AtomId current = work.front();
     work.pop_front();
     const PredicateId pred = result.facts_.atom(current).predicate;

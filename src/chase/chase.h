@@ -25,6 +25,7 @@
 #define KBREPAIR_CHASE_CHASE_H_
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "kb/symbol_table.h"
 #include "rules/cdd.h"
 #include "rules/tgd.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace kbrepair {
@@ -95,6 +97,12 @@ struct ChaseOptions {
   // CHECKCONSISTENCY-OPT behaviour). When false, the full chase runs and
   // only the first violation encountered is recorded.
   bool stop_on_violation = true;
+
+  // Cooperative cancellation: saturation loops poll this token and abort
+  // with DeadlineExceeded once it expires. Shared by every chase-running
+  // component built from the same options (finder, repairability checker,
+  // delta engines), so one armed deadline bounds a whole engine command.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 // Runs the chase over `facts`. The symbol table is mutated (fresh nulls).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "kb/homomorphism.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -111,8 +112,17 @@ Status IncrementalChase::FireTrigger(
 }
 
 Status IncrementalChase::Saturate(std::deque<AtomId> work) {
+  KBREPAIR_FAILPOINT("chase.saturate",
+                     Status::Internal("injected chase saturation fault"));
+  if (options_.cancel != nullptr) {
+    KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("delta chase"));
+  }
   HomomorphismFinder finder(symbols_, &chased_);
+  size_t steps = 0;
   while (!work.empty()) {
+    if (options_.cancel != nullptr && (++steps & 63) == 0) {
+      KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("delta chase"));
+    }
     const AtomId current = work.front();
     work.pop_front();
     if (!chased_.alive(current)) continue;

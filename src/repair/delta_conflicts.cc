@@ -4,6 +4,7 @@
 
 #include "chase/support.h"
 #include "kb/homomorphism.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -139,6 +140,41 @@ Status DeltaConflictEngine::OnFixApplied(AtomId atom, int arg,
     changed_preds.insert(chase_.facts().atom(id).predicate);
   }
   RefreshDerivedSupports(changed_preds, support);
+  KBREPAIR_FAILPOINT(
+      "delta.corrupt",
+      Status::Internal("injected delta conflict-engine divergence"));
+  return VerifyInvariants();
+}
+
+Status DeltaConflictEngine::VerifyInvariants() const {
+  const size_t num_original = chase_.num_original();
+  for (const auto& [id, conflict] : conflicts_) {
+    if (conflict.support.empty()) {
+      return Status::Internal(
+          "delta conflict engine invariant violated: conflict with empty "
+          "support");
+    }
+    for (const AtomId s : conflict.support) {
+      if (s >= num_original) {
+        return Status::Internal(
+            "delta conflict engine invariant violated: support atom outside "
+            "the original range");
+      }
+    }
+    for (const AtomId m : conflict.matched) {
+      if (m >= chase_.facts().size() || !chase_.facts().alive(m)) {
+        return Status::Internal(
+            "delta conflict engine invariant violated: conflict matches a "
+            "dead atom");
+      }
+      auto it = by_matched_.find(m);
+      if (it == by_matched_.end() || it->second.count(id) == 0) {
+        return Status::Internal(
+            "delta conflict engine invariant violated: matched index out of "
+            "sync with the conflict map");
+      }
+    }
+  }
   return Status::Ok();
 }
 

@@ -89,6 +89,14 @@ class DeltaConflictEngine {
   // maintained base (chase().facts()); supports are original atoms.
   std::vector<Conflict> CanonicalConflicts() const;
 
+  // Structural self-check, run after every OnFixApplied: each live
+  // conflict must match only alive atoms of the maintained base and
+  // carry a non-empty original-atom support, and the matched index must
+  // mirror the conflict map. Internal on violation — the inquiry engine
+  // treats that as divergence and falls back to the scratch engine
+  // rather than trusting a corrupt census.
+  Status VerifyInvariants() const;
+
   const IncrementalChase& chase() const { return chase_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "repair/inquiry.h"
 
 #include <algorithm>
+#include <iostream>
 #include <map>
 #include <unordered_map>
 
@@ -73,6 +74,9 @@ struct InquiryEngine::Session {
   WallTimer total_timer;
 
   Mode mode;
+  // The engine in use this round: options.conflict_engine until a
+  // delta-engine failure demotes the session to kScratch for good.
+  ConflictEngineKind active_engine;
   ConflictTracker tracker;                // used in kPhaseOne only
   // Maintained chased-conflict engine (ConflictEngineKind::kIncremental).
   // Created lazily at the first round or census that needs chased
@@ -99,6 +103,7 @@ struct InquiryEngine::Session {
       : facts(kb->facts()),
         rng(options.seed),
         mode(options.two_phase ? Mode::kPhaseOne : Mode::kBasic),
+        active_engine(options.conflict_engine),
         tracker(&finder),
         finder(&kb->symbols(), &kb->tgds(), &kb->cdds(),
                options.chase_options),
@@ -276,9 +281,17 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
   // In incremental mode the Π-repairability verdict comes off the
   // maintained skeleton census instead of a per-Scope skeleton chase.
   std::optional<bool> base_repairable;
-  if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
-    KBREPAIR_RETURN_IF_ERROR(EnsureSkeletonEngine(session));
-    base_repairable = session.skeleton_delta->empty();
+  if (session.active_engine == ConflictEngineKind::kIncremental) {
+    const Status status = EnsureSkeletonEngine(session);
+    if (status.ok()) {
+      base_repairable = session.skeleton_delta->empty();
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      return status;  // nothing stale yet; the command can be retried
+    } else {
+      DemoteToScratch(session, status);
+      // base_repairable stays unset: question generation falls back to
+      // the per-scope skeleton chase.
+    }
   }
 
   if (options_.strategy == Strategy::kOptiMcd ||
@@ -350,22 +363,39 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
 }
 
 Status InquiryEngine::EnsureDeltaEngine(Session& session) {
-  KBREPAIR_DCHECK(options_.conflict_engine ==
-                  ConflictEngineKind::kIncremental);
+  KBREPAIR_DCHECK(session.active_engine == ConflictEngineKind::kIncremental);
   if (session.delta != nullptr) return Status::Ok();
   session.delta = std::make_unique<DeltaConflictEngine>(
       &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
-  return session.delta->Initialize(session.facts);
+  const Status status = session.delta->Initialize(session.facts);
+  // A half-initialized engine must not be mistaken for a live one by the
+  // next round's lazy-creation check.
+  if (!status.ok()) session.delta.reset();
+  return status;
 }
 
 Status InquiryEngine::EnsureSkeletonEngine(Session& session) {
-  KBREPAIR_DCHECK(options_.conflict_engine ==
-                  ConflictEngineKind::kIncremental);
+  KBREPAIR_DCHECK(session.active_engine == ConflictEngineKind::kIncremental);
   if (session.skeleton_delta != nullptr) return Status::Ok();
   session.skeleton_delta = std::make_unique<DeltaConflictEngine>(
       &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
-  return session.skeleton_delta->Initialize(
+  const Status status = session.skeleton_delta->Initialize(
       session.repairability.BuildSkeleton(session.facts, session.pi));
+  if (!status.ok()) session.skeleton_delta.reset();
+  return status;
+}
+
+void InquiryEngine::DemoteToScratch(Session& session, const Status& cause) {
+  session.active_engine = ConflictEngineKind::kScratch;
+  session.delta.reset();
+  session.skeleton_delta.reset();
+  ++session.result.engine_fallbacks;
+  std::cerr << "[kbrepair] incremental conflict engine demoted to scratch: "
+            << cause << "\n";
+}
+
+ConflictEngineKind InquiryEngine::active_engine() const {
+  return step_ != nullptr ? step_->active_engine : options_.conflict_engine;
 }
 
 Status InquiryEngine::ComputeNextQuestion(Session& session) {
@@ -388,18 +418,30 @@ Status InquiryEngine::ComputeNextQuestion(Session& session) {
       }
       case Session::Mode::kPhaseTwo: {
         // --- Phase two: conflicts surfacing through the chase.
-        if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
+        bool have_census = false;
+        if (session.active_engine == ConflictEngineKind::kIncremental) {
           // The maintained census is current; selection sees the whole
           // set (CHECKCONSISTENCY-OPT's early stop buys nothing here).
-          KBREPAIR_RETURN_IF_ERROR(EnsureDeltaEngine(session));
-          chase_conflicts = session.delta->CanonicalConflicts();
-        } else if (options_.strategy == Strategy::kOptiMcd ||
-                   options_.record_convergence != ConvergenceRecording::kOff) {
+          const Status status = EnsureDeltaEngine(session);
+          if (status.ok()) {
+            chase_conflicts = session.delta->CanonicalConflicts();
+            have_census = true;
+          } else if (status.code() == StatusCode::kDeadlineExceeded) {
+            return status;
+          } else {
+            DemoteToScratch(session, status);
+          }
+        }
+        if (!have_census &&
+            (options_.strategy == Strategy::kOptiMcd ||
+             options_.record_convergence != ConvergenceRecording::kOff)) {
           // The ranking needs the whole conflict set.
           KBREPAIR_ASSIGN_OR_RETURN(
               chase_conflicts, session.finder.AllConflicts(session.facts));
           CanonicalizeConflicts(chase_conflicts, session.facts.size());
-        } else {
+          have_census = true;
+        }
+        if (!have_census) {
           // CHECKCONSISTENCY-OPT: stop the chase at the first violation
           // and question it.
           ChaseEngine engine(&kb_->symbols(), &kb_->tgds(), &kb_->cdds(),
@@ -437,10 +479,19 @@ Status InquiryEngine::ComputeNextQuestion(Session& session) {
       case Session::Mode::kBasic: {
         // Plain Algorithm 3: allconflicts before every question —
         // recomputed from scratch or read off the maintained engine.
-        if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
-          KBREPAIR_RETURN_IF_ERROR(EnsureDeltaEngine(session));
-          chase_conflicts = session.delta->CanonicalConflicts();
-        } else {
+        bool have_census = false;
+        if (session.active_engine == ConflictEngineKind::kIncremental) {
+          const Status status = EnsureDeltaEngine(session);
+          if (status.ok()) {
+            chase_conflicts = session.delta->CanonicalConflicts();
+            have_census = true;
+          } else if (status.code() == StatusCode::kDeadlineExceeded) {
+            return status;
+          } else {
+            DemoteToScratch(session, status);
+          }
+        }
+        if (!have_census) {
           KBREPAIR_ASSIGN_OR_RETURN(
               chase_conflicts, session.finder.AllConflicts(session.facts));
           CanonicalizeConflicts(chase_conflicts, session.facts.size());
@@ -515,15 +566,21 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
   }
   if (session.delta != nullptr) {
     // The maintained engine mirrors every fix from the moment it is
-    // created (lazy creation snapshots the then-current facts).
-    KBREPAIR_RETURN_IF_ERROR(
-        session.delta->OnFixApplied(fix.atom, fix.arg, fix.value));
+    // created (lazy creation snapshots the then-current facts). A
+    // maintenance failure — including a deadline firing mid-replay —
+    // leaves the mirror stale, so the engines are dropped and the
+    // session continues on scratch; the answer itself already took
+    // effect and must not fail.
+    const Status status =
+        session.delta->OnFixApplied(fix.atom, fix.arg, fix.value);
+    if (!status.ok()) DemoteToScratch(session, status);
   }
   if (session.skeleton_delta != nullptr) {
     // The fixed position joined Π, so the skeleton now carries its real
     // value instead of the position's scratch null.
-    KBREPAIR_RETURN_IF_ERROR(
-        session.skeleton_delta->OnFixApplied(fix.atom, fix.arg, fix.value));
+    const Status status =
+        session.skeleton_delta->OnFixApplied(fix.atom, fix.arg, fix.value);
+    if (!status.ok()) DemoteToScratch(session, status);
   }
 
   if (options_.strategy == Strategy::kOptiProp) {
@@ -546,10 +603,19 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
            ConvergenceRecording::kDiscoveredConflicts &&
        !in_phase_one);
   if (census_needed) {
-    if (options_.conflict_engine == ConflictEngineKind::kIncremental) {
-      KBREPAIR_RETURN_IF_ERROR(EnsureDeltaEngine(session));
-      record.conflicts_remaining = session.delta->size();
-    } else {
+    bool have_count = false;
+    if (session.active_engine == ConflictEngineKind::kIncremental) {
+      // The fix is already applied, so even a deadline here must not
+      // fail the answer; fall back to a scratch count instead.
+      const Status status = EnsureDeltaEngine(session);
+      if (status.ok()) {
+        record.conflicts_remaining = session.delta->size();
+        have_count = true;
+      } else {
+        DemoteToScratch(session, status);
+      }
+    }
+    if (!have_count) {
       KBREPAIR_ASSIGN_OR_RETURN(const std::vector<Conflict> all,
                                 session.finder.AllConflicts(session.facts));
       record.conflicts_remaining = all.size();
@@ -571,10 +637,13 @@ StatusOr<bool> InquiryEngine::UnfreezePropagated(Session& session) {
   for (const Position& p : session.propagated) {
     session.pi.erase(p);
     if (session.skeleton_delta != nullptr) {
-      // Leaving Π reverts the position to its stable scratch null.
-      KBREPAIR_RETURN_IF_ERROR(session.skeleton_delta->OnFixApplied(
+      // Leaving Π reverts the position to its stable scratch null. A
+      // replay failure strands the skeleton mid-update: demote (which
+      // nulls the pointer, so remaining positions skip the replay).
+      const Status status = session.skeleton_delta->OnFixApplied(
           p.atom, p.arg,
-          session.repairability.SkeletonNullFor(session.facts, p)));
+          session.repairability.SkeletonNullFor(session.facts, p));
+      if (!status.ok()) DemoteToScratch(session, status);
     }
   }
   session.propagated.clear();
@@ -592,9 +661,10 @@ Status InquiryEngine::ApplyPendingPropagation(Session& session,
       ++session.result.propagated_positions;
       if (session.skeleton_delta != nullptr) {
         // Freezing exposes the position's current value to the skeleton.
-        KBREPAIR_RETURN_IF_ERROR(session.skeleton_delta->OnFixApplied(
+        const Status status = session.skeleton_delta->OnFixApplied(
             p.atom, p.arg,
-            session.facts.atom(p.atom).args[static_cast<size_t>(p.arg)]));
+            session.facts.atom(p.atom).args[static_cast<size_t>(p.arg)]);
+        if (!status.ok()) DemoteToScratch(session, status);
       }
     }
   }

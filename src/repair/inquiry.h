@@ -152,6 +152,10 @@ struct InquiryResult {
   // candidate fixes enumerated / filtered out by Algorithm 2.
   size_t question_candidates = 0;
   size_t question_filtered = 0;
+  // Times the incremental conflict engine was demoted to scratch after a
+  // maintenance error or invariant violation (graceful degradation; 0 or
+  // 1 per dialogue in practice — demotion is sticky).
+  size_t engine_fallbacks = 0;
 
   size_t num_questions() const { return records.size(); }
   double ConflictsPerQuestion() const {
@@ -215,6 +219,12 @@ class InquiryEngine {
   // True when the dialogue reached consistency (NextQuestion == nullptr).
   bool finished() const;
 
+  // The conflict engine actually in use: options().conflict_engine until
+  // a maintenance error demotes an incremental session to kScratch (see
+  // DemoteToScratch). The dialogue is unaffected by a demotion — the
+  // scratch engine recomputes the same canonical census.
+  ConflictEngineKind active_engine() const;
+
   // The working fact base of the in-progress session. Requires started().
   const FactBase& working_facts() const;
   // Rounds recorded so far (facts/result totals are filled by Finish()).
@@ -245,6 +255,13 @@ class InquiryEngine {
   // question is already pending or the session is finished.
   Status ComputeNextQuestion(Session& session);
   Status ApplyAnswer(Session& session, size_t choice);
+
+  // Graceful degradation: drops the maintained delta engines and flips
+  // the session to the scratch reference engine, logging and counting
+  // `cause`. Called on any delta-engine initialization or maintenance
+  // failure other than a deadline during initialization (which is
+  // retryable and propagates instead — nothing is stale yet).
+  void DemoteToScratch(Session& session, const Status& cause);
 
   // Picks a conflict + question for the current round from `conflicts`.
   // Returns an empty question when no sound question exists (the caller

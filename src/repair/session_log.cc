@@ -77,31 +77,36 @@ StatusOr<Fix> FixFromJson(const JsonValue& json, SymbolTable& symbols) {
 
 }  // namespace
 
+JsonValue SessionTranscript::EntryToJson(const TranscriptEntry& entry,
+                                         const SymbolTable& symbols) {
+  JsonValue question = JsonValue::Object();
+  question.Set("source_cdd", JsonValue::Number(static_cast<int64_t>(
+                                 entry.question.source_cdd)));
+  JsonValue positions = JsonValue::Array();
+  for (const Position& p : entry.question.considered_positions) {
+    JsonValue pos = JsonValue::Array();
+    pos.Append(JsonValue::Number(static_cast<int64_t>(p.atom)));
+    pos.Append(JsonValue::Number(static_cast<int64_t>(p.arg)));
+    positions.Append(std::move(pos));
+  }
+  question.Set("positions", std::move(positions));
+  JsonValue fixes = JsonValue::Array();
+  for (const Fix& fix : entry.question.fixes) {
+    fixes.Append(FixToJson(fix, symbols));
+  }
+  question.Set("fixes", std::move(fixes));
+
+  JsonValue record = JsonValue::Object();
+  record.Set("chosen",
+             JsonValue::Number(static_cast<int64_t>(entry.chosen_index)));
+  record.Set("question", std::move(question));
+  return record;
+}
+
 JsonValue SessionTranscript::ToJson(const SymbolTable& symbols) const {
   JsonValue entries = JsonValue::Array();
   for (const TranscriptEntry& entry : entries_) {
-    JsonValue question = JsonValue::Object();
-    question.Set("source_cdd", JsonValue::Number(static_cast<int64_t>(
-                                   entry.question.source_cdd)));
-    JsonValue positions = JsonValue::Array();
-    for (const Position& p : entry.question.considered_positions) {
-      JsonValue pos = JsonValue::Array();
-      pos.Append(JsonValue::Number(static_cast<int64_t>(p.atom)));
-      pos.Append(JsonValue::Number(static_cast<int64_t>(p.arg)));
-      positions.Append(std::move(pos));
-    }
-    question.Set("positions", std::move(positions));
-    JsonValue fixes = JsonValue::Array();
-    for (const Fix& fix : entry.question.fixes) {
-      fixes.Append(FixToJson(fix, symbols));
-    }
-    question.Set("fixes", std::move(fixes));
-
-    JsonValue record = JsonValue::Object();
-    record.Set("chosen", JsonValue::Number(static_cast<int64_t>(
-                             entry.chosen_index)));
-    record.Set("question", std::move(question));
-    entries.Append(std::move(record));
+    entries.Append(EntryToJson(entry, symbols));
   }
   JsonValue out = JsonValue::Object();
   out.Set("entries", std::move(entries));

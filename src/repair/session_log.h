@@ -51,6 +51,12 @@ class SessionTranscript {
   static StatusOr<SessionTranscript> FromJson(const JsonValue& json,
                                               SymbolTable& symbols);
 
+  // One entry in the exact shape ToJson puts into "entries". The WAL
+  // logs each accepted answer as one such record, so a WAL's answer
+  // lines concatenate into a FromJson-loadable transcript.
+  static JsonValue EntryToJson(const TranscriptEntry& entry,
+                               const SymbolTable& symbols);
+
  private:
   std::vector<TranscriptEntry> entries_;
 };

@@ -17,11 +17,13 @@
 //   kbrepair-client [--server PATH] [--sessions N] [--workers N]
 //                   [--kb NAME] [--strategy NAME] [--seed S] [--quiet]
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -29,6 +31,7 @@
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,37 +86,49 @@ class ServerConnection {
   }
 
   // Sends `request` (stamping a fresh "id") and blocks for its response
-  // envelope. Fails if the server hangs up first.
+  // envelope. Unavailable and DeadlineExceeded mean the server never
+  // executed the command, so those are retried with the SAME correlation
+  // id under bounded exponential backoff; everything else is final.
   StatusOr<JsonValue> Call(JsonValue request) {
     const std::string id = "r-" + std::to_string(next_id_.fetch_add(1));
     request.Set("id", JsonValue::String(id));
     const std::string line = request.Dump() + "\n";
-    {
-      std::lock_guard<std::mutex> lock(write_mu_);
-      size_t off = 0;
-      while (off < line.size()) {
-        ssize_t n = write(write_fd_, line.data() + off, line.size() - off);
-        if (n <= 0) return Status::Internal("write to server failed");
-        off += static_cast<size_t>(n);
+    constexpr int kMaxAttempts = 5;
+    constexpr int64_t kBackoffBaseMs = 10;
+    Status last = Status::Ok();
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      if (attempt > 0) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kBackoffBaseMs << (attempt - 1)));
       }
+      StatusOr<JsonValue> outcome = CallOnce(id, line);
+      if (outcome.ok()) return outcome;
+      last = outcome.status();
+      if (last.code() != StatusCode::kUnavailable &&
+          last.code() != StatusCode::kDeadlineExceeded) {
+        return last;
+      }
+      // A hung-up server will not come back (we spawned it): stop
+      // burning backoff time and let the caller report the loss.
+      if (closed()) break;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return responses_.count(id) != 0 || closed_; });
-    auto it = responses_.find(id);
-    if (it == responses_.end()) {
-      return Status::Internal("server closed before answering " + id);
-    }
-    JsonValue response = std::move(it->second);
-    responses_.erase(it);
-    lock.unlock();
-    if (!response.Get("ok").AsBool(false)) {
-      const JsonValue& error = response.Get("error");
-      return Status::Internal("server error [" +
-                              error.Get("code").AsString() + "] " +
-                              error.Get("message").AsString());
-    }
-    return response.Get("result");  // copy; the envelope dies here
+    return last;
   }
+
+  // Correlation ids written to the server but never answered — the
+  // in-doubt commands after a crash or hangup.
+  std::vector<std::string> UnansweredIds() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<std::string>(pending_.begin(), pending_.end());
+  }
+
+  bool closed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
   // Closes the server's stdin (EOF triggers its graceful shutdown) and
   // reaps it. Returns the child's exit code, or -1.
@@ -139,6 +154,61 @@ class ServerConnection {
   }
 
  private:
+  StatusOr<JsonValue> CallOnce(const std::string& id,
+                               const std::string& line) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::Unavailable("server connection is closed");
+      }
+      pending_.insert(id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(write_mu_);
+      size_t off = 0;
+      while (off < line.size()) {
+        ssize_t n = write(write_fd_, line.data() + off, line.size() - off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          const int err = errno;
+          std::lock_guard<std::mutex> plock(mu_);
+          pending_.erase(id);
+          // With SIGPIPE ignored a dead reader surfaces here as EPIPE.
+          return err == EPIPE
+                     ? Status::Unavailable("server pipe closed (EPIPE)")
+                     : Status::Internal("write to server failed: " +
+                                        std::string(std::strerror(err)));
+        }
+        off += static_cast<size_t>(n);
+      }
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return responses_.count(id) != 0 || closed_; });
+    auto it = responses_.find(id);
+    if (it == responses_.end()) {
+      // EOF with the request written: leave the id in pending_ so the
+      // caller can report exactly which commands are in doubt.
+      return Status::Unavailable("server closed before answering " + id);
+    }
+    pending_.erase(id);
+    JsonValue response = std::move(it->second);
+    responses_.erase(it);
+    lock.unlock();
+    if (!response.Get("ok").AsBool(false)) {
+      const JsonValue& error = response.Get("error");
+      const std::string code = error.Get("code").AsString();
+      const std::string message = error.Get("message").AsString();
+      if (code == "Unavailable") {
+        return Status::Unavailable("server error: " + message);
+      }
+      if (code == "DeadlineExceeded") {
+        return Status::DeadlineExceeded("server error: " + message);
+      }
+      return Status::Internal("server error [" + code + "] " + message);
+    }
+    return response.Get("result");  // copy; the envelope dies here
+  }
+
   void ReaderLoop() {
     std::string buffer;
     char chunk[4096];
@@ -178,9 +248,11 @@ class ServerConnection {
   std::thread reader_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> garbled_{0};
+  std::atomic<uint64_t> retries_{0};
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, JsonValue> responses_;
+  std::set<std::string> pending_;  // written, not yet answered
   bool closed_ = false;
 };
 
@@ -195,6 +267,9 @@ struct ClientOptions {
   std::string engine = "scratch";
   uint64_t seed = 20180326;  // EDBT'18
   bool quiet = false;
+  // Extra flags forwarded to the spawned daemon (repeatable
+  // --server-arg), e.g. --wal-dir or --failpoints for fault drills.
+  std::vector<std::string> server_args;
 };
 
 JsonValue CreateParams(const ClientOptions& options, uint64_t seed_i) {
@@ -308,8 +383,9 @@ StatusOr<size_t> DriveSession(ServerConnection& server,
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--server PATH] [--sessions N] [--workers N] [--kb NAME]"
-               " [--strategy NAME] [--engine NAME] [--seed S] [--quiet]\n";
+            << " [--server PATH] [--server-arg ARG]... [--sessions N]"
+               " [--workers N] [--kb NAME] [--strategy NAME] [--engine NAME]"
+               " [--seed S] [--quiet]\n";
   return 2;
 }
 
@@ -331,6 +407,8 @@ int Main(int argc, char** argv) {
     const char* v = nullptr;
     if (arg == "--server" && (v = next_value())) {
       options.server_path = v;
+    } else if (arg == "--server-arg" && (v = next_value())) {
+      options.server_args.push_back(v);
     } else if (arg == "--sessions" && (v = next_value())) {
       options.sessions = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--workers" && (v = next_value())) {
@@ -355,9 +433,16 @@ int Main(int argc, char** argv) {
   }
   if (options.sessions == 0) options.sessions = 1;
 
+  // A daemon that dies mid-stream must become a reported failure, not a
+  // SIGPIPE-killed client.
+  ::signal(SIGPIPE, SIG_IGN);
+
   ServerConnection server;
-  if (!server.Spawn({options.server_path, "--workers",
-                     std::to_string(options.workers)})) {
+  std::vector<std::string> server_argv = {
+      options.server_path, "--workers", std::to_string(options.workers)};
+  server_argv.insert(server_argv.end(), options.server_args.begin(),
+                     options.server_args.end());
+  if (!server.Spawn(server_argv)) {
     std::cerr << "failed to spawn " << options.server_path << "\n";
     return 1;
   }
@@ -413,6 +498,21 @@ int Main(int argc, char** argv) {
   if (server.garbled_lines() != 0) {
     failures.push_back(std::to_string(server.garbled_lines()) +
                        " garbled response lines");
+  }
+  const std::vector<std::string> unanswered = server.UnansweredIds();
+  if (!unanswered.empty()) {
+    std::string joined;
+    for (const std::string& id : unanswered) {
+      if (!joined.empty()) joined += ", ";
+      joined += id;
+    }
+    failures.push_back("server hung up with " +
+                       std::to_string(unanswered.size()) +
+                       " unanswered command(s): " + joined);
+  }
+  if (!options.quiet && server.retries() != 0) {
+    std::cout << "retried " << server.retries()
+              << " command(s) after Unavailable/DeadlineExceeded\n";
   }
 
   if (!failures.empty()) {

@@ -8,7 +8,11 @@
 //
 // Usage:
 //   kbrepaird [--workers N] [--max-queue N] [--ttl-seconds S]
-//             [--transcript-dir DIR]
+//             [--transcript-dir DIR] [--wal-dir DIR] [--recover-dir DIR]
+//             [--deadline-ms N] [--wal-compact-every N]
+//             [--failpoints SPEC]
+
+#include <signal.h>
 
 #include <cstdint>
 #include <cstdlib>
@@ -17,14 +21,25 @@
 #include <string>
 
 #include "service/session_manager.h"
+#include "util/failpoint.h"
 
 namespace kbrepair {
 namespace {
 
 int Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--workers N] [--max-queue N] [--ttl-seconds S]"
-               " [--transcript-dir DIR]\n";
+  std::cerr
+      << "usage: " << argv0
+      << " [--workers N] [--max-queue N] [--ttl-seconds S]"
+         " [--transcript-dir DIR]\n"
+         "  [--wal-dir DIR]          write-ahead log accepted commands to"
+         " DIR/<session>.wal\n"
+         "  [--recover-dir DIR]      like --wal-dir, plus replay every WAL"
+         " found there at startup\n"
+         "  [--deadline-ms N]        per-command deadline (0 = none)\n"
+         "  [--wal-compact-every N]  snapshot-compact a session WAL every"
+         " N appends\n"
+         "  [--failpoints SPEC]      arm failpoints, e.g."
+         " 'wal.fsync=1,chase.saturate' (also via KBREPAIR_FAILPOINTS)\n";
   return 2;
 }
 
@@ -55,6 +70,32 @@ int Main(int argc, char** argv) {
       const char* v = next_value("--transcript-dir");
       if (v == nullptr) return Usage(argv[0]);
       config.transcript_dir = v;
+    } else if (arg == "--wal-dir") {
+      const char* v = next_value("--wal-dir");
+      if (v == nullptr) return Usage(argv[0]);
+      config.wal_dir = v;
+    } else if (arg == "--recover-dir") {
+      const char* v = next_value("--recover-dir");
+      if (v == nullptr) return Usage(argv[0]);
+      config.wal_dir = v;
+      config.recover = true;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next_value("--deadline-ms");
+      if (v == nullptr) return Usage(argv[0]);
+      config.deadline_ms = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--wal-compact-every") {
+      const char* v = next_value("--wal-compact-every");
+      if (v == nullptr) return Usage(argv[0]);
+      config.wal_compact_every =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--failpoints") {
+      const char* v = next_value("--failpoints");
+      if (v == nullptr) return Usage(argv[0]);
+      const Status armed = failpoint::Configure(v);
+      if (!armed.ok()) {
+        std::cerr << "--failpoints: " << armed << "\n";
+        return Usage(argv[0]);
+      }
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -63,6 +104,11 @@ int Main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
+
+  // A client that vanishes mid-response must not kill the daemon; the
+  // failed write surfaces as a stream error instead.
+  ::signal(SIGPIPE, SIG_IGN);
+  failpoint::InitFromEnvOnce();
 
   SessionManager manager(config);
   // Workers complete concurrently; one mutex keeps response lines whole.

@@ -93,10 +93,32 @@ JsonValue ServiceMetrics::ToJson() const {
               JsonValue::Number(errors_total.load(std::memory_order_relaxed)));
   traffic.Set("rejected_overload",
               JsonValue::Number(rejected_overload.load(std::memory_order_relaxed)));
+  traffic.Set("rejected_commands",
+              JsonValue::Number(rejected_commands.load(std::memory_order_relaxed)));
+  traffic.Set("deadline_exceeded",
+              JsonValue::Number(deadline_exceeded.load(std::memory_order_relaxed)));
+
+  JsonValue durability = JsonValue::Object();
+  durability.Set("wal_appends",
+                 JsonValue::Number(wal_appends.load(std::memory_order_relaxed)));
+  durability.Set("wal_fsync_failures",
+                 JsonValue::Number(wal_fsync_failures.load(std::memory_order_relaxed)));
+  durability.Set("wal_compactions",
+                 JsonValue::Number(wal_compactions.load(std::memory_order_relaxed)));
+  durability.Set("transcript_write_failures",
+                 JsonValue::Number(
+                     transcript_write_failures.load(std::memory_order_relaxed)));
+  durability.Set("sessions_recovered",
+                 JsonValue::Number(sessions_recovered.load(std::memory_order_relaxed)));
+  durability.Set("engine_fallbacks",
+                 JsonValue::Number(engine_fallbacks.load(std::memory_order_relaxed)));
+  durability.Set("worker_stalls",
+                 JsonValue::Number(worker_stalls.load(std::memory_order_relaxed)));
 
   JsonValue out = JsonValue::Object();
   out.Set("sessions", std::move(sessions));
   out.Set("traffic", std::move(traffic));
+  out.Set("durability", std::move(durability));
   out.Set("turn_delay", turn_delay.ToJson());
   out.Set("request_latency", request_latency.ToJson());
   return out;

@@ -63,6 +63,20 @@ struct ServiceMetrics {
   std::atomic<uint64_t> requests_total{0};
   std::atomic<uint64_t> errors_total{0};
   std::atomic<uint64_t> rejected_overload{0};
+  // Commands refused at admission (overload, shutdown, WAL append
+  // failure) — superset of rejected_overload. None of them executed.
+  std::atomic<uint64_t> rejected_commands{0};
+  // Commands cut off by the per-command deadline (--deadline-ms).
+  std::atomic<uint64_t> deadline_exceeded{0};
+
+  // Durability and degradation.
+  std::atomic<uint64_t> wal_appends{0};
+  std::atomic<uint64_t> wal_fsync_failures{0};
+  std::atomic<uint64_t> wal_compactions{0};
+  std::atomic<uint64_t> transcript_write_failures{0};
+  std::atomic<uint64_t> sessions_recovered{0};   // rebuilt from WALs
+  std::atomic<uint64_t> engine_fallbacks{0};     // incremental -> scratch
+  std::atomic<uint64_t> worker_stalls{0};        // watchdog flags
 
   // Per-turn question-production delay (Prop. 4.10's service-latency
   // bound, measured) and end-to-end per-command service time.

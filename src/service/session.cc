@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include <iostream>
 #include <utility>
 
 #include "gen/durum_wheat.h"
@@ -32,6 +33,48 @@ JsonValue FactsToJson(const FactBase& facts, const SymbolTable& symbols) {
     out.Append(JsonValue::String(facts.atom(id).ToString(symbols)));
   }
   return out;
+}
+
+const char* TermKindTag(TermKind kind) {
+  switch (kind) {
+    case TermKind::kConstant:
+      return "constant";
+    case TermKind::kVariable:
+      return "variable";
+    case TermKind::kNull:
+      return "null";
+  }
+  return "?";
+}
+
+// Matches a WAL-recorded fix (wire JSON: atom/arg numbers plus
+// kind/value strings) against the fixes of a regenerated question.
+// Comparison stays at the string level: interning the recorded terms
+// into the live symbol table would advance its fresh-null counter, so
+// the replayed dialogue would mint differently named nulls and
+// recovery would no longer be byte-identical with the original run.
+std::optional<size_t> MatchRecordedFix(const JsonValue& recorded,
+                                       const Question& question,
+                                       const InquiryView& view,
+                                       const SymbolTable& symbols) {
+  const AtomId atom = static_cast<AtomId>(recorded.Get("atom").AsInt(-1));
+  const int arg = static_cast<int>(recorded.Get("arg").AsInt(-1));
+  const std::string kind = recorded.Get("kind").AsString();
+  const std::string value = recorded.Get("value").AsString();
+  for (size_t i = 0; i < question.fixes.size(); ++i) {
+    const Fix& offered = question.fixes[i];
+    if (offered.atom != atom || offered.arg != arg) continue;
+    const TermKind offered_kind = symbols.term_kind(offered.value);
+    const bool exact = kind == TermKindTag(offered_kind) &&
+                       value == symbols.term_name(offered.value);
+    // A re-run mints a different fresh null for the same position; both
+    // denote "unknown unique to the position".
+    const bool both_fresh_nulls =
+        kind == "null" && offered_kind == TermKind::kNull &&
+        view.facts != nullptr && view.facts->TermUseCount(offered.value) == 0;
+    if (exact || both_fresh_nulls) return i;
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -116,29 +159,114 @@ StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params) {
 }
 
 RepairSession::RepairSession(std::string id, std::string kb_label,
-                             KnowledgeBase kb, InquiryOptions options)
+                             KnowledgeBase kb, InquiryOptions options,
+                             JsonValue create_params)
     : id_(std::move(id)),
       kb_label_(std::move(kb_label)),
       kb_(std::move(kb)),
       options_(options),
-      engine_(std::make_unique<InquiryEngine>(&kb_, options_)) {}
+      create_params_(std::move(create_params)),
+      cancel_(std::make_shared<CancelToken>()) {
+  // Every chase-running component the engine builds shares this token,
+  // so arming it bounds a whole command.
+  options_.chase_options.cancel = cancel_;
+  engine_ = std::make_unique<InquiryEngine>(&kb_, options_);
+}
 
 StatusOr<std::unique_ptr<RepairSession>> RepairSession::Create(
-    std::string id, const JsonValue& params) {
+    std::string id, const JsonValue& params, int64_t deadline_ms) {
   std::string label;
   KBREPAIR_ASSIGN_OR_RETURN(KnowledgeBase kb,
                             BuildKbFromParams(params, &label));
   KBREPAIR_ASSIGN_OR_RETURN(InquiryOptions options,
                             InquiryOptionsFromParams(params));
   std::unique_ptr<RepairSession> session(new RepairSession(
-      std::move(id), std::move(label), std::move(kb), options));
-  KBREPAIR_RETURN_IF_ERROR(session->engine_->Begin());
+      std::move(id), std::move(label), std::move(kb), options, params));
+  session->ArmDeadline(deadline_ms);
+  const Status begun = session->engine_->Begin();
+  session->DisarmDeadline();
+  KBREPAIR_RETURN_IF_ERROR(begun);
   return session;
+}
+
+StatusOr<std::unique_ptr<RepairSession>> RepairSession::Recover(
+    std::string id, const JsonValue& create_params,
+    const std::vector<JsonValue>& entries) {
+  std::string label;
+  KBREPAIR_ASSIGN_OR_RETURN(KnowledgeBase kb,
+                            BuildKbFromParams(create_params, &label));
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryOptions options,
+                            InquiryOptionsFromParams(create_params));
+  std::unique_ptr<RepairSession> session(new RepairSession(
+      std::move(id), std::move(label), std::move(kb), options, create_params));
+  KBREPAIR_RETURN_IF_ERROR(session->engine_->Begin());
+
+  // Replay the WAL's answer records through the restarted engine,
+  // validating each recorded fix against the question the engine
+  // regenerates. The match is done on the wire JSON directly (see
+  // MatchRecordedFix) so replay never mutates the symbol table.
+  for (size_t n = 0; n < entries.size(); ++n) {
+    const JsonValue& record = entries[n];
+    const JsonValue& fixes_json = record.Get("question").Get("fixes");
+    if (!record.Get("chosen").is_number() || !fixes_json.is_array()) {
+      return Status::InvalidArgument(
+          "WAL answer record " + std::to_string(n) +
+          " needs 'chosen' and 'question.fixes'");
+    }
+    const size_t chosen = static_cast<size_t>(record.Get("chosen").AsInt(0));
+    if (chosen >= fixes_json.size()) {
+      return Status::InvalidArgument(
+          "WAL answer record " + std::to_string(n) +
+          " chose a fix index out of range");
+    }
+    KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
+                              session->engine_->NextQuestion());
+    if (question == nullptr) {
+      return Status::Internal(
+          "WAL replay diverged: dialogue reached consistency with " +
+          std::to_string(entries.size() - n) + " recorded answer(s) left");
+    }
+    const std::optional<size_t> choice =
+        MatchRecordedFix(fixes_json.at(chosen), *question,
+                         session->engine_->View(), session->kb_.symbols());
+    if (!choice.has_value()) {
+      return Status::Internal(
+          "WAL replay diverged at answer " + std::to_string(n) +
+          ": recorded fix not offered by the regenerated question");
+    }
+    const Question regenerated = *question;
+    KBREPAIR_RETURN_IF_ERROR(session->engine_->Answer(*choice));
+    session->transcript_.Record(regenerated, *choice);
+  }
+  return session;
+}
+
+void RepairSession::AttachWal(std::unique_ptr<SessionWal> wal,
+                              size_t compact_every) {
+  wal_ = std::move(wal);
+  if (compact_every > 0) wal_compact_every_ = compact_every;
+}
+
+void RepairSession::ArmDeadline(int64_t budget_ms) {
+  if (budget_ms > 0) cancel_->ArmDeadline(budget_ms);
+}
+
+void RepairSession::DisarmDeadline() { cancel_->Disarm(); }
+
+void RepairSession::ReportEngineFallbacks(size_t total_fallbacks,
+                                          ServiceMetrics* metrics) {
+  if (total_fallbacks <= reported_fallbacks_) return;
+  if (metrics != nullptr) {
+    metrics->engine_fallbacks.fetch_add(total_fallbacks - reported_fallbacks_,
+                                        std::memory_order_relaxed);
+  }
+  reported_fallbacks_ = total_fallbacks;
 }
 
 StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
   KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
                             engine_->NextQuestion());
+  ReportEngineFallbacks(engine_->progress().engine_fallbacks, metrics);
   JsonValue out = JsonValue::Object();
   out.Set("session", JsonValue::String(id_));
   const size_t answered = engine_->progress().records.size();
@@ -179,9 +307,55 @@ StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
   }
   // Copy before Answer() invalidates the pending question.
   const Question recorded = *question;
+
+  // WAL-before-execute: the accepted answer is durable before it takes
+  // effect. On append failure the command is *rejected* — the engine was
+  // not touched, so the client can safely retry.
+  if (wal_ != nullptr) {
+    const JsonValue record = SessionWal::AnswerRecord(
+        SessionTranscript::EntryToJson(TranscriptEntry{recorded, choice},
+                                       kb_.symbols()));
+    bool fsync_failed = false;
+    const Status appended = wal_->Append(record, &fsync_failed);
+    if (!appended.ok()) {
+      if (metrics != nullptr) {
+        if (fsync_failed) {
+          metrics->wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      }
+      return appended;
+    }
+    if (metrics != nullptr) {
+      metrics->wal_appends.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   KBREPAIR_RETURN_IF_ERROR(engine_->Answer(choice));
   transcript_.Record(recorded, choice);
   question_outstanding_ = false;
+  ReportEngineFallbacks(engine_->progress().engine_fallbacks, metrics);
+
+  if (wal_ != nullptr &&
+      wal_->appends_since_compaction() >= wal_compact_every_) {
+    std::vector<JsonValue> entry_records;
+    entry_records.reserve(transcript_.size());
+    for (const TranscriptEntry& entry : transcript_.entries()) {
+      entry_records.push_back(
+          SessionTranscript::EntryToJson(entry, kb_.symbols()));
+    }
+    const Status compacted = wal_->Compact(create_params_, entry_records);
+    if (compacted.ok()) {
+      if (metrics != nullptr) {
+        metrics->wal_compactions.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // The pre-compaction log is still intact and replayable; keep
+      // serving and try again after the next answer.
+      std::cerr << "[kbrepair] WAL compaction failed for session " << id_
+                << ": " << compacted << "\n";
+    }
+  }
 
   const QuestionRecord& record = engine_->progress().records.back();
   if (metrics != nullptr) {
@@ -206,6 +380,13 @@ JsonValue RepairSession::StatusInfo() const {
   out.Set("strategy", JsonValue::String(StrategyName(options_.strategy)));
   out.Set("engine",
           JsonValue::String(ConflictEngineName(options_.conflict_engine)));
+  // Graceful degradation is visible: after a fallback the active engine
+  // differs from the requested one.
+  out.Set("engine_active",
+          JsonValue::String(ConflictEngineName(engine_->active_engine())));
+  out.Set("engine_degraded",
+          JsonValue::Bool(engine_->active_engine() !=
+                          options_.conflict_engine));
   out.Set("seed", JsonValue::Number(static_cast<int64_t>(options_.seed)));
   const char* state = "active";
   if (closed_) {
@@ -249,10 +430,39 @@ StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
   if (closed_) {
     return Status::FailedPrecondition("session is already closed");
   }
+  // Log the close before executing it; if the daemon dies in between,
+  // recovery sees the close record and discards the WAL instead of
+  // resurrecting a session the client was told nothing about.
+  if (wal_ != nullptr) {
+    bool fsync_failed = false;
+    const Status appended = wal_->Append(SessionWal::CloseRecord(),
+                                         &fsync_failed);
+    if (!appended.ok()) {
+      if (metrics != nullptr) {
+        if (fsync_failed) {
+          metrics->wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      }
+      return appended;
+    }
+    if (metrics != nullptr) {
+      metrics->wal_appends.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const bool consistent = engine_->finished();
   KBREPAIR_ASSIGN_OR_RETURN(InquiryResult result, engine_->Finish());
   closed_ = true;
-  (void)metrics;
+  ReportEngineFallbacks(result.engine_fallbacks, metrics);
+  // The session ended cleanly; there is nothing left to recover.
+  if (wal_ != nullptr) {
+    const Status removed = wal_->Remove();
+    if (!removed.ok()) {
+      std::cerr << "[kbrepair] WAL removal failed for session " << id_
+                << ": " << removed << "\n";
+    }
+    wal_.reset();
+  }
   JsonValue out = JsonValue::Object();
   out.Set("session", JsonValue::String(id_));
   out.Set("closed", JsonValue::Bool(true));

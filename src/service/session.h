@@ -11,12 +11,15 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "repair/inquiry.h"
 #include "repair/session_log.h"
 #include "rules/knowledge_base.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
+#include "service/wal.h"
+#include "util/cancel.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -39,9 +42,32 @@ class RepairSession {
  public:
   // Builds the KB, starts the dialogue (Π-repairability check + initial
   // conflict census). Fails without registering anything on bad params
-  // or an unrepairable KB.
+  // or an unrepairable KB. A positive `deadline_ms` bounds the initial
+  // census (DeadlineExceeded past it).
   static StatusOr<std::unique_ptr<RepairSession>> Create(
-      std::string id, const JsonValue& params);
+      std::string id, const JsonValue& params, int64_t deadline_ms = 0);
+
+  // Crash recovery: rebuilds a session from its WAL — the recorded
+  // create params plus the answer history as transcript-entry records —
+  // by replaying every answer through the restarted engine via
+  // ReplayUser. The engine is deterministic given (params, answers), so
+  // the recovered session is byte-identical to the lost one; divergence
+  // (entries the fresh engine does not offer) returns Internal and the
+  // WAL is left for inspection. Recovery runs without a per-command
+  // deadline: it is N commands' worth of work by construction.
+  static StatusOr<std::unique_ptr<RepairSession>> Recover(
+      std::string id, const JsonValue& create_params,
+      const std::vector<JsonValue>& entries);
+
+  // Hands the session its WAL. From now on every accepted answer/close
+  // is appended (and fsync'd) before execution, and the log is compacted
+  // to a snapshot record every `compact_every` appends.
+  void AttachWal(std::unique_ptr<SessionWal> wal, size_t compact_every);
+
+  // Per-command deadline plumbing (manager-driven). Arming with a
+  // non-positive budget is a no-op.
+  void ArmDeadline(int64_t budget_ms);
+  void DisarmDeadline();
 
   const std::string& id() const { return id_; }
   const std::string& kb_label() const { return kb_label_; }
@@ -73,16 +99,28 @@ class RepairSession {
 
  private:
   RepairSession(std::string id, std::string kb_label, KnowledgeBase kb,
-                InquiryOptions options);
+                InquiryOptions options, JsonValue create_params);
+
+  // Folds any new engine demotions into the metrics (idempotent).
+  void ReportEngineFallbacks(size_t total_fallbacks, ServiceMetrics* metrics);
 
   std::string id_;
   std::string kb_label_;
   KnowledgeBase kb_;
   InquiryOptions options_;
+  // The create request params, kept verbatim for WAL records (recovery
+  // rebuilds the KB and options from them).
+  JsonValue create_params_;
+  // Shared with options_.chase_options so every chase the engine runs
+  // honours the armed deadline.
+  std::shared_ptr<CancelToken> cancel_;
   // Constructed after kb_ reaches its final address (the engine keeps a
   // KnowledgeBase*).
   std::unique_ptr<InquiryEngine> engine_;
   SessionTranscript transcript_;
+  std::unique_ptr<SessionWal> wal_;
+  size_t wal_compact_every_ = 64;
+  size_t reported_fallbacks_ = 0;
   bool question_outstanding_ = false;  // served but not yet answered
   bool closed_ = false;
 };

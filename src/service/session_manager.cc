@@ -1,8 +1,15 @@
 #include "service/session_manager.h"
 
-#include <fstream>
+#include <stdio.h>
+#include <stdlib.h>
+
+#include <algorithm>
+#include <iostream>
 #include <utility>
 
+#include "service/wal.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -14,17 +21,40 @@ bool IsIndependentCommand(const std::string& command) {
   return command == "create" || command == "metrics";
 }
 
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A worker owning one command for longer than this is considered
+// stalled. With deadlines enabled a handler should finish within one
+// deadline; 4x leaves room for the cancel-poll granularity.
+int64_t StallThresholdMs(int64_t deadline_ms) {
+  return deadline_ms > 0 ? std::max<int64_t>(4 * deadline_ms, 200) : 10000;
+}
+
 }  // namespace
 
 SessionManager::SessionManager(ServiceConfig config)
     : config_(std::move(config)) {
   if (config_.num_workers == 0) config_.num_workers = 1;
   if (config_.max_queue == 0) config_.max_queue = 1;
+  if (config_.wal_compact_every == 0) config_.wal_compact_every = 1;
+  worker_busy_since_.reset(new std::atomic<int64_t>[config_.num_workers]);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    worker_busy_since_[i].store(0, std::memory_order_relaxed);
+  }
+  stall_flagged_.assign(config_.num_workers, 0);
   workers_.reserve(config_.num_workers);
   for (size_t i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   reaper_ = std::thread([this] { ReaperLoop(); });
+  // Recovery runs on the constructing thread, before the caller can
+  // submit anything; workers and reaper are already live but see each
+  // session only once it is registered under mu_.
+  if (config_.recover && !config_.wal_dir.empty()) RecoverSessions();
 }
 
 SessionManager::~SessionManager() { Shutdown(); }
@@ -38,11 +68,15 @@ void SessionManager::Submit(ServiceRequest request, Completion done) {
   Status rejection = Status::Ok();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Shutdown and overload rejections are Unavailable: the command was
+    // never executed, so clients may retry it (with backoff) verbatim.
     if (stopping_) {
-      rejection = Status::FailedPrecondition("service is shutting down");
+      metrics_.rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      rejection = Status::Unavailable("service is shutting down");
     } else if (tasks_in_flight_ >= config_.max_queue) {
       metrics_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
-      rejection = Status::FailedPrecondition(
+      metrics_.rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      rejection = Status::Unavailable(
           "service overloaded (" + std::to_string(tasks_in_flight_) +
           " commands in flight, max " + std::to_string(config_.max_queue) +
           ")");
@@ -141,7 +175,8 @@ void SessionManager::Shutdown() {
   sessions_.clear();
 }
 
-void SessionManager::WorkerLoop() {
+void SessionManager::WorkerLoop(size_t worker_index) {
+  std::atomic<int64_t>& busy_since = worker_busy_since_[worker_index];
   for (;;) {
     ReadyItem item{std::string()};
     {
@@ -151,11 +186,13 @@ void SessionManager::WorkerLoop() {
       item = std::move(ready_.front());
       ready_.pop_front();
     }
+    busy_since.store(SteadyNowNs(), std::memory_order_relaxed);
     if (std::holds_alternative<Task>(item)) {
       RunIndependent(std::move(std::get<Task>(item)));
     } else {
       RunSessionCommand(std::get<std::string>(item));
     }
+    busy_since.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -175,15 +212,46 @@ void SessionManager::RunCreate(Task task) {
     std::lock_guard<std::mutex> lock(mu_);
     id = "s-" + std::to_string(++next_session_);
   }
+  // Log the create before building the session: a crash between the two
+  // recovers an empty session instead of losing an acknowledged one. If
+  // the log cannot be made durable the command is rejected outright.
+  std::unique_ptr<SessionWal> wal;
+  if (!config_.wal_dir.empty()) {
+    StatusOr<std::unique_ptr<SessionWal>> opened =
+        SessionWal::Open(config_.wal_dir, id);
+    Status logged = opened.status();
+    bool fsync_failed = false;
+    if (opened.ok()) {
+      wal = std::move(opened).value();
+      logged = wal->Append(SessionWal::CreateRecord(task.request.params),
+                           &fsync_failed);
+    }
+    if (!logged.ok()) {
+      if (fsync_failed) {
+        metrics_.wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      metrics_.rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      if (wal != nullptr) (void)wal->Remove();
+      Complete(task, logged, JsonValue::Null());
+      TaskDone();
+      return;
+    }
+    metrics_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+  }
   StatusOr<std::unique_ptr<RepairSession>> created =
-      RepairSession::Create(id, task.request.params);
+      RepairSession::Create(id, task.request.params, config_.deadline_ms);
   if (!created.ok()) {
+    // Never-registered sessions must not resurrect on recovery.
+    if (wal != nullptr) (void)wal->Remove();
     metrics_.sessions_failed.fetch_add(1, std::memory_order_relaxed);
     Complete(task, created.status(), JsonValue::Null());
     TaskDone();
     return;
   }
   std::unique_ptr<RepairSession> session = std::move(created).value();
+  if (wal != nullptr) {
+    session->AttachWal(std::move(wal), config_.wal_compact_every);
+  }
   // Compute the response before registering: once the entry is visible,
   // another worker could legally run a command against it.
   JsonValue info = session->StatusInfo();
@@ -215,8 +283,22 @@ void SessionManager::RunSessionCommand(const std::string& key) {
 
   // The busy flag keeps every other worker (and the reaper) away from
   // this session, so the handler runs without holding mu_.
-  StatusOr<JsonValue> outcome =
-      DispatchToSession(session, task.request);
+  StatusOr<JsonValue> outcome = [&]() -> StatusOr<JsonValue> {
+    if (failpoint::ShouldFail("worker.stall")) {
+      // Simulate a wedged handler: hold the worker past the watchdog
+      // threshold, then fail the command the way an expired deadline
+      // would (the command had no effect; retrying is safe).
+      const int64_t stall_ms = std::min<int64_t>(
+          std::max<int64_t>(2 * StallThresholdMs(config_.deadline_ms), 1200),
+          3000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      return Status::DeadlineExceeded("worker stalled (failpoint)");
+    }
+    session->ArmDeadline(config_.deadline_ms);
+    StatusOr<JsonValue> result = DispatchToSession(session, task.request);
+    session->DisarmDeadline();
+    return result;
+  }();
   const bool closing = task.request.command == "close" && outcome.ok();
   std::string transcript_dump;
   if (closing && !config_.transcript_dir.empty()) {
@@ -294,6 +376,9 @@ void SessionManager::Complete(Task& task, const Status& status,
   metrics_.request_latency.Observe(task.timer.ElapsedSeconds());
   if (!status.ok()) {
     metrics_.errors_total.fetch_add(1, std::memory_order_relaxed);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (task.done) task.done(status, std::move(result));
 }
@@ -317,6 +402,7 @@ void SessionManager::ReaperLoop() {
               : 500);
       reaper_cv_.wait_for(lock, interval, [this] { return exiting_; });
       if (exiting_) return;
+      CheckWorkerStalls(std::chrono::steady_clock::now());
       if (config_.idle_ttl_seconds <= 0) continue;
       const auto now = std::chrono::steady_clock::now();
       for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -342,12 +428,115 @@ void SessionManager::ReaperLoop() {
 }
 
 void SessionManager::WriteTranscriptFile(const std::string& session_id,
-                                         const std::string& dump) const {
+                                         const std::string& dump) {
   const std::string path =
       config_.transcript_dir + "/" + session_id + ".json";
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return;  // best effort; the transcript also lives in memory
-  out << dump << "\n";
+  // Atomic (tmp + fsync + rename): readers never see a torn transcript,
+  // and failures are visible instead of silently dropping the file.
+  const Status status = AtomicWriteFile(path, dump + "\n");
+  if (!status.ok()) {
+    metrics_.transcript_write_failures.fetch_add(1, std::memory_order_relaxed);
+    std::cerr << "[kbrepaird] transcript flush for session '" << session_id
+              << "' failed: " << status << "\n";
+  }
+}
+
+void SessionManager::RecoverSessions() {
+  for (const std::string& id : ListWalSessionIds(config_.wal_dir)) {
+    const std::string path = config_.wal_dir + "/" + id + ".wal";
+    // Keep fresh "s-N" ids ahead of every WAL ever seen — even ones we
+    // quarantine — so a new session never shadows an old log.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (id.size() > 2 && id.compare(0, 2, "s-") == 0) {
+        char* end = nullptr;
+        const unsigned long long n = ::strtoull(id.c_str() + 2, &end, 10);
+        if (end != nullptr && *end == '\0' && n > next_session_) {
+          next_session_ = n;
+        }
+      }
+    }
+    StatusOr<WalRecovery> read = ReadWalFile(path, id);
+    Status failure = read.status();
+    std::unique_ptr<RepairSession> session;
+    if (read.ok()) {
+      if (read->closed) {
+        // The close was logged before it ran, so the session is done as
+        // far as any acknowledged command goes; drop its log.
+        StatusOr<std::unique_ptr<SessionWal>> wal =
+            SessionWal::Open(config_.wal_dir, id);
+        if (wal.ok()) (void)(*wal)->Remove();
+        continue;
+      }
+      if (read->dropped_torn_tail) {
+        std::cerr << "[kbrepaird] WAL " << path
+                  << ": dropped torn tail record (crash mid-append)\n";
+      }
+      StatusOr<std::unique_ptr<RepairSession>> recovered =
+          RepairSession::Recover(id, read->create_params, read->entries);
+      if (recovered.ok()) {
+        session = std::move(recovered).value();
+      } else {
+        failure = recovered.status();
+      }
+    }
+    if (session == nullptr) {
+      // Keep the daemon up: set the broken log aside for inspection and
+      // carry on recovering the rest.
+      std::cerr << "[kbrepaird] could not recover session '" << id
+                << "': " << failure << "; renaming WAL to " << path
+                << ".corrupt\n";
+      if (::rename(path.c_str(), (path + ".corrupt").c_str()) != 0) {
+        std::cerr << "[kbrepaird] rename of " << path << " failed\n";
+      }
+      metrics_.sessions_failed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    StatusOr<std::unique_ptr<SessionWal>> wal =
+        SessionWal::Open(config_.wal_dir, id);
+    if (wal.ok()) {
+      session->AttachWal(std::move(wal).value(), config_.wal_compact_every);
+    } else {
+      std::cerr << "[kbrepaird] session '" << id
+                << "' recovered but its WAL could not be reopened: "
+                << wal.status() << "\n";
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SessionEntry entry;
+      entry.session = std::move(session);
+      entry.last_activity = std::chrono::steady_clock::now();
+      sessions_.emplace(id, std::move(entry));
+    }
+    metrics_.sessions_recovered.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_active.fetch_add(1, std::memory_order_relaxed);
+    std::cerr << "[kbrepaird] recovered session '" << id << "' ("
+              << read->entries.size() << " answers replayed)\n";
+  }
+}
+
+void SessionManager::CheckWorkerStalls(
+    std::chrono::steady_clock::time_point now) {
+  const int64_t threshold_ns =
+      StallThresholdMs(config_.deadline_ms) * 1000000;
+  const int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count();
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    const int64_t since =
+        worker_busy_since_[i].load(std::memory_order_relaxed);
+    if (since != 0 && now_ns - since > threshold_ns &&
+        stall_flagged_[i] != since) {
+      stall_flagged_[i] = since;  // one increment per stuck command
+      metrics_.worker_stalls.fetch_add(1, std::memory_order_relaxed);
+      std::cerr << "[kbrepaird] worker " << i
+                << " has owned one command for "
+                << (now_ns - since) / 1000000 << " ms (stall threshold "
+                << threshold_ns / 1000000 << " ms)\n";
+    }
+  }
 }
 
 }  // namespace kbrepair

@@ -52,6 +52,17 @@ struct ServiceConfig {
   // When non-empty, transcripts are written here as <session-id>.json on
   // close, eviction and shutdown.
   std::string transcript_dir;
+  // When non-empty, every accepted create/answer/close is write-ahead
+  // logged to <wal_dir>/<session-id>.wal (fsync'd before execution).
+  std::string wal_dir;
+  // With wal_dir set: replay every WAL found there at startup and
+  // re-register the sessions (the daemon's --recover-dir).
+  bool recover = false;
+  // Per-command deadline; <= 0 disables. Commands past it fail with
+  // DeadlineExceeded instead of wedging a worker.
+  int64_t deadline_ms = 0;
+  // Compact a session's WAL into one snapshot record every N appends.
+  size_t wal_compact_every = 64;
 };
 
 class SessionManager {
@@ -100,7 +111,7 @@ class SessionManager {
   // An independent task, or the key of a session with queued commands.
   using ReadyItem = std::variant<Task, std::string>;
 
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
   void ReaperLoop();
   void RunIndependent(Task task);
   void RunCreate(Task task);
@@ -112,7 +123,14 @@ class SessionManager {
   void Complete(Task& task, const Status& status, JsonValue result);
   void TaskDone();  // decrements tasks_in_flight_, wakes Shutdown
   void WriteTranscriptFile(const std::string& session_id,
-                           const std::string& dump) const;
+                           const std::string& dump);
+  // Startup crash recovery: replays every WAL in config_.wal_dir and
+  // re-registers the sessions. Unreplayable WALs are renamed aside
+  // (<file>.corrupt) and counted as failed; the daemon keeps serving.
+  void RecoverSessions();
+  // Watchdog sweep (runs on the reaper cadence): flags workers that
+  // have owned one command longer than the stall threshold.
+  void CheckWorkerStalls(std::chrono::steady_clock::time_point now);
 
   ServiceConfig config_;
   ServiceMetrics metrics_;
@@ -128,6 +146,13 @@ class SessionManager {
   bool stopping_ = false;  // intake closed
   bool exiting_ = false;   // drain finished; threads may return
   bool shut_down_ = false;
+
+  // Watchdog state: per-worker steady-clock ns since the worker took its
+  // current item (0 = idle). Written by the owning worker, read by the
+  // reaper; `stall_flagged_` is reaper-private and remembers which
+  // busy-since value was already counted, so one stall is one increment.
+  std::unique_ptr<std::atomic<int64_t>[]> worker_busy_since_;
+  std::vector<int64_t> stall_flagged_;
 
   std::vector<std::thread> workers_;
   std::thread reaper_;

@@ -1,0 +1,225 @@
+#include "service/wal.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/failpoint.h"
+#include "util/fs.h"
+
+namespace kbrepair {
+namespace {
+
+constexpr char kWalSuffix[] = ".wal";
+
+std::string ErrnoText() { return std::string(strerror(errno)); }
+
+Status WriteFully(int fd, const std::string& data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("WAL write " + path + ": " + ErrnoText());
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SessionWal>> SessionWal::Open(
+    const std::string& dir, const std::string& session_id) {
+  const std::string path = dir + "/" + session_id + kWalSuffix;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("WAL open " + path + ": " + ErrnoText());
+  }
+  return std::unique_ptr<SessionWal>(new SessionWal(path, fd));
+}
+
+SessionWal::~SessionWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SessionWal::Append(const JsonValue& record, bool* fsync_failed) {
+  if (fsync_failed != nullptr) *fsync_failed = false;
+  if (fd_ < 0) {
+    return Status::Unavailable("WAL " + path_ + " is closed");
+  }
+  KBREPAIR_FAILPOINT("wal.append",
+                     Status::Unavailable("injected WAL append failure"));
+  KBREPAIR_RETURN_IF_ERROR(WriteFully(fd_, record.Dump() + "\n", path_));
+  if (::fsync(fd_) != 0 || failpoint::ShouldFail("wal.fsync")) {
+    if (fsync_failed != nullptr) *fsync_failed = true;
+    return Status::Unavailable("WAL fsync " + path_ + ": " + ErrnoText());
+  }
+  ++appends_since_compaction_;
+  return Status::Ok();
+}
+
+Status SessionWal::Compact(const JsonValue& create_params,
+                           const std::vector<JsonValue>& entries) {
+  JsonValue snapshot = JsonValue::Object();
+  snapshot.Set("op", JsonValue::String("snapshot"));
+  snapshot.Set("params", create_params);
+  JsonValue entry_array = JsonValue::Array();
+  for (const JsonValue& entry : entries) entry_array.Append(entry);
+  snapshot.Set("entries", std::move(entry_array));
+
+  KBREPAIR_RETURN_IF_ERROR(AtomicWriteFile(path_, snapshot.Dump() + "\n"));
+
+  // The rename orphaned the inode behind the old fd: close it *before*
+  // checking the reopen, so a reopen failure leaves the WAL closed
+  // (Append then rejects commands) instead of silently appending to the
+  // unlinked inode.
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    return Status::Unavailable("WAL reopen " + path_ + ": " + ErrnoText());
+  }
+  appends_since_compaction_ = 0;
+  return Status::Ok();
+}
+
+Status SessionWal::Remove() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (::unlink(path_.c_str()) != 0 && errno != ENOENT) {
+    return Status::Unavailable("WAL unlink " + path_ + ": " + ErrnoText());
+  }
+  return FsyncParentDir(path_);
+}
+
+JsonValue SessionWal::CreateRecord(const JsonValue& params) {
+  JsonValue record = JsonValue::Object();
+  record.Set("op", JsonValue::String("create"));
+  record.Set("params", params);
+  return record;
+}
+
+JsonValue SessionWal::AnswerRecord(JsonValue transcript_entry) {
+  JsonValue record = JsonValue::Object();
+  record.Set("op", JsonValue::String("answer"));
+  record.Set("chosen", transcript_entry.Get("chosen"));
+  record.Set("question", transcript_entry.Get("question"));
+  return record;
+}
+
+JsonValue SessionWal::CloseRecord() {
+  JsonValue record = JsonValue::Object();
+  record.Set("op", JsonValue::String("close"));
+  return record;
+}
+
+StatusOr<WalRecovery> ReadWalFile(const std::string& path,
+                                  const std::string& session_id) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Unavailable("WAL open " + path + ": " + ErrnoText());
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status =
+          Status::Unavailable("WAL read " + path + ": " + ErrnoText());
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  WalRecovery recovery;
+  recovery.session_id = session_id;
+  bool saw_create = false;
+
+  size_t start = 0;
+  while (start < contents.size()) {
+    size_t newline = contents.find('\n', start);
+    const bool torn = newline == std::string::npos;
+    if (torn) newline = contents.size();
+    const std::string line = contents.substr(start, newline - start);
+    start = newline + 1;
+    if (line.empty()) continue;
+
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok() || !parsed->is_object()) {
+      if (torn || start >= contents.size()) {
+        // Crash mid-append: the guarded command was never acknowledged,
+        // so dropping the line loses nothing that was promised durable.
+        recovery.dropped_torn_tail = true;
+        break;
+      }
+      return Status::InvalidArgument("WAL " + path +
+                                     ": unparseable interior record");
+    }
+    const std::string op = parsed->Get("op").AsString();
+    if (op == "create") {
+      if (saw_create) {
+        return Status::InvalidArgument("WAL " + path +
+                                       ": duplicate create record");
+      }
+      saw_create = true;
+      recovery.create_params = parsed->Get("params");
+    } else if (op == "snapshot") {
+      // A snapshot restates the whole history; it can only legally be
+      // the first record (compaction rewrites the file).
+      if (saw_create || !recovery.entries.empty()) {
+        return Status::InvalidArgument("WAL " + path +
+                                       ": snapshot after other records");
+      }
+      saw_create = true;
+      recovery.create_params = parsed->Get("params");
+      const JsonValue& entries = parsed->Get("entries");
+      if (!entries.is_array()) {
+        return Status::InvalidArgument("WAL " + path +
+                                       ": snapshot without entries array");
+      }
+      for (size_t i = 0; i < entries.size(); ++i) {
+        recovery.entries.push_back(entries.at(i));
+      }
+    } else if (op == "answer") {
+      if (!saw_create) {
+        return Status::InvalidArgument("WAL " + path +
+                                       ": answer before create");
+      }
+      JsonValue entry = JsonValue::Object();
+      entry.Set("chosen", parsed->Get("chosen"));
+      entry.Set("question", parsed->Get("question"));
+      recovery.entries.push_back(std::move(entry));
+    } else if (op == "close") {
+      recovery.closed = true;
+    } else {
+      return Status::InvalidArgument("WAL " + path + ": unknown op '" + op +
+                                     "'");
+    }
+  }
+  if (!saw_create) {
+    return Status::InvalidArgument("WAL " + path + ": no create record");
+  }
+  if (!recovery.create_params.is_object()) {
+    return Status::InvalidArgument("WAL " + path +
+                                   ": create record without params");
+  }
+  return recovery;
+}
+
+std::vector<std::string> ListWalSessionIds(const std::string& dir) {
+  std::vector<std::string> ids;
+  for (const std::string& name : ListFilesWithSuffix(dir, kWalSuffix)) {
+    ids.push_back(name.substr(0, name.size() - (sizeof(kWalSuffix) - 1)));
+  }
+  return ids;
+}
+
+}  // namespace kbrepair

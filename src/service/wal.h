@@ -1,0 +1,104 @@
+// Per-session write-ahead logging for the repair service.
+//
+// Every accepted state-changing command (create / answer / close) is
+// appended to `<dir>/<session-id>.wal` as one fsync'd JSON line *before*
+// it executes, so a crash at any point loses at most the command that
+// had not yet been acknowledged. Because the inquiry engine is
+// deterministic given the create parameters and the sequence of chosen
+// fixes, the WAL is also a complete recovery recipe: replaying the
+// create record and the answer records through ReplayUser rebuilds the
+// session byte-identically (see SessionManager recovery).
+//
+// Record shapes (one JSON object per line):
+//   {"op":"create","params":{...}}          the create request params
+//   {"op":"answer","chosen":N,"question":{...}}
+//                                           one transcript entry, exactly
+//                                           SessionTranscript::EntryToJson
+//   {"op":"close"}                          the session ended cleanly
+//   {"op":"snapshot","params":{...},"entries":[...]}
+//                                           compaction: create + all
+//                                           answers folded into one line
+//
+// Compaction (every `compact_every` appends) rewrites the log as a
+// single snapshot record via tmp + fsync + rename, so the file never
+// holds more than compact_every + 1 meaningful lines and readers never
+// observe a partial rewrite. A torn final line (crash mid-append) is
+// detected and dropped on recovery; everything before it is intact by
+// construction.
+
+#ifndef KBREPAIR_SERVICE_WAL_H_
+#define KBREPAIR_SERVICE_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace kbrepair {
+
+class SessionWal {
+ public:
+  // Opens `<dir>/<session_id>.wal` for appending, creating or continuing
+  // it (`dir` must exist). Unavailable on I/O failure.
+  static StatusOr<std::unique_ptr<SessionWal>> Open(
+      const std::string& dir, const std::string& session_id);
+
+  ~SessionWal();
+  SessionWal(const SessionWal&) = delete;
+  SessionWal& operator=(const SessionWal&) = delete;
+
+  // Appends `record` as one line and fsyncs. Unavailable on failure —
+  // the caller must then *reject* the guarded command (log-before-
+  // execute). `fsync_failed` (optional) is set when the failure was at
+  // the durability step rather than the write, for metrics.
+  Status Append(const JsonValue& record, bool* fsync_failed = nullptr);
+
+  // Atomically replaces the log with a single snapshot record holding
+  // the create params and the full answer history. Resets the append
+  // counter. On failure the old log remains valid.
+  Status Compact(const JsonValue& create_params,
+                 const std::vector<JsonValue>& entries);
+
+  // Closes and deletes the log (session completed; nothing to recover).
+  Status Remove();
+
+  const std::string& path() const { return path_; }
+  size_t appends_since_compaction() const { return appends_since_compaction_; }
+
+  // Record constructors.
+  static JsonValue CreateRecord(const JsonValue& params);
+  static JsonValue AnswerRecord(JsonValue transcript_entry);
+  static JsonValue CloseRecord();
+
+ private:
+  SessionWal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  size_t appends_since_compaction_ = 0;
+};
+
+// A WAL read back at recovery time.
+struct WalRecovery {
+  std::string session_id;
+  JsonValue create_params = JsonValue::Null();
+  // Transcript-entry records ({"chosen":N,"question":{...}}), in order.
+  std::vector<JsonValue> entries;
+  bool closed = false;          // a close record was logged
+  bool dropped_torn_tail = false;  // final partial line discarded
+};
+
+// Parses one WAL file. InvalidArgument when the file is unusable
+// (missing/garbled create record, non-JSON interior line); a torn
+// *final* line is tolerated and reported via dropped_torn_tail.
+StatusOr<WalRecovery> ReadWalFile(const std::string& path,
+                                  const std::string& session_id);
+
+// Session ids with a `<id>.wal` file in `dir`, sorted.
+std::vector<std::string> ListWalSessionIds(const std::string& dir);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_WAL_H_

@@ -1,0 +1,142 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <unordered_map>
+
+namespace kbrepair {
+namespace failpoint {
+namespace {
+
+struct PointState {
+  int64_t skip = 0;   // hits to let pass before failing
+  int64_t fail = 0;   // hits to fail after the skips; < 0 = forever
+  uint64_t hits = 0;  // total hits while armed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, PointState> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Fast-path gate: ShouldFail is a single relaxed load when nothing is
+// armed, so failpoints cost nothing in production hot loops.
+std::atomic<bool> g_any_armed{false};
+
+Status ParseOne(const std::string& entry) {
+  const size_t eq = entry.find('=');
+  const std::string name = entry.substr(0, eq);
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint spec: empty name in '" + entry +
+                                   "'");
+  }
+  int64_t skip = 0;
+  int64_t fail = -1;  // bare name: fail forever
+  if (eq != std::string::npos) {
+    const std::string counts = entry.substr(eq + 1);
+    const size_t colon = counts.find(':');
+    try {
+      if (colon == std::string::npos) {
+        fail = std::stoll(counts);
+      } else {
+        skip = std::stoll(counts.substr(0, colon));
+        fail = std::stoll(counts.substr(colon + 1));
+      }
+    } catch (...) {
+      return Status::InvalidArgument("failpoint spec: bad counts in '" +
+                                     entry + "'");
+    }
+    if (skip < 0 || fail < 0) {
+      return Status::InvalidArgument("failpoint spec: negative count in '" +
+                                     entry + "'");
+    }
+  }
+  Arm(name, skip, fail);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Arm(const std::string& name, int64_t skip, int64_t fail) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points[name] = PointState{skip, fail, 0};
+  g_any_armed.store(true, std::memory_order_release);
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.erase(name);
+  if (r.points.empty()) g_any_armed.store(false, std::memory_order_release);
+}
+
+void Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+Status Configure(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    if (!entry.empty()) KBREPAIR_RETURN_IF_ERROR(ParseOne(entry));
+    start = comma + 1;
+  }
+  return Status::Ok();
+}
+
+void InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("KBREPAIR_FAILPOINTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    const Status status = Configure(spec);
+    if (!status.ok()) {
+      std::cerr << "[kbrepair] ignoring KBREPAIR_FAILPOINTS: " << status
+                << "\n";
+    }
+  });
+}
+
+bool ShouldFail(const char* name) {
+  InitFromEnvOnce();
+  if (!g_any_armed.load(std::memory_order_acquire)) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  if (state.skip > 0) {
+    --state.skip;
+    return false;
+  }
+  if (state.fail < 0) return true;
+  if (state.fail > 0) {
+    --state.fail;
+    return true;
+  }
+  return false;
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoint
+}  // namespace kbrepair

@@ -1,0 +1,69 @@
+// Deterministic fault injection, in the spirit of the FAIL_POINT
+// machinery used by storage engines: named points in production code
+// that tests (or an operator, via KBREPAIR_FAILPOINTS / --failpoints)
+// can arm to fail a bounded number of times.
+//
+// A failpoint is identified by a stable string name ("wal.append",
+// "chase.saturate", ...). Production code asks ShouldFail(name) at the
+// point where a failure should be simulated; the call is a single
+// relaxed atomic load when no failpoint is armed, so instrumented hot
+// paths stay free.
+//
+// Spec grammar (comma-separated list):
+//   name          arm `name` to fail on every hit
+//   name=N        fail the first N hits, then behave normally
+//   name=S:N      skip the first S hits, fail the next N, then pass
+//
+// Example: KBREPAIR_FAILPOINTS="wal.fsync=1,chase.saturate=2:1"
+
+#ifndef KBREPAIR_UTIL_FAILPOINT_H_
+#define KBREPAIR_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace kbrepair {
+namespace failpoint {
+
+// Arms `name`: skip the first `skip` hits, fail the following `fail`
+// hits (fail < 0 means "fail forever"). Resets the hit counter.
+void Arm(const std::string& name, int64_t skip, int64_t fail);
+
+// Disarms a single failpoint.
+void Disarm(const std::string& name);
+
+// Disarms everything and clears hit counters (test teardown).
+void Reset();
+
+// Parses a spec (see grammar above) and arms each entry.
+// InvalidArgument on malformed input; already-armed points untouched on
+// failure.
+Status Configure(const std::string& spec);
+
+// Arms failpoints from the KBREPAIR_FAILPOINTS environment variable.
+// Invoked lazily by ShouldFail too, so binaries that never call it
+// still honor the variable. A malformed variable is reported once on
+// stderr and ignored.
+void InitFromEnvOnce();
+
+// True when this hit of `name` should simulate a failure. Counts hits
+// of armed points.
+bool ShouldFail(const char* name);
+
+// Total hits observed for an armed point (0 when never armed).
+uint64_t Hits(const std::string& name);
+
+}  // namespace failpoint
+
+// Convenience: simulate a failure by returning `status_expr` from the
+// enclosing function when failpoint `name` fires.
+#define KBREPAIR_FAILPOINT(name, status_expr)                      \
+  do {                                                             \
+    if (::kbrepair::failpoint::ShouldFail(name)) return (status_expr); \
+  } while (0)
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_FAILPOINT_H_

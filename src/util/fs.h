@@ -1,0 +1,34 @@
+// Small durable-file helpers shared by the WAL and the transcript
+// flusher: atomic whole-file replacement (tmp + fsync + rename) and
+// directory fsync, with failpoint hooks for the fault-injection suite.
+
+#ifndef KBREPAIR_UTIL_FS_H_
+#define KBREPAIR_UTIL_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kbrepair {
+
+// Writes `contents` to `path` atomically: the data lands in
+// `path + ".tmp"` first, is fsync'd, then renamed over `path`, and the
+// parent directory is fsync'd so the rename itself is durable. Readers
+// never observe a partial file. Unavailable on any I/O failure (the
+// tmp file is cleaned up best-effort).
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+// fsync on the directory containing `path` (durability of renames /
+// unlinks inside it). Best-effort on filesystems that reject directory
+// fsync; real write errors are returned.
+Status FsyncParentDir(const std::string& path);
+
+// Lexicographically sorted regular-file names (not paths) in `dir` with
+// the given suffix; empty when the directory does not exist.
+std::vector<std::string> ListFilesWithSuffix(const std::string& dir,
+                                             const std::string& suffix);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_FS_H_

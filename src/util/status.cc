@@ -16,6 +16,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnsupported,
   kInternal,
+  // A per-command deadline elapsed before the command finished. The
+  // command had no effect (cancellation is checked before state is
+  // mutated), so retrying it is safe.
+  kDeadlineExceeded,
+  // The service cannot take the command right now (overload, shutdown,
+  // WAL write failure). The command was not executed; retry with backoff.
+  kUnavailable,
 };
 
 // Returns a short human-readable name ("OK", "InvalidArgument", ...).
@@ -51,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   Status(StatusCode code, std::string message)

@@ -209,8 +209,8 @@ TEST(ServiceStressTest, AsyncCommandsAreNeitherLostNorDuplicated) {
 }
 
 // Submitting more work than max_queue admits must reject the overflow
-// cleanly (FailedPrecondition + rejected_overload counter), never block
-// or drop it silently.
+// cleanly (Unavailable + rejected_overload counter), never block or
+// drop it silently.
 TEST(ServiceStressTest, OverloadIsRejectedNotDropped) {
   ServiceConfig config;
   config.num_workers = 1;

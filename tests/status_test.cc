@@ -29,6 +29,16 @@ TEST(StatusTest, AllCodesHaveNames) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, RetryableFactories) {
+  EXPECT_EQ(Status::DeadlineExceeded("slow").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("busy").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

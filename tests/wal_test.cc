@@ -1,0 +1,180 @@
+// SessionWal unit tests: append/recover roundtrips, snapshot
+// compaction, torn-tail tolerance, and the malformed-log error paths
+// recovery depends on to quarantine corrupt files instead of crashing.
+
+#include "service/wal.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace kbrepair {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/kbrepair_wal_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    for (const std::string& name : ListWalSessionIds(dir_)) {
+      ::unlink((dir_ + "/" + name + ".wal").c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string WalPath(const std::string& id) const {
+    return dir_ + "/" + id + ".wal";
+  }
+
+  void WriteRaw(const std::string& id, const std::string& contents) {
+    std::ofstream out(WalPath(id), std::ios::trunc | std::ios::binary);
+    out << contents;
+  }
+
+  static JsonValue Params(int64_t seed) {
+    JsonValue params = JsonValue::Object();
+    params.Set("kb", JsonValue::String("synthetic"));
+    params.Set("seed", JsonValue::Number(seed));
+    return params;
+  }
+
+  static JsonValue Entry(int64_t chosen) {
+    JsonValue question = JsonValue::Object();
+    question.Set("source_cdd", JsonValue::Number(int64_t{0}));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("chosen", JsonValue::Number(chosen));
+    entry.Set("question", std::move(question));
+    return entry;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, AppendThenReadRoundtrips) {
+  auto wal = SessionWal::Open(dir_, "s-1");
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->Append(SessionWal::CreateRecord(Params(7))).ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::AnswerRecord(Entry(2))).ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::AnswerRecord(Entry(0))).ok());
+
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("s-1"), "s-1");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->session_id, "s-1");
+  EXPECT_FALSE(recovered->closed);
+  EXPECT_FALSE(recovered->dropped_torn_tail);
+  EXPECT_EQ(recovered->create_params.Dump(), Params(7).Dump());
+  ASSERT_EQ(recovered->entries.size(), 2u);
+  EXPECT_EQ(recovered->entries[0].Get("chosen").AsInt(-1), 2);
+  EXPECT_EQ(recovered->entries[1].Get("chosen").AsInt(-1), 0);
+}
+
+TEST_F(WalTest, CloseRecordMarksSessionDone) {
+  auto wal = SessionWal::Open(dir_, "s-2");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::CreateRecord(Params(1))).ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::CloseRecord()).ok());
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("s-2"), "s-2");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->closed);
+}
+
+TEST_F(WalTest, CompactionCollapsesLogToOneSnapshotRecord) {
+  auto wal = SessionWal::Open(dir_, "s-3");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::CreateRecord(Params(9))).ok());
+  std::vector<JsonValue> entries;
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*wal)->Append(SessionWal::AnswerRecord(Entry(i))).ok());
+    entries.push_back(Entry(i));
+  }
+  EXPECT_EQ((*wal)->appends_since_compaction(), 6u);
+
+  ASSERT_TRUE((*wal)->Compact(Params(9), entries).ok());
+  EXPECT_EQ((*wal)->appends_since_compaction(), 0u);
+
+  // The compacted file holds exactly one line and recovers identically.
+  std::ifstream in(WalPath("s-3"));
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u);
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("s-3"), "s-3");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->create_params.Dump(), Params(9).Dump());
+  ASSERT_EQ(recovered->entries.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(recovered->entries[static_cast<size_t>(i)].Dump(),
+              Entry(i).Dump());
+  }
+
+  // Appends continue on the compacted file.
+  ASSERT_TRUE((*wal)->Append(SessionWal::AnswerRecord(Entry(42))).ok());
+  recovered = ReadWalFile(WalPath("s-3"), "s-3");
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->entries.size(), 6u);
+  EXPECT_EQ(recovered->entries[5].Get("chosen").AsInt(-1), 42);
+}
+
+TEST_F(WalTest, TornTailIsDroppedNotFatal) {
+  // A crash mid-append leaves a half-written last line; the guarded
+  // command was never acknowledged, so dropping it loses nothing.
+  WriteRaw("s-4",
+           SessionWal::CreateRecord(Params(3)).Dump() + "\n" +
+               SessionWal::AnswerRecord(Entry(1)).Dump() + "\n" +
+               "{\"op\":\"answer\",\"chos");
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("s-4"), "s-4");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->dropped_torn_tail);
+  ASSERT_EQ(recovered->entries.size(), 1u);
+  EXPECT_EQ(recovered->entries[0].Get("chosen").AsInt(-1), 1);
+}
+
+TEST_F(WalTest, InteriorCorruptionIsAnError) {
+  WriteRaw("s-5", SessionWal::CreateRecord(Params(3)).Dump() + "\n" +
+                      "not json at all\n" +
+                      SessionWal::AnswerRecord(Entry(1)).Dump() + "\n");
+  EXPECT_FALSE(ReadWalFile(WalPath("s-5"), "s-5").ok());
+}
+
+TEST_F(WalTest, MissingCreateIsAnError) {
+  WriteRaw("s-6", SessionWal::AnswerRecord(Entry(0)).Dump() + "\n");
+  EXPECT_FALSE(ReadWalFile(WalPath("s-6"), "s-6").ok());
+  WriteRaw("s-7", "");
+  EXPECT_FALSE(ReadWalFile(WalPath("s-7"), "s-7").ok());
+}
+
+TEST_F(WalTest, RemoveDeletesTheFile) {
+  auto wal = SessionWal::Open(dir_, "s-8");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::CreateRecord(Params(1))).ok());
+  ASSERT_TRUE((*wal)->Remove().ok());
+  struct stat st;
+  EXPECT_NE(::stat(WalPath("s-8").c_str(), &st), 0);
+  // Appending after removal must fail loudly, never silently succeed.
+  EXPECT_FALSE((*wal)->Append(SessionWal::CloseRecord()).ok());
+}
+
+TEST_F(WalTest, ListWalSessionIdsFindsOnlyWalFiles) {
+  WriteRaw("alpha", SessionWal::CreateRecord(Params(1)).Dump() + "\n");
+  WriteRaw("beta", SessionWal::CreateRecord(Params(2)).Dump() + "\n");
+  std::ofstream(dir_ + "/notes.txt") << "ignored";
+  std::vector<std::string> ids = ListWalSessionIds(dir_);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "alpha");
+  EXPECT_EQ(ids[1], "beta");
+  ::unlink((dir_ + "/notes.txt").c_str());
+}
+
+}  // namespace
+}  // namespace kbrepair
