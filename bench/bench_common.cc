@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "repair/user.h"
 #include "util/logging.h"
@@ -26,6 +28,7 @@ StrategyRun RunStrategy(KnowledgeBase& kb, Strategy strategy,
     size_t phase2 = 0;
     for (const QuestionRecord& record : result->records) {
       run.delays.Add(record.delay_seconds);
+      run.phases.Add(record.phases);
       if (record.phase == 2) ++phase2;
     }
     run.phase2_questions.Add(static_cast<double>(phase2));
@@ -45,6 +48,26 @@ void PrintRow(const std::vector<std::string>& cells,
     std::printf("%-*s", width, cells[i].c_str());
   }
   std::printf("\n");
+}
+
+std::string FormatPhaseShares(const trace::PhaseTotals& phases) {
+  const double total = phases.TotalSeconds();
+  if (total <= 0.0) return "(no phase samples)";
+  std::vector<std::pair<double, size_t>> shares;
+  for (size_t p = 0; p < trace::kNumPhases; ++p) {
+    if (phases.seconds[p] > 0.0) shares.emplace_back(phases.seconds[p], p);
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::string out;
+  for (const auto& [seconds, p] : shares) {
+    if (!out.empty()) out += ' ';
+    out += trace::PhaseName(static_cast<trace::Phase>(p));
+    out += '=';
+    out += FormatDouble(100.0 * seconds / total, 1);
+    out += '%';
+  }
+  return out;
 }
 
 std::string FormatBoxplot(const BoxplotSummary& box, int decimals) {

@@ -15,6 +15,7 @@
 #include "repair/inquiry.h"
 #include "rules/knowledge_base.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 namespace bench {
@@ -31,7 +32,15 @@ struct StrategyRun {
   SampleStats delays;           // per-question delay samples, pooled
   SampleStats phase2_questions;
   size_t initial_conflicts = 0;
+  // Per-phase engine time summed over every question of every
+  // repetition (QuestionRecord::phases; inclusive attribution).
+  trace::PhaseTotals phases;
 };
+
+// Renders the non-zero entries of a phase breakdown as
+// "chase=42.1% conflict_scan=18.0% ..." (percent of the summed phase
+// time, largest first).
+std::string FormatPhaseShares(const trace::PhaseTotals& phases);
 
 // Runs `repetitions` inquiries with fresh random users and accumulates
 // the metrics. `kb` is re-used (the engine copies the facts); seeds are

@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "gen/synthetic.h"
+#include "service/metrics.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -25,11 +26,17 @@ namespace {
 constexpr int kRepetitions = 5;
 
 // Pools per-question delays across repetitions and prints one boxplot
-// row.
+// row, then the service-histogram view of the same samples: the delays
+// are fed through LatencyHistogram::Observe — the exact path the
+// daemon's turn_delay / per-phase metrics use — and the quantiles are
+// read back with QuantileSeconds, so the figure and /metrics agree by
+// construction. A phase breakdown (from QuestionRecord::phases) shows
+// where the delay goes.
 void DelayRow(const SyntheticKbOptions& gen_options,
               const std::string& label) {
   SampleStats delays;
   SampleStats questions;
+  trace::PhaseTotals phases;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     SyntheticKbOptions options = gen_options;
     options.seed = gen_options.seed + static_cast<uint64_t>(rep);
@@ -42,12 +49,23 @@ void DelayRow(const SyntheticKbOptions& gen_options,
                     inquiry_options);
     delays.AddAll(run.delays.samples());
     questions.AddAll(run.questions.samples());
+    phases.Add(run.phases);
   }
   const BoxplotSummary box = delays.Boxplot();
   PrintRow({label, FormatBoxplot(box, 4),
             std::to_string(box.outliers.size()),
             FormatDouble(questions.Mean(), 1)},
            {14, 46, 11, 14});
+  LatencyHistogram histogram;
+  for (const double delay : delays.samples()) histogram.Observe(delay);
+  std::printf("  histogram p50/p95/max: %s/%s/%s s   phases: %s\n",
+              FormatDouble(histogram.QuantileSeconds(0.5), 4).c_str(),
+              FormatDouble(histogram.QuantileSeconds(0.95), 4).c_str(),
+              FormatDouble(histogram.MaxSeconds(), 4).c_str(),
+              FormatPhaseShares(phases).c_str());
+  KBREPAIR_CHECK(histogram.QuantileSeconds(0.5) <=
+                 histogram.QuantileSeconds(0.95));
+  KBREPAIR_CHECK(histogram.QuantileSeconds(0.95) <= histogram.MaxSeconds());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "kb/homomorphism.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -48,6 +49,7 @@ ChaseEngine::ChaseEngine(SymbolTable* symbols, const std::vector<Tgd>* tgds,
 }
 
 StatusOr<ChaseResult> ChaseEngine::Run(const FactBase& facts) const {
+  trace::ScopedSpan span("chase.saturate", trace::Phase::kChase);
   KBREPAIR_FAILPOINT("chase.saturate",
                      Status::Internal("injected chase saturation fault"));
   if (options_.cancel != nullptr) {

@@ -8,6 +8,7 @@
 #include "kb/homomorphism.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -112,6 +113,7 @@ Status IncrementalChase::FireTrigger(
 }
 
 Status IncrementalChase::Saturate(std::deque<AtomId> work) {
+  trace::ScopedSpan span("chase.delta_saturate", trace::Phase::kDeltaChase);
   KBREPAIR_FAILPOINT("chase.saturate",
                      Status::Internal("injected chase saturation fault"));
   if (options_.cancel != nullptr) {

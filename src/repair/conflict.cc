@@ -4,6 +4,7 @@
 
 #include "chase/support.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -36,6 +37,7 @@ StatusOr<std::vector<Conflict>> ConflictFinder::AllConflicts(
   ChaseEngine engine(symbols_, tgds_, /*cdds=*/nullptr, chase_options_);
   KBREPAIR_ASSIGN_OR_RETURN(ChaseResult chased, engine.Run(facts));
 
+  trace::ScopedSpan span("conflicts.enumerate", trace::Phase::kConflictScan);
   std::vector<Conflict> conflicts;
   HomomorphismFinder finder(symbols_, &chased.facts());
   // Supports go through the canonical resolver, not fire-time
@@ -58,6 +60,7 @@ StatusOr<std::vector<Conflict>> ConflictFinder::AllConflicts(
 
 std::vector<Conflict> ConflictFinder::NaiveConflicts(
     const FactBase& facts) const {
+  trace::ScopedSpan span("conflicts.naive", trace::Phase::kConflictScan);
   std::vector<Conflict> conflicts;
   HomomorphismFinder finder(symbols_, &facts);
   for (size_t c = 0; c < cdds_->size(); ++c) {

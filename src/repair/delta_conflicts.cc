@@ -6,6 +6,7 @@
 #include "kb/homomorphism.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -202,6 +203,8 @@ void DeltaConflictEngine::RefreshDerivedSupports(
 
 void DeltaConflictEngine::AddConflictsAnchoredAt(
     const std::vector<AtomId>& anchors, CanonicalSupportResolver& support) {
+  trace::ScopedSpan span("conflicts.delta_enumerate",
+                         trace::Phase::kConflictScan);
   const FactBase& chased = chase_.facts();
   HomomorphismFinder finder(symbols_, &chased);
   for (const AtomId anchor : anchors) {

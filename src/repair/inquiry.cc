@@ -70,8 +70,13 @@ struct InquiryEngine::Session {
   std::vector<Position> pending_propagation;
   Rng rng;
   InquiryResult result;
-  WallTimer question_timer;               // restarted after each answer
   WallTimer total_timer;
+  // Engine compute spent on the *next* question so far: the post-answer
+  // maintenance accumulates here (and in pending_phase_totals, by
+  // phase), and ComputeNextQuestion folds in the generation time. Parked
+  // wall time between stepwise calls never enters either.
+  double pending_compute = 0.0;
+  trace::PhaseTotals pending_phase_totals;
 
   Mode mode;
   // The engine in use this round: options.conflict_engine until a
@@ -151,7 +156,6 @@ Status InquiryEngine::Begin(PositionSet initial_pi) {
   }
 
   session.total_timer.Restart();
-  session.question_timer.Restart();
   return Status::Ok();
 }
 
@@ -277,6 +281,8 @@ McdRanking RankPositions(const std::vector<const Conflict*>& conflicts,
 StatusOr<Question> InquiryEngine::SelectQuestion(
     Session& session, const std::vector<const Conflict*>& conflicts) {
   KBREPAIR_CHECK(!conflicts.empty());
+  trace::ScopedSpan span("inquiry.select_question",
+                         trace::Phase::kQuestionGen);
 
   // In incremental mode the Π-repairability verdict comes off the
   // maintained skeleton census instead of a per-Scope skeleton chase.
@@ -399,6 +405,9 @@ ConflictEngineKind InquiryEngine::active_engine() const {
 }
 
 Status InquiryEngine::ComputeNextQuestion(Session& session) {
+  trace::ScopedSpan span("inquiry.next_question");
+  const trace::PhaseTotals phases_before = trace::ThreadPhaseTotals();
+  WallTimer compute_timer;
   while (true) {
     std::vector<Conflict> chase_conflicts;  // owns phase-2/basic conflicts
     std::vector<const Conflict*> conflicts;
@@ -528,7 +537,11 @@ Status InquiryEngine::ComputeNextQuestion(Session& session) {
           "no sound question exists; knowledge base is not Π-repairable");
     }
     session.pending = std::move(question);
-    session.pending_delay = session.question_timer.ElapsedSeconds();
+    session.pending_delay =
+        session.pending_compute + compute_timer.ElapsedSeconds();
+    session.pending_compute = 0.0;
+    session.pending_phase_totals.Add(
+        trace::ThreadPhaseTotals().Since(phases_before));
     return Status::Ok();
   }
 }
@@ -543,6 +556,8 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
   QuestionRecord record;
   record.phase = session.mode == Session::Mode::kPhaseTwo ? 2 : 1;
   record.delay_seconds = session.pending_delay;
+  record.phases = session.pending_phase_totals;
+  session.pending_phase_totals = trace::PhaseTotals{};
   record.question_size = question.fixes.size();
   record.num_positions = question.considered_positions.size();
 
@@ -553,8 +568,13 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
     session.preferences.Observe(question, choice, session.facts);
   }
 
-  session.question_timer.Restart();  // post-answer work counts toward the
-                                     // next question's delay
+  // Post-answer maintenance counts toward the next question's delay.
+  // The span is reset (flushing its phase time) before the phase delta
+  // below is snapshotted.
+  const trace::PhaseTotals phases_before = trace::ThreadPhaseTotals();
+  WallTimer apply_timer;
+  std::optional<trace::ScopedSpan> apply_span;
+  apply_span.emplace("inquiry.apply_answer", trace::Phase::kApplyFix);
 
   ApplyFix(session.facts, fix);
   session.pi.insert(fix.position());
@@ -623,6 +643,11 @@ Status InquiryEngine::ApplyAnswer(Session& session, size_t choice) {
   } else if (in_phase_one) {
     record.conflicts_remaining = session.tracker.size();
   }
+
+  apply_span.reset();
+  session.pending_compute += apply_timer.ElapsedSeconds();
+  session.pending_phase_totals.Add(
+      trace::ThreadPhaseTotals().Since(phases_before));
 
   session.pending.reset();
   session.result.records.push_back(record);

@@ -45,6 +45,7 @@
 #include "rules/knowledge_base.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -121,7 +122,18 @@ struct InquiryOptions {
 // Everything measured about one question/answer round.
 struct QuestionRecord {
   int phase = 1;                  // 1 = naive conflicts, 2 = chase
-  double delay_seconds = 0.0;     // time to produce the question
+  // Engine compute time to produce the question: the maintenance that
+  // followed the previous answer plus this question's generation. Time
+  // the dialogue sat parked between stepwise calls (a service session
+  // waiting for the wire, a human thinking) is *not* included — this is
+  // the algorithmic delay Prop. 4.10 bounds, not wall time since the
+  // last answer.
+  double delay_seconds = 0.0;
+  // Where delay_seconds went, by pipeline phase (chase, question
+  // generation, ...). Inclusive attribution: a chase running under
+  // question generation counts in both, so the components can exceed
+  // delay_seconds.
+  trace::PhaseTotals phases;
   size_t question_size = 0;       // number of fixes offered
   size_t num_positions = 0;       // positions the question covered
   Fix chosen;                     // the user's answer

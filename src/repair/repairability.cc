@@ -1,6 +1,7 @@
 #include "repair/repairability.h"
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -80,6 +81,7 @@ TermId RepairabilityChecker::SkeletonNullFor(const FactBase& facts,
 
 StatusOr<bool> RepairabilityChecker::IsPiRepairable(
     const FactBase& facts, const PositionSet& pi) const {
+  trace::ScopedSpan span("repair.repairability", trace::Phase::kRepairability);
   const FactBase skeleton = BuildSkeleton(facts, pi);
   ConsistencyChecker checker(symbols_, tgds_, cdds_, chase_options_);
   return checker.IsConsistentOpt(skeleton);

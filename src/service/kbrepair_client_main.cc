@@ -21,6 +21,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -267,6 +268,10 @@ struct ClientOptions {
   std::string engine = "scratch";
   uint64_t seed = 20180326;  // EDBT'18
   bool quiet = false;
+  // When non-empty: start the daemon with --trace-dir, then after the
+  // sessions finish issue the `trace` command, validate the span tree
+  // and print an aggregated summary.
+  std::string trace_dir;
   // Extra flags forwarded to the spawned daemon (repeatable
   // --server-arg), e.g. --wal-dir or --failpoints for fault drills.
   std::vector<std::string> server_args;
@@ -381,11 +386,143 @@ StatusOr<size_t> DriveSession(ServerConnection& server,
   return answered;
 }
 
+// ------------------------------------------------------------------
+// Span-tree validation and summary for --trace-dir.
+
+struct SpanInfo {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  std::string name;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+};
+
+// Validates the `trace` response and prints an aggregated name-path
+// tree. Returns a failure description, or "" when the tree is sound.
+//
+// Well-formedness checked:
+//  * every span has an id, a name and non-negative times;
+//  * ids are unique; a parent id is always smaller than its child's
+//    (spans are numbered in creation order). A parent missing from the
+//    drain is legal — it was still open when the buffer was drained;
+//  * a child's [start, end] nests inside its parent's (1us truncation
+//    slop);
+//  * the expected request path is covered: scheduler (rpc.*), session
+//    handlers, inquiry, chase, and — when a WAL is configured — the
+//    wal.append leaf.
+std::string CheckAndPrintTrace(const JsonValue& result, bool expect_wal,
+                               bool quiet) {
+  if (!result.Get("enabled").AsBool(false)) {
+    return "trace: recorder disabled on the server";
+  }
+  const JsonValue& spans_json = result.Get("spans");
+  if (!spans_json.is_array() || spans_json.size() == 0) {
+    return "trace: no spans returned";
+  }
+  std::vector<SpanInfo> spans;
+  spans.reserve(spans_json.size());
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans_json.size(); ++i) {
+    const JsonValue& json = spans_json.at(i);
+    SpanInfo info;
+    info.id = static_cast<uint64_t>(json.Get("id").AsInt(0));
+    info.parent = static_cast<uint64_t>(json.Get("parent").AsInt(0));
+    info.name = json.Get("name").AsString();
+    info.start_us = json.Get("start_us").AsInt(-1);
+    info.dur_us = json.Get("dur_us").AsInt(-1);
+    if (info.id == 0 || info.name.empty() || info.start_us < 0 ||
+        info.dur_us < 0) {
+      return "trace: malformed span at index " + std::to_string(i);
+    }
+    if (by_id.count(info.id) != 0) {
+      return "trace: duplicate span id " + std::to_string(info.id);
+    }
+    by_id[info.id] = spans.size();
+    spans.push_back(std::move(info));
+  }
+  for (const SpanInfo& span : spans) {
+    if (span.parent == 0) continue;
+    if (span.parent >= span.id) {
+      return "trace: span " + std::to_string(span.id) +
+             " has parent id >= its own";
+    }
+    auto it = by_id.find(span.parent);
+    if (it == by_id.end()) continue;
+    const SpanInfo& parent = spans[it->second];
+    if (span.start_us < parent.start_us ||
+        span.start_us + span.dur_us >
+            parent.start_us + parent.dur_us + 1) {
+      return "trace: span '" + span.name + "' not nested inside parent '" +
+             parent.name + "'";
+    }
+  }
+
+  // Aggregate count/total time per name path. Parents always have
+  // smaller ids, so an id-ordered pass resolves each path in one step.
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return spans[a].id < spans[b].id;
+  });
+  std::map<uint64_t, std::string> path_of;
+  std::map<std::string, std::pair<size_t, int64_t>> by_path;
+  std::set<std::string> names;
+  for (const size_t index : order) {
+    const SpanInfo& span = spans[index];
+    auto parent_it = path_of.find(span.parent);
+    const std::string path = parent_it != path_of.end()
+                                 ? parent_it->second + "/" + span.name
+                                 : span.name;
+    path_of[span.id] = path;
+    auto& agg = by_path[path];
+    agg.first += 1;
+    agg.second += span.dur_us;
+    names.insert(span.name);
+  }
+
+  std::vector<std::string> required = {
+      "rpc.create", "rpc.ask",           "rpc.answer",
+      "rpc.close",  "session.ask",       "session.answer",
+      "session.close", "inquiry.next_question"};
+  if (expect_wal) required.push_back("wal.append");
+  for (const std::string& name : required) {
+    if (names.count(name) == 0) {
+      return "trace: required span '" + name + "' missing";
+    }
+  }
+  if (names.count("chase.saturate") == 0 &&
+      names.count("chase.delta_saturate") == 0) {
+    return "trace: no chase span (chase.saturate / chase.delta_saturate)";
+  }
+
+  if (!quiet) {
+    std::cout << "trace: " << result.Get("total_spans").AsInt(0)
+              << " spans, " << result.Get("dropped").AsInt(0) << " dropped";
+    if (result.Get("file").is_string()) {
+      std::cout << ", file " << result.Get("file").AsString();
+    }
+    std::cout << "\n";
+    // Lexicographic order lists each parent path right before its
+    // children, so indenting by depth renders the tree.
+    for (const auto& [path, agg] : by_path) {
+      const size_t depth =
+          static_cast<size_t>(std::count(path.begin(), path.end(), '/'));
+      const size_t leaf = path.rfind('/');
+      std::string line(2 + 2 * depth, ' ');
+      line += leaf == std::string::npos ? path : path.substr(leaf + 1);
+      if (line.size() < 44) line.resize(44, ' ');
+      std::cout << line << " x" << agg.first << "  "
+                << static_cast<double>(agg.second) / 1e3 << " ms\n";
+    }
+  }
+  return "";
+}
+
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--server PATH] [--server-arg ARG]... [--sessions N]"
                " [--workers N] [--kb NAME] [--strategy NAME] [--engine NAME]"
-               " [--seed S] [--quiet]\n";
+               " [--seed S] [--trace-dir DIR] [--quiet]\n";
   return 2;
 }
 
@@ -421,6 +558,8 @@ int Main(int argc, char** argv) {
       options.engine = v;
     } else if (arg == "--seed" && (v = next_value())) {
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace-dir" && (v = next_value())) {
+      options.trace_dir = v;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -440,6 +579,10 @@ int Main(int argc, char** argv) {
   ServerConnection server;
   std::vector<std::string> server_argv = {
       options.server_path, "--workers", std::to_string(options.workers)};
+  if (!options.trace_dir.empty()) {
+    server_argv.push_back("--trace-dir");
+    server_argv.push_back(options.trace_dir);
+  }
   server_argv.insert(server_argv.end(), options.server_args.begin(),
                      options.server_args.end());
   if (!server.Spawn(server_argv)) {
@@ -487,6 +630,24 @@ int Main(int argc, char** argv) {
     }
     if (!options.quiet) {
       std::cout << "metrics: " << metrics->Dump() << "\n";
+    }
+  }
+
+  if (!options.trace_dir.empty()) {
+    const bool expect_wal =
+        std::find(options.server_args.begin(), options.server_args.end(),
+                  "--wal-dir") != options.server_args.end() ||
+        std::find(options.server_args.begin(), options.server_args.end(),
+                  "--recover-dir") != options.server_args.end();
+    JsonValue trace_request = JsonValue::Object();
+    trace_request.Set("command", JsonValue::String("trace"));
+    StatusOr<JsonValue> traced = server.Call(std::move(trace_request));
+    if (!traced.ok()) {
+      failures.push_back("trace: " + traced.status().ToString());
+    } else {
+      const std::string problem =
+          CheckAndPrintTrace(*traced, expect_wal, options.quiet);
+      if (!problem.empty()) failures.push_back(problem);
     }
   }
 

@@ -10,7 +10,7 @@
 //   kbrepaird [--workers N] [--max-queue N] [--ttl-seconds S]
 //             [--transcript-dir DIR] [--wal-dir DIR] [--recover-dir DIR]
 //             [--deadline-ms N] [--wal-compact-every N]
-//             [--failpoints SPEC]
+//             [--trace-dir DIR] [--failpoints SPEC]
 
 #include <signal.h>
 
@@ -38,6 +38,8 @@ int Usage(const char* argv0) {
          "  [--deadline-ms N]        per-command deadline (0 = none)\n"
          "  [--wal-compact-every N]  snapshot-compact a session WAL every"
          " N appends\n"
+         "  [--trace-dir DIR]        record per-phase tracing spans; the"
+         " `trace` command drains them to DIR/trace-NNNNN.jsonl\n"
          "  [--failpoints SPEC]      arm failpoints, e.g."
          " 'wal.fsync=1,chase.saturate' (also via KBREPAIR_FAILPOINTS)\n";
   return 2;
@@ -88,6 +90,10 @@ int Main(int argc, char** argv) {
       if (v == nullptr) return Usage(argv[0]);
       config.wal_compact_every =
           static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--trace-dir") {
+      const char* v = next_value("--trace-dir");
+      if (v == nullptr) return Usage(argv[0]);
+      config.trace_dir = v;
     } else if (arg == "--failpoints") {
       const char* v = next_value("--failpoints");
       if (v == nullptr) return Usage(argv[0]);

@@ -1,31 +1,37 @@
 #include "service/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace kbrepair {
 
-namespace {
-
-size_t BucketFor(uint64_t micros) {
+size_t LatencyHistogram::BucketForMicros(uint64_t micros) {
   size_t bucket = 0;
   while ((uint64_t{1} << (bucket + 1)) <= micros &&
-         bucket + 1 < 40) {
+         bucket + 1 < kNumBuckets) {
     ++bucket;
   }
   return bucket;
 }
 
-}  // namespace
-
 void LatencyHistogram::Observe(double seconds) {
   if (seconds < 0.0) seconds = 0.0;
-  const uint64_t micros = static_cast<uint64_t>(seconds * 1e6);
-  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  // Round to the nearest microsecond: truncation biased sum_micros_
+  // (and so the mean) low by half a microsecond per observation, which
+  // is material for the sub-microsecond deltas the phase histograms see.
+  const uint64_t micros = static_cast<uint64_t>(std::llround(seconds * 1e6));
+  buckets_[BucketForMicros(micros)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_micros_.fetch_add(micros, std::memory_order_relaxed);
   uint64_t seen = max_micros_.load(std::memory_order_relaxed);
   while (micros > seen &&
          !max_micros_.compare_exchange_weak(seen, micros,
+                                            std::memory_order_relaxed)) {
+  }
+  seen = min_micros_.load(std::memory_order_relaxed);
+  while (micros < seen &&
+         !min_micros_.compare_exchange_weak(seen, micros,
                                             std::memory_order_relaxed)) {
   }
 }
@@ -40,23 +46,46 @@ double LatencyHistogram::MeanSeconds() const {
 double LatencyHistogram::QuantileSeconds(double q) const {
   const uint64_t n = count_.load(std::memory_order_relaxed);
   if (n == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const uint64_t target =
-      static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (q <= 0.0) return MinSeconds();
+  if (q >= 1.0) return MaxSeconds();
+  // Rank of the q-th sample, at least 1: with target 0 the very first
+  // (possibly empty) bucket would satisfy `seen >= target` and q→0
+  // would report ~2 µs regardless of the data.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen >= target) {
-      return static_cast<double>(uint64_t{1} << (i + 1)) / 1e6;
+      // The bucket only brackets the sample: its upper bound can exceed
+      // the largest observation (the old p95 > max bug) and its lower
+      // bound can undershoot the smallest. Clamp into the observed
+      // range so quantiles are monotone and never contradict min/max.
+      const double upper = static_cast<double>(uint64_t{1} << (i + 1)) / 1e6;
+      return std::min(std::max(upper, MinSeconds()), MaxSeconds());
     }
   }
   return MaxSeconds();
 }
 
+double LatencyHistogram::MinSeconds() const {
+  const uint64_t micros = min_micros_.load(std::memory_order_relaxed);
+  if (micros == UINT64_MAX) return 0.0;  // no observations yet
+  return static_cast<double>(micros) / 1e6;
+}
+
 double LatencyHistogram::MaxSeconds() const {
   return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) /
          1e6;
+}
+
+std::array<uint64_t, LatencyHistogram::kNumBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> counts{};
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
 }
 
 JsonValue LatencyHistogram::ToJson() const {
@@ -65,7 +94,52 @@ JsonValue LatencyHistogram::ToJson() const {
   out.Set("mean_ms", JsonValue::Number(MeanSeconds() * 1e3));
   out.Set("p50_ms", JsonValue::Number(QuantileSeconds(0.5) * 1e3));
   out.Set("p95_ms", JsonValue::Number(QuantileSeconds(0.95) * 1e3));
+  out.Set("min_ms", JsonValue::Number(MinSeconds() * 1e3));
   out.Set("max_ms", JsonValue::Number(MaxSeconds() * 1e3));
+  return out;
+}
+
+const char* StrategyLabelName(size_t index) {
+  switch (index) {
+    case 0: return "random";
+    case 1: return "opti-join";
+    case 2: return "opti-prop";
+    case 3: return "opti-mcd";
+    case 4: return "opti-learn";
+  }
+  return "unknown";
+}
+
+const char* EngineLabelName(size_t index) {
+  switch (index) {
+    case 0: return "scratch";
+    case 1: return "incremental";
+  }
+  return "unknown";
+}
+
+bool LabeledMetrics::Touched() const {
+  if (sessions.load(std::memory_order_relaxed) != 0) return true;
+  if (questions.load(std::memory_order_relaxed) != 0) return true;
+  if (answers.load(std::memory_order_relaxed) != 0) return true;
+  return turn_delay.count() != 0;
+}
+
+JsonValue LabeledMetrics::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("sessions",
+          JsonValue::Number(sessions.load(std::memory_order_relaxed)));
+  out.Set("questions",
+          JsonValue::Number(questions.load(std::memory_order_relaxed)));
+  out.Set("answers",
+          JsonValue::Number(answers.load(std::memory_order_relaxed)));
+  out.Set("turn_delay", turn_delay.ToJson());
+  for (size_t p = 0; p < trace::kNumPhases; ++p) {
+    if (phases[p].count() == 0) continue;
+    out.Set(std::string("phase_") +
+                trace::PhaseName(static_cast<trace::Phase>(p)),
+            phases[p].ToJson());
+  }
   return out;
 }
 
@@ -115,12 +189,25 @@ JsonValue ServiceMetrics::ToJson() const {
   durability.Set("worker_stalls",
                  JsonValue::Number(worker_stalls.load(std::memory_order_relaxed)));
 
+  JsonValue by_strategy_engine = JsonValue::Object();
+  for (size_t s = 0; s < kNumStrategyLabels; ++s) {
+    for (size_t e = 0; e < kNumEngineLabels; ++e) {
+      const LabeledMetrics& labeled = by_label[s][e];
+      if (!labeled.Touched()) continue;
+      by_strategy_engine.Set(std::string(StrategyLabelName(s)) + "/" +
+                                 EngineLabelName(e),
+                             labeled.ToJson());
+    }
+  }
+
   JsonValue out = JsonValue::Object();
   out.Set("sessions", std::move(sessions));
   out.Set("traffic", std::move(traffic));
   out.Set("durability", std::move(durability));
   out.Set("turn_delay", turn_delay.ToJson());
   out.Set("request_latency", request_latency.ToJson());
+  out.Set("queue_wait", queue_wait.ToJson());
+  out.Set("by_strategy_engine", std::move(by_strategy_engine));
   return out;
 }
 

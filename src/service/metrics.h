@@ -15,16 +15,24 @@
 #include <cstdint>
 
 #include "util/json.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
 // Log2-bucketed latency histogram: bucket i counts samples in
 // [2^i, 2^(i+1)) microseconds; the last bucket absorbs the tail.
-// Quantile() returns the upper bound of the bucket holding the q-th
-// sample — an overestimate by at most 2x, which is the usual trade for
-// lock-free recording.
+// QuantileSeconds() returns the upper bound of the bucket holding the
+// q-th sample — an overestimate by at most 2x, which is the usual trade
+// for lock-free recording — clamped into [MinSeconds(), MaxSeconds()]
+// so reported quantiles always satisfy min ≤ p50 ≤ p95 ≤ max.
 class LatencyHistogram {
  public:
+  static constexpr size_t kNumBuckets = 40;  // up to ~2^40 us ≈ 12.7 days
+
+  // Bucket index for a (rounded) microsecond value; exposed for the
+  // metric-invariant tests.
+  static size_t BucketForMicros(uint64_t micros);
+
   void Observe(double seconds);
 
   uint64_t count() const {
@@ -32,18 +40,48 @@ class LatencyHistogram {
   }
   double MeanSeconds() const;
   double QuantileSeconds(double q) const;
+  double MinSeconds() const;
   double MaxSeconds() const;
 
-  // {"count":n,"mean_ms":..,"p50_ms":..,"p95_ms":..,"max_ms":..}
+  // Snapshot of the raw bucket counters (invariant: their sum equals
+  // count()).
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+  // {"count":n,"mean_ms":..,"p50_ms":..,"p95_ms":..,"min_ms":..,"max_ms":..}
   JsonValue ToJson() const;
 
  private:
-  static constexpr size_t kNumBuckets = 40;  // up to ~2^40 us ≈ 12.7 days
-
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> min_micros_{UINT64_MAX};
   std::atomic<uint64_t> max_micros_{0};
+};
+
+// Label axes for the per-strategy / per-engine breakdown. The indices
+// are assigned by the session layer (see RepairSession), which maps its
+// Strategy / ConflictEngineKind enums onto these names.
+inline constexpr size_t kNumStrategyLabels = 5;
+inline constexpr size_t kNumEngineLabels = 2;
+const char* StrategyLabelName(size_t index);  // "random", "opti-join", ...
+const char* EngineLabelName(size_t index);    // "scratch", "incremental"
+
+// Counters and phase-latency histograms for one (strategy, engine)
+// label pair. Phase histograms are indexed by trace::Phase and record
+// the per-command time attributed to that phase; turn_delay records the
+// engine-compute delay of each question (Prop. 4.10's measured bound).
+struct LabeledMetrics {
+  std::atomic<uint64_t> sessions{0};
+  std::atomic<uint64_t> questions{0};
+  std::atomic<uint64_t> answers{0};
+  LatencyHistogram turn_delay;
+  std::array<LatencyHistogram, trace::kNumPhases> phases;
+
+  bool Touched() const;
+
+  // {"sessions":..,"questions":..,"answers":..,"turn_delay":{..},
+  //  "phase_chase":{..}, ...} — only phases with observations appear.
+  JsonValue ToJson() const;
 };
 
 // The service's aggregate state. One instance per SessionManager.
@@ -79,9 +117,24 @@ struct ServiceMetrics {
   std::atomic<uint64_t> worker_stalls{0};        // watchdog flags
 
   // Per-turn question-production delay (Prop. 4.10's service-latency
-  // bound, measured) and end-to-end per-command service time.
+  // bound, measured as engine compute time — parked wall time between
+  // wire commands is excluded) and end-to-end per-command service time.
   LatencyHistogram turn_delay;
   LatencyHistogram request_latency;
+  // Time a command waited in the ready queue before a worker picked it
+  // up (request_latency minus queue_wait ≈ execution time).
+  LatencyHistogram queue_wait;
+
+  // The per-strategy / per-engine breakdown, indexed by the label
+  // helpers above. Untouched label pairs are skipped in ToJson().
+  std::array<std::array<LabeledMetrics, kNumEngineLabels>,
+             kNumStrategyLabels>
+      by_label;
+
+  LabeledMetrics& ForLabels(size_t strategy_index, size_t engine_index) {
+    return by_label[strategy_index % kNumStrategyLabels]
+                   [engine_index % kNumEngineLabels];
+  }
 
   JsonValue ToJson() const;
 };

@@ -77,6 +77,29 @@ std::optional<size_t> MatchRecordedFix(const JsonValue& recorded,
   return std::nullopt;
 }
 
+// Attributes the phase time a command spends to the session's
+// (strategy, engine) metrics slot when it leaves scope. The manager
+// serializes a session's commands on one worker thread, so the
+// thread-local accumulator delta is exactly this command's work.
+class ScopedPhaseAttribution {
+ public:
+  ScopedPhaseAttribution(const RepairSession& session, ServiceMetrics* metrics)
+      : session_(session),
+        metrics_(metrics),
+        before_(trace::ThreadPhaseTotals()) {}
+  ~ScopedPhaseAttribution() {
+    session_.ObservePhases(metrics_, trace::ThreadPhaseTotals().Since(before_));
+  }
+
+  ScopedPhaseAttribution(const ScopedPhaseAttribution&) = delete;
+  ScopedPhaseAttribution& operator=(const ScopedPhaseAttribution&) = delete;
+
+ private:
+  const RepairSession& session_;
+  ServiceMetrics* metrics_;
+  trace::PhaseTotals before_;
+};
+
 }  // namespace
 
 StatusOr<KnowledgeBase> BuildKbFromParams(const JsonValue& params,
@@ -263,7 +286,34 @@ void RepairSession::ReportEngineFallbacks(size_t total_fallbacks,
   reported_fallbacks_ = total_fallbacks;
 }
 
+size_t RepairSession::strategy_label() const {
+  return static_cast<size_t>(options_.strategy);
+}
+
+size_t RepairSession::engine_label() const {
+  return engine_->active_engine() == ConflictEngineKind::kIncremental ? 1 : 0;
+}
+
+void RepairSession::RecordOpened(ServiceMetrics* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->ForLabels(strategy_label(), engine_label())
+      .sessions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RepairSession::ObservePhases(ServiceMetrics* metrics,
+                                  const trace::PhaseTotals& delta) const {
+  if (metrics == nullptr) return;
+  LabeledMetrics& labeled =
+      metrics->ForLabels(strategy_label(), engine_label());
+  for (size_t p = 0; p < trace::kNumPhases; ++p) {
+    if (delta.seconds[p] > 0.0) labeled.phases[p].Observe(delta.seconds[p]);
+  }
+}
+
 StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
+  trace::ScopedSpan span("session.ask");
+  if (span.recording()) span.Annotate("session=" + id_);
+  ScopedPhaseAttribution attribution(*this, metrics);
   KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
                             engine_->NextQuestion());
   ReportEngineFallbacks(engine_->progress().engine_fallbacks, metrics);
@@ -279,6 +329,8 @@ StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
     question_outstanding_ = true;
     if (metrics != nullptr) {
       metrics->questions_served.fetch_add(1, std::memory_order_relaxed);
+      metrics->ForLabels(strategy_label(), engine_label())
+          .questions.fetch_add(1, std::memory_order_relaxed);
     }
   }
   out.Set("done", JsonValue::Bool(false));
@@ -289,6 +341,9 @@ StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
 
 StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
                                           ServiceMetrics* metrics) {
+  trace::ScopedSpan span("session.answer");
+  if (span.recording()) span.Annotate("session=" + id_);
+  ScopedPhaseAttribution attribution(*this, metrics);
   if (!params.Get("choice").is_number() ||
       params.Get("choice").AsInt() < 0) {
     return Status::InvalidArgument(
@@ -361,6 +416,10 @@ StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
   if (metrics != nullptr) {
     metrics->answers_applied.fetch_add(1, std::memory_order_relaxed);
     metrics->turn_delay.Observe(record.delay_seconds);
+    LabeledMetrics& labeled =
+        metrics->ForLabels(strategy_label(), engine_label());
+    labeled.answers.fetch_add(1, std::memory_order_relaxed);
+    labeled.turn_delay.Observe(record.delay_seconds);
   }
   JsonValue out = JsonValue::Object();
   out.Set("session", JsonValue::String(id_));
@@ -427,6 +486,9 @@ StatusOr<JsonValue> RepairSession::Snapshot() const {
 
 StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
                                          ServiceMetrics* metrics) {
+  trace::ScopedSpan span("session.close");
+  if (span.recording()) span.Annotate("session=" + id_);
+  ScopedPhaseAttribution attribution(*this, metrics);
   if (closed_) {
     return Status::FailedPrecondition("session is already closed");
   }

@@ -95,6 +95,23 @@ class RepairSession {
   // shutdown (when a transcript directory is configured).
   JsonValue TranscriptJson() const;
 
+  // Indices into the metrics label axes (StrategyLabelName /
+  // EngineLabelName) for this session's strategy and *active* conflict
+  // engine — after a demotion the attribution follows the engine
+  // actually doing the work.
+  size_t strategy_label() const;
+  size_t engine_label() const;
+
+  // Bumps the labeled session counter; the manager calls this once when
+  // the session is registered (create or recovery).
+  void RecordOpened(ServiceMetrics* metrics) const;
+
+  // Folds a per-command phase-time delta (see trace::ThreadPhaseTotals)
+  // into this session's labeled phase histograms. Zero phases are
+  // skipped so untouched histograms stay empty.
+  void ObservePhases(ServiceMetrics* metrics,
+                     const trace::PhaseTotals& delta) const;
+
   bool closed() const { return closed_; }
 
  private:

@@ -11,6 +11,7 @@
 #include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 
@@ -18,7 +19,21 @@ namespace {
 
 // Commands that do not address an existing session.
 bool IsIndependentCommand(const std::string& command) {
-  return command == "create" || command == "metrics";
+  return command == "create" || command == "metrics" || command == "trace";
+}
+
+// Root span names must be string literals (ScopedSpan stores the
+// pointer), so map each wire command to a static name.
+const char* RpcSpanName(const std::string& command) {
+  if (command == "create") return "rpc.create";
+  if (command == "metrics") return "rpc.metrics";
+  if (command == "trace") return "rpc.trace";
+  if (command == "ask") return "rpc.ask";
+  if (command == "answer") return "rpc.answer";
+  if (command == "status") return "rpc.status";
+  if (command == "snapshot") return "rpc.snapshot";
+  if (command == "close") return "rpc.close";
+  return "rpc.other";
 }
 
 int64_t SteadyNowNs() {
@@ -51,6 +66,9 @@ SessionManager::SessionManager(ServiceConfig config)
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   reaper_ = std::thread([this] { ReaperLoop(); });
+  if (!config_.trace_dir.empty()) {
+    trace::Recorder::Instance().Enable(config_.trace_dir);
+  }
   // Recovery runs on the constructing thread, before the caller can
   // submit anything; workers and reaper are already live but see each
   // session only once it is registered under mu_.
@@ -165,6 +183,11 @@ void SessionManager::Shutdown() {
   reaper_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   if (reaper_.joinable()) reaper_.join();
+  // Final span flush: anything still buffered goes to one last trace
+  // file so post-mortem tooling sees the tail of the run.
+  if (!config_.trace_dir.empty() && trace::Recorder::enabled()) {
+    (void)trace::Recorder::Instance().DrainToFile();
+  }
   // Single-threaded from here: flush transcripts of sessions that were
   // never closed, then drop them.
   for (const auto& [id, entry] : sessions_) {
@@ -197,8 +220,15 @@ void SessionManager::WorkerLoop(size_t worker_index) {
 }
 
 void SessionManager::RunIndependent(Task task) {
+  metrics_.queue_wait.Observe(task.timer.ElapsedSeconds());
+  trace::ScopedSpan span(RpcSpanName(task.request.command));
   if (task.request.command == "create") {
     RunCreate(std::move(task));
+    return;
+  }
+  if (task.request.command == "trace") {
+    Complete(task, Status::Ok(), TraceJson(task.request.params));
+    TaskDone();
     return;
   }
   // metrics
@@ -238,6 +268,7 @@ void SessionManager::RunCreate(Task task) {
     }
     metrics_.wal_appends.fetch_add(1, std::memory_order_relaxed);
   }
+  const trace::PhaseTotals phases_before = trace::ThreadPhaseTotals();
   StatusOr<std::unique_ptr<RepairSession>> created =
       RepairSession::Create(id, task.request.params, config_.deadline_ms);
   if (!created.ok()) {
@@ -249,6 +280,11 @@ void SessionManager::RunCreate(Task task) {
     return;
   }
   std::unique_ptr<RepairSession> session = std::move(created).value();
+  // The initial census (Begin) ran on this thread; attribute its phase
+  // time to the session's (strategy, engine) slot.
+  session->ObservePhases(&metrics_,
+                         trace::ThreadPhaseTotals().Since(phases_before));
+  session->RecordOpened(&metrics_);
   if (wal != nullptr) {
     session->AttachWal(std::move(wal), config_.wal_compact_every);
   }
@@ -280,10 +316,15 @@ void SessionManager::RunSessionCommand(const std::string& key) {
     it->second.waiting.pop_front();
     session = it->second.session.get();
   }
+  // Queue wait includes time parked behind earlier commands of the same
+  // session — that is real scheduling delay, not execution time.
+  metrics_.queue_wait.Observe(task.timer.ElapsedSeconds());
 
   // The busy flag keeps every other worker (and the reaper) away from
   // this session, so the handler runs without holding mu_.
   StatusOr<JsonValue> outcome = [&]() -> StatusOr<JsonValue> {
+    trace::ScopedSpan span(RpcSpanName(task.request.command));
+    if (span.recording()) span.Annotate("session=" + key);
     if (failpoint::ShouldFail("worker.stall")) {
       // Simulate a wedged handler: hold the worker past the watchdog
       // threshold, then fail the command the way an expired deadline
@@ -368,6 +409,45 @@ JsonValue SessionManager::MetricsJson() {
                 JsonValue::Number(static_cast<int64_t>(sessions_.size())));
   }
   out.Set("service", std::move(service));
+  return out;
+}
+
+JsonValue SessionManager::TraceJson(const JsonValue& params) {
+  trace::Recorder& recorder = trace::Recorder::Instance();
+  JsonValue out = JsonValue::Object();
+  const bool enabled = trace::Recorder::enabled();
+  out.Set("enabled", JsonValue::Bool(enabled));
+  if (!enabled) {
+    out.Set("spans", JsonValue::Array());
+    return out;
+  }
+  std::vector<trace::SpanRecord> spans;
+  if (recorder.has_sink()) {
+    StatusOr<std::string> file = recorder.DrainToFile(&spans);
+    if (file.ok()) {
+      out.Set("file", JsonValue::String(*file));
+    } else {
+      // The spans were still drained; surface the sink failure.
+      out.Set("file_error", JsonValue::String(file.status().message()));
+    }
+  } else {
+    spans = recorder.Drain();
+  }
+  // Responses are one wire line; cap the inline span list (the full
+  // drain is in the file when a sink is configured).
+  const int64_t limit = params.Get("limit").AsInt(4096);
+  JsonValue array = JsonValue::Array();
+  int64_t emitted = 0;
+  for (const trace::SpanRecord& span : spans) {
+    if (emitted >= limit) break;
+    array.Append(trace::SpanToJson(span));
+    ++emitted;
+  }
+  out.Set("spans", std::move(array));
+  out.Set("total_spans",
+          JsonValue::Number(static_cast<int64_t>(spans.size())));
+  out.Set("dropped",
+          JsonValue::Number(static_cast<int64_t>(recorder.dropped())));
   return out;
 }
 
@@ -501,6 +581,7 @@ void SessionManager::RecoverSessions() {
                 << "' recovered but its WAL could not be reopened: "
                 << wal.status() << "\n";
     }
+    session->RecordOpened(&metrics_);
     {
       std::lock_guard<std::mutex> lock(mu_);
       SessionEntry entry;

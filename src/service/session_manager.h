@@ -10,7 +10,8 @@
 //    order by at most one worker at a time (a `busy` bit plus a
 //    per-session wait queue), so session state needs no locking of its
 //    own while distinct sessions run fully in parallel;
-//  * `create`/`metrics` are session-less and run as independent tasks;
+//  * `create`/`metrics`/`trace` are session-less and run as independent
+//    tasks;
 //  * a reaper thread evicts sessions idle longer than the TTL;
 //  * Shutdown() stops intake, drains every queued command, joins the
 //    workers and flushes all remaining transcripts to transcript_dir.
@@ -63,6 +64,12 @@ struct ServiceConfig {
   int64_t deadline_ms = 0;
   // Compact a session's WAL into one snapshot record every N appends.
   size_t wal_compact_every = 64;
+  // When non-empty, the process-wide span recorder is enabled with this
+  // directory as its sink: every instrumented region records a span, the
+  // `trace` command drains them to <trace_dir>/trace-NNNNN.jsonl, and
+  // Shutdown() flushes whatever is still buffered. Empty = spans off
+  // (phase accounting stays on either way).
+  std::string trace_dir;
 };
 
 class SessionManager {
@@ -119,6 +126,9 @@ class SessionManager {
   StatusOr<JsonValue> DispatchToSession(RepairSession* session,
                                         const ServiceRequest& request);
   JsonValue MetricsJson();
+  // Handler for the `trace` command: drains the span recorder (to a
+  // file when a sink directory is configured) and returns the spans.
+  JsonValue TraceJson(const JsonValue& params);
   // Finishes one task: records latency/error metrics, fires `done`.
   void Complete(Task& task, const Status& status, JsonValue result);
   void TaskDone();  // decrements tasks_in_flight_, wakes Shutdown

@@ -8,6 +8,7 @@
 
 #include "util/failpoint.h"
 #include "util/fs.h"
+#include "util/trace.h"
 
 namespace kbrepair {
 namespace {
@@ -46,6 +47,7 @@ SessionWal::~SessionWal() {
 }
 
 Status SessionWal::Append(const JsonValue& record, bool* fsync_failed) {
+  trace::ScopedSpan span("wal.append", trace::Phase::kWalAppend);
   if (fsync_failed != nullptr) *fsync_failed = false;
   if (fd_ < 0) {
     return Status::Unavailable("WAL " + path_ + " is closed");

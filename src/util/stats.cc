@@ -10,6 +10,16 @@ namespace kbrepair {
 
 void SampleStats::AddAll(const std::vector<double>& values) {
   samples_.insert(samples_.end(), values.begin(), values.end());
+  sorted_dirty_ = true;
+}
+
+const std::vector<double>& SampleStats::Sorted() const {
+  if (sorted_dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_dirty_ = false;
+  }
+  return sorted_;
 }
 
 double SampleStats::Mean() const {
@@ -40,8 +50,7 @@ double SampleStats::Stddev() const {
 double SampleStats::Quantile(double q) const {
   KBREPAIR_CHECK(!samples_.empty());
   KBREPAIR_CHECK(q >= 0.0 && q <= 1.0);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double>& sorted = Sorted();
   if (sorted.size() == 1) return sorted[0];
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);

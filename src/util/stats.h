@@ -27,11 +27,15 @@ struct BoxplotSummary {
 // Accumulates samples and produces summaries. Not thread-safe.
 class SampleStats {
  public:
-  void Add(double value) { samples_.push_back(value); }
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_dirty_ = true;
+  }
   void AddAll(const std::vector<double>& values);
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  // Insertion order (never re-sorted in place).
   const std::vector<double>& samples() const { return samples_; }
 
   double Mean() const;
@@ -44,10 +48,21 @@ class SampleStats {
 
   BoxplotSummary Boxplot() const;
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_dirty_ = true;
+  }
 
  private:
+  // Sorted view of samples_, rebuilt at most once per batch of Add()s:
+  // Boxplot() issues several Quantile() calls and previously re-copied
+  // and re-sorted the whole vector for each of them.
+  const std::vector<double>& Sorted() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = true;
 };
 
 // Formats a value with fixed decimal places (printf "%.*f").

@@ -1,0 +1,294 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <mutex>
+
+#include "util/fs.h"
+#include "util/json.h"
+
+namespace kbrepair {
+namespace trace {
+
+namespace {
+
+// Cap on completed spans buffered per thread between drains; beyond it
+// new spans are counted in dropped() instead of growing without bound.
+constexpr size_t kMaxBufferedSpansPerThread = 1 << 16;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kRepairability: return "repairability";
+    case Phase::kQuestionGen: return "question_gen";
+    case Phase::kApplyFix: return "apply_fix";
+    case Phase::kChase: return "chase";
+    case Phase::kDeltaChase: return "delta_chase";
+    case Phase::kConflictScan: return "conflict_scan";
+    case Phase::kWalAppend: return "wal_append";
+    case Phase::kNone: return "none";
+  }
+  return "unknown";
+}
+
+PhaseTotals PhaseTotals::Since(const PhaseTotals& earlier) const {
+  PhaseTotals delta;
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    delta.seconds[i] = seconds[i] - earlier.seconds[i];
+  }
+  return delta;
+}
+
+void PhaseTotals::Add(const PhaseTotals& delta) {
+  for (size_t i = 0; i < kNumPhases; ++i) seconds[i] += delta.seconds[i];
+}
+
+double PhaseTotals::TotalSeconds() const {
+  double total = 0.0;
+  for (size_t i = 0; i < kNumPhases; ++i) total += seconds[i];
+  return total;
+}
+
+// Per-thread recording state. The owning thread touches `buffer` only
+// under `mu` (uncontended except while a drain is in progress); the
+// phase accumulator and span stack are owner-only and need no lock.
+struct ThreadState {
+  PhaseTotals phase_totals;
+  std::vector<uint64_t> span_stack;
+
+  std::mutex mu;
+  std::vector<SpanRecord> buffer;
+  uint32_t index = 0;
+
+  ~ThreadState();
+};
+
+namespace {
+
+// Registry of live (and orphaned) thread states. ThreadState lifetime:
+// registered on first recorded span, moved to `orphans` by the thread's
+// destructor so late drains still see its spans.
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadState*> threads;
+  std::vector<SpanRecord> orphans;
+  uint32_t next_thread_index = 1;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+struct SinkConfig {
+  std::mutex mu;
+  std::string dir;
+};
+
+SinkConfig& GlobalSink() {
+  static SinkConfig* sink = new SinkConfig();
+  return *sink;
+}
+
+thread_local ThreadState t_state;
+thread_local bool t_registered = false;
+
+void RegisterThisThread() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  t_state.index = registry.next_thread_index++;
+  registry.threads.push_back(&t_state);
+  t_registered = true;
+}
+
+}  // namespace
+
+ThreadState::~ThreadState() {
+  if (!t_registered) return;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.threads.erase(
+      std::remove(registry.threads.begin(), registry.threads.end(), this),
+      registry.threads.end());
+  std::lock_guard<std::mutex> buffer_lock(mu);
+  registry.orphans.insert(registry.orphans.end(),
+                          std::make_move_iterator(buffer.begin()),
+                          std::make_move_iterator(buffer.end()));
+  buffer.clear();
+}
+
+PhaseTotals ThreadPhaseTotals() { return t_state.phase_totals; }
+
+JsonValue SpanToJson(const SpanRecord& span) {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", JsonValue::Number(static_cast<int64_t>(span.id)));
+  out.Set("parent", JsonValue::Number(static_cast<int64_t>(span.parent)));
+  out.Set("name", JsonValue::String(span.name));
+  if (span.phase != Phase::kNone) {
+    out.Set("phase", JsonValue::String(PhaseName(span.phase)));
+  }
+  out.Set("thread", JsonValue::Number(static_cast<int64_t>(span.thread)));
+  out.Set("start_us", JsonValue::Number(span.start_us));
+  out.Set("dur_us", JsonValue::Number(span.duration_us));
+  if (!span.detail.empty()) {
+    out.Set("detail", JsonValue::String(span.detail));
+  }
+  return out;
+}
+
+std::string SpanToJsonLine(const SpanRecord& span) {
+  return SpanToJson(span).Dump();
+}
+
+Recorder& Recorder::Instance() {
+  static Recorder* recorder = new Recorder();
+  return *recorder;
+}
+
+std::atomic<bool>& Recorder::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Recorder::Enable(std::string dir) {
+  {
+    SinkConfig& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.dir = std::move(dir);
+  }
+  epoch_ = Clock::now();
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void Recorder::Disable() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+  Drain();  // discard
+  SinkConfig& sink = GlobalSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.dir.clear();
+}
+
+bool Recorder::has_sink() const {
+  SinkConfig& sink = GlobalSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return !sink.dir.empty();
+}
+
+std::vector<SpanRecord> Recorder::Drain() {
+  std::vector<SpanRecord> drained;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (ThreadState* state : registry.threads) {
+    std::lock_guard<std::mutex> buffer_lock(state->mu);
+    drained.insert(drained.end(),
+                   std::make_move_iterator(state->buffer.begin()),
+                   std::make_move_iterator(state->buffer.end()));
+    state->buffer.clear();
+  }
+  drained.insert(drained.end(),
+                 std::make_move_iterator(registry.orphans.begin()),
+                 std::make_move_iterator(registry.orphans.end()));
+  registry.orphans.clear();
+  std::stable_sort(drained.begin(), drained.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return drained;
+}
+
+StatusOr<std::string> Recorder::DrainToFile(std::vector<SpanRecord>* spans) {
+  std::string dir;
+  {
+    SinkConfig& sink = GlobalSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    dir = sink.dir;
+  }
+  if (dir.empty()) {
+    return Status::InvalidArgument("no trace sink directory configured");
+  }
+  std::vector<SpanRecord> drained = Drain();
+  std::string contents;
+  contents.reserve(drained.size() * 96);
+  for (const SpanRecord& span : drained) {
+    contents += SpanToJsonLine(span);
+    contents += '\n';
+  }
+  const uint64_t seq = next_file_seq_.fetch_add(1, std::memory_order_relaxed);
+  char name[40];
+  std::snprintf(name, sizeof(name), "trace-%05llu.jsonl",
+                static_cast<unsigned long long>(seq));
+  const std::string path = dir + "/" + name;
+  Status written = AtomicWriteFile(path, contents);
+  if (spans != nullptr) *spans = std::move(drained);
+  if (!written.ok()) return written;
+  return path;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Phase phase)
+    : name_(name),
+      phase_(phase),
+      recording_(Recorder::enabled()),
+      start_(Clock::now()) {
+  if (!recording_) return;
+  Recorder& recorder = Recorder::Instance();
+  id_ = recorder.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_state.span_stack.empty() ? 0 : t_state.span_stack.back();
+  t_state.span_stack.push_back(id_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  const Clock::time_point end = Clock::now();
+  if (phase_ != Phase::kNone) {
+    t_state.phase_totals.seconds[static_cast<size_t>(phase_)] +=
+        SecondsBetween(start_, end);
+  }
+  if (!recording_) return;
+  // Balanced by construction: we pushed id_ in the constructor, and
+  // ScopedSpan is scope-bound, so our id is on top.
+  t_state.span_stack.pop_back();
+  // If the recorder was disabled while this span was open, drop it:
+  // its start is measured against an epoch that may be reset before
+  // the buffer is next drained.
+  if (!Recorder::enabled()) return;
+  if (!t_registered) RegisterThisThread();
+
+  Recorder& recorder = Recorder::Instance();
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = name_;
+  record.phase = phase_;
+  record.start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        start_ - recorder.epoch_)
+                        .count();
+  record.duration_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  record.thread = t_state.index;
+  record.detail = std::move(detail_);
+
+  std::lock_guard<std::mutex> lock(t_state.mu);
+  if (t_state.buffer.size() >= kMaxBufferedSpansPerThread) {
+    recorder.dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  t_state.buffer.push_back(std::move(record));
+}
+
+void ScopedSpan::Annotate(const std::string& detail) {
+  if (!recording_) return;
+  if (!detail_.empty()) detail_ += ' ';
+  detail_ += detail;
+}
+
+}  // namespace trace
+}  // namespace kbrepair

@@ -1,0 +1,172 @@
+// Invariant and regression tests for the service metric primitives.
+//
+// The regression cases reproduce the pre-fix LatencyHistogram bugs:
+// quantiles reported the raw bucket upper bound (so p95 could exceed
+// the largest observation, and q=0 reported ~2 µs regardless of the
+// data), the bucket scan hard-coded 40 instead of kNumBuckets, and
+// Observe truncated seconds*1e6 instead of rounding.
+
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kbrepair {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.MeanSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.QuantileSeconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.MinSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.MaxSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, RegressionQuantileNeverExceedsMax) {
+  // 3 µs samples land in the [2, 4) µs bucket; the old QuantileSeconds
+  // returned the bucket's 4 µs upper bound for every quantile, so the
+  // reported p95 exceeded the largest observation ever made.
+  LatencyHistogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Observe(3e-6);
+  EXPECT_DOUBLE_EQ(histogram.MaxSeconds(), 3e-6);
+  EXPECT_LE(histogram.QuantileSeconds(0.95), histogram.MaxSeconds());
+  EXPECT_GE(histogram.QuantileSeconds(0.95), histogram.MinSeconds());
+  EXPECT_DOUBLE_EQ(histogram.QuantileSeconds(0.95), 3e-6);
+}
+
+TEST(LatencyHistogramTest, RegressionZeroQuantileReportsMinNotBucketBound) {
+  LatencyHistogram histogram;
+  histogram.Observe(1e-3);  // 1000 µs
+  // The old implementation computed a target rank of 0 for q=0, which
+  // the very first (empty) bucket satisfied — reporting ~2 µs no matter
+  // what was observed.
+  EXPECT_DOUBLE_EQ(histogram.QuantileSeconds(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(histogram.QuantileSeconds(1.0), 1e-3);
+}
+
+TEST(LatencyHistogramTest, QuantileClampsToMinForSmallSamples) {
+  // A 1 µs sample sits in bucket [1, 2); the raw upper bound (2 µs)
+  // must be reported, but never below the observed minimum and never
+  // above the observed maximum.
+  LatencyHistogram histogram;
+  histogram.Observe(1e-6);
+  histogram.Observe(10e-6);
+  const double p25 = histogram.QuantileSeconds(0.25);
+  EXPECT_GE(p25, histogram.MinSeconds());
+  EXPECT_LE(p25, histogram.MaxSeconds());
+}
+
+TEST(LatencyHistogramTest, BucketForMicrosCoversFullRange) {
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(1), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(2), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(3), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(4), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(7), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(8), 3u);
+  // The tail bucket absorbs everything beyond the bucketed range; the
+  // scan is bounded by kNumBuckets (previously a hard-coded 40 that
+  // silently depended on the array size).
+  EXPECT_EQ(LatencyHistogram::BucketForMicros(UINT64_MAX),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, ObserveRoundsToNearestMicrosecond) {
+  // 2.6 µs must round to 3 µs; the old truncation biased the mean (and
+  // min/max) low by up to a microsecond, which is material for the
+  // sub-microsecond deltas the phase histograms record.
+  LatencyHistogram histogram;
+  histogram.Observe(2.6e-6);
+  EXPECT_DOUBLE_EQ(histogram.MaxSeconds(), 3e-6);
+  EXPECT_DOUBLE_EQ(histogram.MeanSeconds(), 3e-6);
+}
+
+TEST(LatencyHistogramTest, NegativeObservationsClampToZero) {
+  LatencyHistogram histogram;
+  histogram.Observe(-1.0);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.MaxSeconds(), 0.0);
+}
+
+// Property: under arbitrary observation streams the reported order
+// statistics are coherent — min ≤ p10 ≤ p50 ≤ p95 ≤ max — and the
+// bucket counters account for every observation.
+TEST(LatencyHistogramTest, PropertyQuantilesMonotoneUnderRandomStreams) {
+  Rng rng(20180326);
+  for (int trial = 0; trial < 200; ++trial) {
+    LatencyHistogram histogram;
+    const size_t n = 1 + rng.UniformIndex(300);
+    for (size_t i = 0; i < n; ++i) {
+      // Log-uniform over ~9 decades: sub-microsecond to kiloseconds.
+      const double exponent = -7.0 + 10.0 * rng.UniformDouble();
+      histogram.Observe(std::pow(10.0, exponent));
+    }
+    const double min = histogram.MinSeconds();
+    const double p10 = histogram.QuantileSeconds(0.10);
+    const double p50 = histogram.QuantileSeconds(0.50);
+    const double p95 = histogram.QuantileSeconds(0.95);
+    const double max = histogram.MaxSeconds();
+    EXPECT_LE(min, p10) << "trial " << trial << " n=" << n;
+    EXPECT_LE(p10, p50) << "trial " << trial << " n=" << n;
+    EXPECT_LE(p50, p95) << "trial " << trial << " n=" << n;
+    EXPECT_LE(p95, max) << "trial " << trial << " n=" << n;
+
+    uint64_t bucket_sum = 0;
+    for (const uint64_t c : histogram.BucketCounts()) bucket_sum += c;
+    EXPECT_EQ(bucket_sum, histogram.count());
+    EXPECT_EQ(histogram.count(), n);
+  }
+}
+
+TEST(LabeledMetricsTest, UntouchedPairsAreSkippedInServiceJson) {
+  ServiceMetrics metrics;
+  JsonValue empty = metrics.ToJson();
+  EXPECT_TRUE(empty.Get("by_strategy_engine").is_object());
+  EXPECT_EQ(empty.Get("by_strategy_engine").size(), 0u);
+
+  LabeledMetrics& labeled = metrics.ForLabels(3, 1);  // opti-mcd/incremental
+  labeled.sessions.fetch_add(1);
+  labeled.answers.fetch_add(2);
+  labeled.turn_delay.Observe(0.25);
+  labeled.phases[static_cast<size_t>(trace::Phase::kChase)].Observe(0.1);
+
+  JsonValue out = metrics.ToJson();
+  const JsonValue& slot =
+      out.Get("by_strategy_engine").Get("opti-mcd/incremental");
+  ASSERT_TRUE(slot.is_object());
+  EXPECT_EQ(slot.Get("sessions").AsInt(-1), 1);
+  EXPECT_EQ(slot.Get("answers").AsInt(-1), 2);
+  EXPECT_EQ(slot.Get("turn_delay").Get("count").AsInt(-1), 1);
+  EXPECT_EQ(slot.Get("phase_chase").Get("count").AsInt(-1), 1);
+  // Phases without observations stay out of the output.
+  EXPECT_TRUE(slot.Get("phase_wal_append").is_null());
+}
+
+TEST(LabeledMetricsTest, ForLabelsGuardsOutOfRangeIndices) {
+  ServiceMetrics metrics;
+  // Out-of-range indices wrap instead of indexing out of bounds; the
+  // session layer only hands in enum values, this is belt-and-braces.
+  metrics.ForLabels(kNumStrategyLabels + 1, kNumEngineLabels + 1)
+      .sessions.fetch_add(1);
+  EXPECT_EQ(metrics.by_label[1][1].sessions.load(), 1u);
+}
+
+TEST(LabeledMetricsTest, LabelNamesAreStable) {
+  EXPECT_STREQ(StrategyLabelName(0), "random");
+  EXPECT_STREQ(StrategyLabelName(1), "opti-join");
+  EXPECT_STREQ(StrategyLabelName(2), "opti-prop");
+  EXPECT_STREQ(StrategyLabelName(3), "opti-mcd");
+  EXPECT_STREQ(StrategyLabelName(4), "opti-learn");
+  EXPECT_STREQ(EngineLabelName(0), "scratch");
+  EXPECT_STREQ(EngineLabelName(1), "incremental");
+  EXPECT_STREQ(StrategyLabelName(99), "unknown");
+}
+
+}  // namespace
+}  // namespace kbrepair

@@ -44,6 +44,23 @@ TEST(SampleStatsTest, MedianOfOddCount) {
   EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 3.0);
 }
 
+TEST(SampleStatsTest, QuantileCacheInvalidatesOnInterleavedAdds) {
+  // Quantile() sorts once and reuses the sorted copy; an Add (or Clear)
+  // between calls must invalidate that cache, not serve stale order
+  // statistics.
+  SampleStats stats;
+  stats.AddAll({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 20.0);
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 10.0);
+  stats.AddAll({40.0, 30.0});
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 40.0);
+  stats.Clear();
+  stats.Add(1.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 1.0);
+}
+
 TEST(SampleStatsTest, StddevMatchesHandComputation) {
   SampleStats stats;
   stats.AddAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
