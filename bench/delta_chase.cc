@@ -13,6 +13,12 @@
 // `--json` appends a machine-readable baseline (the BENCH_delta_chase.json
 // format) after the tables; the checked-in baseline is produced with
 //   ./build/bench/delta_chase --json
+//
+// `--quick` shrinks both ladders and drops to one repetition — the CI
+// regression gate's configuration (diffed against
+// bench/baselines/BENCH_delta_chase_quick.json by bench/bench_diff).
+// `--out FILE` writes the JSON to FILE instead of appending it to
+// stdout.
 
 #include <cstdio>
 #include <cstring>
@@ -27,7 +33,7 @@ namespace kbrepair {
 namespace bench {
 namespace {
 
-constexpr int kRepetitions = 3;
+int g_repetitions = 3;
 
 struct EngineRun {
   double mean_delay_ms = 0;
@@ -50,7 +56,7 @@ EngineRun RunEngine(const SyntheticKbOptions& gen_options,
                     ConflictEngineKind engine) {
   SampleStats delays;
   SampleStats questions;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < g_repetitions; ++rep) {
     SyntheticKbOptions options = gen_options;
     options.seed = gen_options.seed + static_cast<uint64_t>(rep);
     StatusOr<SyntheticKb> generated = GenerateSyntheticKb(options);
@@ -122,21 +128,40 @@ int main(int argc, char** argv) {
   using namespace kbrepair::bench;
 
   bool emit_json = false;
+  bool quick = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) emit_json = true;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+      emit_json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
   }
+  if (quick) g_repetitions = 1;
 
   std::printf(
       "Delta-chase microbench — per-question delay (ms), opti-mcd, "
-      "scratch vs incremental engine, %d repetitions\n",
-      kRepetitions);
+      "scratch vs incremental engine, %d repetition(s)%s\n",
+      g_repetitions, quick ? ", quick ladder" : "");
+
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{400, 1000}
+            : std::vector<size_t>{400, 1000, 2000, 3000};
+  const int max_depth = quick ? 2 : 4;
 
   std::vector<Comparison> size_ladder;
   PrintHeader("size ladder — depth 2, 60 TGDs, 30% inconsistency");
   PrintRow({"size", "scratch (ms)", "incremental (ms)", "speedup",
             "avg #questions"},
            {18, 16, 16, 10, 12});
-  for (size_t num_facts : {400, 1000, 2000, 3000}) {
+  for (size_t num_facts : sizes) {
     SyntheticKbOptions options;
     options.seed = 21;
     options.num_facts = num_facts;
@@ -162,7 +187,7 @@ int main(int argc, char** argv) {
   PrintRow({"depth", "scratch (ms)", "incremental (ms)", "speedup",
             "avg #questions"},
            {18, 16, 16, 10, 12});
-  for (int depth = 1; depth <= 4; ++depth) {
+  for (int depth = 1; depth <= max_depth; ++depth) {
     SyntheticKbOptions options;
     options.seed = 13;  // the Fig. 5 (c) seed
     options.num_facts = 400;
@@ -184,21 +209,33 @@ int main(int argc, char** argv) {
   }
 
   if (emit_json) {
-    std::printf("\n--- JSON baseline ---\n");
-    std::printf("{\n  \"bench\": \"delta_chase\",\n");
-    std::printf("  \"strategy\": \"opti-mcd\",\n");
-    std::printf("  \"repetitions\": %d,\n", kRepetitions);
-    std::printf("  \"size_ladder\": [\n");
+    std::string json = "{\n  \"bench\": \"delta_chase\",\n";
+    json += "  \"strategy\": \"opti-mcd\",\n";
+    json += "  \"repetitions\": " + std::to_string(g_repetitions) + ",\n";
+    json += "  \"size_ladder\": [\n";
     for (size_t i = 0; i < size_ladder.size(); ++i) {
-      std::printf("%s%s\n", ComparisonJson(size_ladder[i]).c_str(),
-                  i + 1 < size_ladder.size() ? "," : "");
+      json += ComparisonJson(size_ladder[i]);
+      json += i + 1 < size_ladder.size() ? ",\n" : "\n";
     }
-    std::printf("  ],\n  \"depth_ladder\": [\n");
+    json += "  ],\n  \"depth_ladder\": [\n";
     for (size_t i = 0; i < depth_ladder.size(); ++i) {
-      std::printf("%s%s\n", ComparisonJson(depth_ladder[i]).c_str(),
-                  i + 1 < depth_ladder.size() ? "," : "");
+      json += ComparisonJson(depth_ladder[i]);
+      json += i + 1 < depth_ladder.size() ? ",\n" : "\n";
     }
-    std::printf("  ]\n}\n");
+    json += "  ]\n}\n";
+    if (out_path.empty()) {
+      std::printf("\n--- JSON baseline ---\n%s", json.c_str());
+    } else {
+      FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("\nJSON written to %s\n", out_path.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,287 @@
+#include "service/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "service/metrics.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
+#include "util/log.h"
+
+namespace kbrepair {
+
+namespace {
+
+constexpr char kComponent[] = "http";
+
+// A stuck or half-open scraper must not wedge the accept thread.
+constexpr int kIoTimeoutSeconds = 2;
+
+bool WriteAll(int fd, const std::string& data) {
+  if (failpoint::ShouldFail("http.write")) return false;
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+  }
+  return "";
+}
+
+std::string BuildResponse(int status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    ReasonPhrase(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(Options options, Hooks hooks)
+    : options_(std::move(options)), hooks_(std::move(hooks)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable("http: socket() failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("http: bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("http: cannot bind " + options_.bind_address +
+                               ":" + std::to_string(options_.port) + ": " +
+                               error);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("http: listen() failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("http: getsockname() failed: " + error);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (!options_.port_file.empty()) {
+    const Status written =
+        AtomicWriteFile(options_.port_file, std::to_string(port_) + "\n");
+    if (!written.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return written;
+    }
+  }
+
+  start_ns_ = MonotonicNowNs();
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  logging::Info(kComponent, "exporter listening")
+      .With("address", options_.bind_address)
+      .With("port", port_);
+  return Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblocks accept() with an error on every platform we target; the
+  // loop then observes stopping_ and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      logging::Error(kComponent, "accept failed")
+          .With("error", std::strerror(errno));
+      break;
+    }
+    if (failpoint::ShouldFail("http.accept")) {
+      // Simulated accept-path failure: the scraper sees a reset
+      // connection, the exporter carries on.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::ServeConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = kIoTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+
+  // Read the request head (everything through the blank line). GETs
+  // have no body, so this is the whole request.
+  std::string request;
+  bool complete = false;
+  bool oversized = false;
+  char buffer[1024];
+  while (!complete) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // timeout, reset, or premature EOF
+    }
+    request.append(buffer, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      complete = true;
+    } else if (request.size() > options_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto fail = [&](int status, const std::string& message) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    WriteAll(fd, BuildResponse(status, "text/plain; charset=utf-8",
+                               message + "\n"));
+  };
+
+  if (oversized) {
+    fail(413, "request too large");
+    return;
+  }
+  if (!complete) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;  // nothing sensible to answer on a torn request
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const size_t line_end = request.find_first_of("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos ||
+      line.compare(sp2 + 1, 7, "HTTP/1.") != 0) {
+    fail(400, "malformed request line");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  if (method != "GET") {
+    fail(405, "only GET is supported");
+    return;
+  }
+
+  std::string body;
+  if (target == "/metrics") {
+    hooks_.append_metrics(&body);
+    // The exporter's own counters ride along, so scrape health is
+    // visible from the scrape itself.
+    body += "# HELP kbrepair_http_requests_total HTTP requests handled by "
+            "the exporter.\n";
+    body += "# TYPE kbrepair_http_requests_total counter\n";
+    body += "kbrepair_http_requests_total " +
+            std::to_string(requests_.load(std::memory_order_relaxed)) + "\n";
+    body += "# HELP kbrepair_http_errors_total HTTP requests answered with "
+            "an error (or dropped by a failpoint).\n";
+    body += "# TYPE kbrepair_http_errors_total counter\n";
+    body += "kbrepair_http_errors_total " +
+            std::to_string(errors_.load(std::memory_order_relaxed)) + "\n";
+    body += "# HELP kbrepair_uptime_seconds Seconds since the exporter "
+            "started.\n";
+    body += "# TYPE kbrepair_uptime_seconds gauge\n";
+    char uptime[32];
+    std::snprintf(uptime, sizeof uptime, "%.3f",
+                  static_cast<double>(MonotonicNowNs() - start_ns_) / 1e9);
+    body += std::string("kbrepair_uptime_seconds ") + uptime + "\n";
+    WriteAll(fd, BuildResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                               body));
+    return;
+  }
+  if (target == "/healthz") {
+    WriteAll(fd, BuildResponse(200, "text/plain; charset=utf-8", "ok\n"));
+    return;
+  }
+  if (target == "/readyz") {
+    const std::vector<std::string> causes = hooks_.readiness_causes();
+    if (causes.empty()) {
+      WriteAll(fd, BuildResponse(200, "text/plain; charset=utf-8", "ready\n"));
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      body = "not ready\n";
+      for (const std::string& cause : causes) body += cause + "\n";
+      WriteAll(fd, BuildResponse(503, "text/plain; charset=utf-8", body));
+    }
+    return;
+  }
+  if (target == "/statusz") {
+    WriteAll(fd, BuildResponse(200, "application/json",
+                               hooks_.statusz().Dump() + "\n"));
+    return;
+  }
+  fail(404, "unknown path (try /metrics, /healthz, /readyz, /statusz)");
+}
+
+}  // namespace kbrepair

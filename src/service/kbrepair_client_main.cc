@@ -17,7 +17,10 @@
 //   kbrepair-client [--server PATH] [--sessions N] [--workers N]
 //                   [--kb NAME] [--strategy NAME] [--seed S] [--quiet]
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -25,6 +28,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -258,6 +262,153 @@ class ServerConnection {
 };
 
 // ------------------------------------------------------------------
+// Minimal HTTP client for the daemon's observability endpoints: one
+// fresh TCP connection per GET (the exporter closes after each
+// response anyway).
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+StatusOr<HttpResponse> HttpGet(const std::string& host, int port,
+                               const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Unavailable("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad scrape host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) + " failed: " +
+                               std::strerror(errno));
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n"
+      "Connection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Unavailable("write to exporter failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (raw.compare(0, 5, "HTTP/") != 0 || head_end == std::string::npos) {
+    return Status::Internal("malformed HTTP response from exporter");
+  }
+  const size_t sp = raw.find(' ');
+  HttpResponse response;
+  response.status =
+      static_cast<int>(std::strtol(raw.c_str() + sp + 1, nullptr, 10));
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+// Parses "[http://]HOST:PORT[/path]" (default path /statusz).
+bool ParseScrapeUrl(std::string url, std::string* host, int* port,
+                    std::string* path) {
+  const std::string prefix = "http://";
+  if (url.compare(0, prefix.size(), prefix) == 0) {
+    url = url.substr(prefix.size());
+  }
+  const size_t slash = url.find('/');
+  *path = slash == std::string::npos ? "/statusz" : url.substr(slash);
+  const std::string host_port =
+      slash == std::string::npos ? url : url.substr(0, slash);
+  const size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = host_port.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  *port = static_cast<int>(
+      std::strtol(host_port.c_str() + colon + 1, nullptr, 10));
+  return *port > 0;
+}
+
+// Two-space-indented JSON rendering (Dump() is single-line by design).
+void PrettyPrint(const JsonValue& value, size_t depth, std::string* out) {
+  const std::string pad(2 * depth, ' ');
+  if (value.is_object()) {
+    if (value.members().empty()) {
+      *out += "{}";
+      return;
+    }
+    *out += "{\n";
+    bool first = true;
+    for (const auto& [key, member] : value.members()) {
+      if (!first) *out += ",\n";
+      first = false;
+      *out += pad + "  " + JsonValue::String(key).Dump() + ": ";
+      PrettyPrint(member, depth + 1, out);
+    }
+    *out += "\n" + pad + "}";
+    return;
+  }
+  if (value.is_array()) {
+    if (value.size() == 0) {
+      *out += "[]";
+      return;
+    }
+    *out += "[\n";
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (i > 0) *out += ",\n";
+      *out += pad + "  ";
+      PrettyPrint(value.at(i), depth + 1, out);
+    }
+    *out += "\n" + pad + "]";
+    return;
+  }
+  *out += value.Dump();
+}
+
+// --scrape: fetch one endpoint and pretty-print it. JSON bodies
+// (/statusz) are re-indented; everything else prints verbatim.
+int ScrapeMain(const std::string& url) {
+  std::string host, path;
+  int port = 0;
+  if (!ParseScrapeUrl(url, &host, &port, &path)) {
+    std::cerr << "--scrape: cannot parse '" << url
+              << "' (expected [http://]HOST:PORT[/path])\n";
+    return 2;
+  }
+  StatusOr<HttpResponse> response = HttpGet(host, port, path);
+  if (!response.ok()) {
+    std::cerr << "--scrape: " << response.status() << "\n";
+    return 1;
+  }
+  StatusOr<JsonValue> parsed = JsonValue::Parse(response->body);
+  if (parsed.ok() && (parsed->is_object() || parsed->is_array())) {
+    std::string pretty;
+    PrettyPrint(*parsed, 0, &pretty);
+    std::cout << pretty << "\n";
+  } else {
+    std::cout << response->body;
+    if (!response->body.empty() && response->body.back() != '\n') {
+      std::cout << "\n";
+    }
+  }
+  return response->status == 200 ? 0 : 1;
+}
+
+// ------------------------------------------------------------------
 
 struct ClientOptions {
   std::string server_path;
@@ -268,6 +419,11 @@ struct ClientOptions {
   std::string engine = "scratch";
   uint64_t seed = 20180326;  // EDBT'18
   bool quiet = false;
+  // >= 0: start the daemon with --http-port N (0 = ephemeral) and after
+  // the sessions finish validate all four observability endpoints,
+  // cross-checking /metrics histogram counts against the JSON `metrics`
+  // command.
+  int http_port = -1;
   // When non-empty: start the daemon with --trace-dir, then after the
   // sessions finish issue the `trace` command, validate the span tree
   // and print an aggregated summary.
@@ -314,6 +470,139 @@ StatusOr<std::vector<std::string>> OracleFacts(const ClientOptions& options,
     facts.push_back(result.facts.atom(id).ToString(kb.symbols()));
   }
   return facts;
+}
+
+// ------------------------------------------------------------------
+// /metrics exposition validation for --http-port.
+
+// Accepts the Prometheus text format line-by-line and returns the
+// parsed series (full "name{labels}" -> value). Error string on the
+// first malformed line.
+std::string ParseExposition(const std::string& body,
+                            std::map<std::string, double>* series) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    ++line_no;
+    size_t end = body.find('\n', start);
+    if (end == std::string::npos) {
+      return "line " + std::to_string(line_no) + ": missing trailing newline";
+    }
+    const std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.compare(0, 7, "# HELP ") == 0 ||
+        line.compare(0, 7, "# TYPE ") == 0) {
+      continue;
+    }
+    if (line[0] == '#') {
+      return "line " + std::to_string(line_no) + ": unknown comment form";
+    }
+    // NAME or NAME{labels}, one space, a floating-point value.
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      return "line " + std::to_string(line_no) + ": no value: " + line;
+    }
+    const std::string key = line.substr(0, space);
+    size_t name_end = key.find('{');
+    if (name_end != std::string::npos && key.back() != '}') {
+      return "line " + std::to_string(line_no) + ": unbalanced labels";
+    }
+    if (name_end == std::string::npos) name_end = key.size();
+    for (size_t i = 0; i < name_end; ++i) {
+      const char c = key[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9' && i > 0) || c == '_' || c == ':';
+      if (!ok) {
+        return "line " + std::to_string(line_no) + ": bad metric name: " +
+               key;
+      }
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &parse_end);
+    if (parse_end == line.c_str() + space + 1 || *parse_end != '\0') {
+      return "line " + std::to_string(line_no) + ": bad value: " + line;
+    }
+    if (series->count(key) != 0) {
+      return "line " + std::to_string(line_no) + ": duplicate series " + key;
+    }
+    (*series)[key] = value;
+  }
+  return "";
+}
+
+// Fetches all four endpoints from a healthy daemon and cross-checks
+// /metrics against the JSON `metrics` response. Returns "" or the
+// first failure.
+std::string CheckExporter(int port, const JsonValue& json_metrics,
+                          bool quiet) {
+  StatusOr<HttpResponse> health = HttpGet("127.0.0.1", port, "/healthz");
+  if (!health.ok()) return "healthz: " + health.status().ToString();
+  if (health->status != 200) {
+    return "healthz: HTTP " + std::to_string(health->status);
+  }
+  StatusOr<HttpResponse> ready = HttpGet("127.0.0.1", port, "/readyz");
+  if (!ready.ok()) return "readyz: " + ready.status().ToString();
+  if (ready->status != 200) {
+    return "readyz: HTTP " + std::to_string(ready->status) + " (" +
+           ready->body + ")";
+  }
+  StatusOr<HttpResponse> statusz = HttpGet("127.0.0.1", port, "/statusz");
+  if (!statusz.ok()) return "statusz: " + statusz.status().ToString();
+  if (statusz->status != 200) {
+    return "statusz: HTTP " + std::to_string(statusz->status);
+  }
+  StatusOr<JsonValue> status_json = JsonValue::Parse(statusz->body);
+  if (!status_json.ok() || !status_json->is_object()) {
+    return "statusz: body is not a JSON object";
+  }
+  if (status_json->Get("sessions_active").AsInt(-1) != 0) {
+    return "statusz: sessions_active != 0 after all sessions closed";
+  }
+  StatusOr<HttpResponse> metrics = HttpGet("127.0.0.1", port, "/metrics");
+  if (!metrics.ok()) return "metrics: " + metrics.status().ToString();
+  if (metrics->status != 200) {
+    return "metrics: HTTP " + std::to_string(metrics->status);
+  }
+  std::map<std::string, double> series;
+  const std::string parse_error = ParseExposition(metrics->body, &series);
+  if (!parse_error.empty()) return "metrics exposition: " + parse_error;
+
+  // Histogram figures must match the JSON `metrics` command: both are
+  // rendered from the same snapshot path, and the drivers are done, so
+  // turn_delay can no longer move.
+  const auto expect = [&](const std::string& name,
+                          double want) -> std::string {
+    auto it = series.find(name);
+    if (it == series.end()) return name + " missing from /metrics";
+    if (std::abs(it->second - want) > 1e-6 * (1.0 + std::abs(want))) {
+      return name + " = " + std::to_string(it->second) +
+             ", JSON metrics say " + std::to_string(want);
+    }
+    return "";
+  };
+  const JsonValue& turn_delay = json_metrics.Get("turn_delay");
+  const double count = turn_delay.Get("count").AsDouble(-1);
+  std::string problem =
+      expect("kbrepair_turn_delay_seconds_count", count);
+  if (problem.empty()) {
+    // sum ≈ mean * count (the JSON reports mean_ms; both derive from
+    // the same sum_micros counter).
+    problem = expect("kbrepair_turn_delay_seconds_sum",
+                     turn_delay.Get("mean_ms").AsDouble(0) * count / 1e3);
+  }
+  if (problem.empty()) {
+    problem = expect(
+        "kbrepair_questions_served_total",
+        json_metrics.Get("traffic").Get("questions_served").AsDouble(-1));
+  }
+  if (!problem.empty()) return problem;
+  if (!quiet) {
+    std::cout << "exporter: " << series.size()
+              << " series validated on port " << port << "\n";
+  }
+  return "";
 }
 
 // One scripted session over the wire. On success returns the number of
@@ -522,7 +811,11 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--server PATH] [--server-arg ARG]... [--sessions N]"
                " [--workers N] [--kb NAME] [--strategy NAME] [--engine NAME]"
-               " [--seed S] [--trace-dir DIR] [--quiet]\n";
+               " [--seed S] [--trace-dir DIR] [--http-port N] [--quiet]\n"
+               "       "
+            << argv0
+            << " --scrape [http://]HOST:PORT[/path]   fetch one"
+               " observability endpoint (default path /statusz)\n";
   return 2;
 }
 
@@ -560,6 +853,10 @@ int Main(int argc, char** argv) {
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--trace-dir" && (v = next_value())) {
       options.trace_dir = v;
+    } else if (arg == "--http-port" && (v = next_value())) {
+      options.http_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--scrape" && (v = next_value())) {
+      return ScrapeMain(v);
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -582,6 +879,23 @@ int Main(int argc, char** argv) {
   if (!options.trace_dir.empty()) {
     server_argv.push_back("--trace-dir");
     server_argv.push_back(options.trace_dir);
+  }
+  // With --http-port the daemon writes its bound port to a temp file
+  // (stdout is the protocol channel) for us to read after the drive.
+  std::string port_file;
+  if (options.http_port >= 0) {
+    char port_template[] = "/tmp/kbrepair-http-port-XXXXXX";
+    const int port_fd = ::mkstemp(port_template);
+    if (port_fd < 0) {
+      std::cerr << "cannot create HTTP port file\n";
+      return 1;
+    }
+    ::close(port_fd);
+    port_file = port_template;
+    server_argv.push_back("--http-port");
+    server_argv.push_back(std::to_string(options.http_port));
+    server_argv.push_back("--http-port-file");
+    server_argv.push_back(port_file);
   }
   server_argv.insert(server_argv.end(), options.server_args.begin(),
                      options.server_args.end());
@@ -631,6 +945,29 @@ int Main(int argc, char** argv) {
     if (!options.quiet) {
       std::cout << "metrics: " << metrics->Dump() << "\n";
     }
+  }
+
+  if (options.http_port >= 0) {
+    // The port file was written before the daemon started serving
+    // stdin, so after a full drive it must be present and complete.
+    int bound_port = 0;
+    {
+      FILE* f = std::fopen(port_file.c_str(), "r");
+      if (f != nullptr) {
+        if (std::fscanf(f, "%d", &bound_port) != 1) bound_port = 0;
+        std::fclose(f);
+      }
+    }
+    if (bound_port <= 0) {
+      failures.push_back("exporter: no bound port in " + port_file);
+    } else if (!metrics.ok()) {
+      failures.push_back("exporter: skipped (metrics command failed)");
+    } else {
+      const std::string problem =
+          CheckExporter(bound_port, *metrics, options.quiet);
+      if (!problem.empty()) failures.push_back("exporter: " + problem);
+    }
+    ::unlink(port_file.c_str());
   }
 
   if (!options.trace_dir.empty()) {

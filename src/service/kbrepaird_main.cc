@@ -11,17 +11,22 @@
 //             [--transcript-dir DIR] [--wal-dir DIR] [--recover-dir DIR]
 //             [--deadline-ms N] [--wal-compact-every N]
 //             [--trace-dir DIR] [--failpoints SPEC]
+//             [--http-port N] [--http-port-file PATH]
+//             [--log-level LEVEL] [--log-file PATH]
 
 #include <signal.h>
 
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "service/http_exporter.h"
 #include "service/session_manager.h"
 #include "util/failpoint.h"
+#include "util/log.h"
 
 namespace kbrepair {
 namespace {
@@ -41,12 +46,20 @@ int Usage(const char* argv0) {
          "  [--trace-dir DIR]        record per-phase tracing spans; the"
          " `trace` command drains them to DIR/trace-NNNNN.jsonl\n"
          "  [--failpoints SPEC]      arm failpoints, e.g."
-         " 'wal.fsync=1,chase.saturate' (also via KBREPAIR_FAILPOINTS)\n";
+         " 'wal.fsync=1,chase.saturate' (also via KBREPAIR_FAILPOINTS)\n"
+         "  [--http-port N]          serve /metrics /healthz /readyz"
+         " /statusz on 127.0.0.1:N (0 = ephemeral; port logged on stderr)\n"
+         "  [--http-port-file PATH]  write the bound HTTP port to PATH\n"
+         "  [--log-level LEVEL]      debug|info|warn|error (default info)\n"
+         "  [--log-file PATH]        append JSON log lines to PATH instead"
+         " of stderr\n";
   return 2;
 }
 
 int Main(int argc, char** argv) {
   ServiceConfig config;
+  int http_port = -1;  // -1 = exporter off; 0 = ephemeral port
+  std::string http_port_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&](const char* flag) -> const char* {
@@ -94,6 +107,31 @@ int Main(int argc, char** argv) {
       const char* v = next_value("--trace-dir");
       if (v == nullptr) return Usage(argv[0]);
       config.trace_dir = v;
+    } else if (arg == "--http-port") {
+      const char* v = next_value("--http-port");
+      if (v == nullptr) return Usage(argv[0]);
+      http_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--http-port-file") {
+      const char* v = next_value("--http-port-file");
+      if (v == nullptr) return Usage(argv[0]);
+      http_port_file = v;
+    } else if (arg == "--log-level") {
+      const char* v = next_value("--log-level");
+      if (v == nullptr) return Usage(argv[0]);
+      StatusOr<logging::Level> level = logging::ParseLevel(v);
+      if (!level.ok()) {
+        std::cerr << "--log-level: " << level.status() << "\n";
+        return Usage(argv[0]);
+      }
+      logging::Logger::Instance().SetLevel(*level);
+    } else if (arg == "--log-file") {
+      const char* v = next_value("--log-file");
+      if (v == nullptr) return Usage(argv[0]);
+      const Status opened = logging::Logger::Instance().OpenFile(v);
+      if (!opened.ok()) {
+        std::cerr << "--log-file: " << opened << "\n";
+        return Usage(argv[0]);
+      }
     } else if (arg == "--failpoints") {
       const char* v = next_value("--failpoints");
       if (v == nullptr) return Usage(argv[0]);
@@ -117,6 +155,37 @@ int Main(int argc, char** argv) {
   failpoint::InitFromEnvOnce();
 
   SessionManager manager(config);
+  logging::Info("kbrepaird", "daemon started")
+      .With("workers", static_cast<int64_t>(config.num_workers))
+      .With("wal", !config.wal_dir.empty())
+      .With("tracing", !config.trace_dir.empty());
+
+  // The exporter starts after recovery (the manager constructor), so a
+  // scrape never observes a half-recovered registry; it stops after
+  // Shutdown(), so /readyz reports shutdown-in-progress during the
+  // drain instead of going dark.
+  std::unique_ptr<HttpExporter> exporter;
+  if (http_port >= 0) {
+    HttpExporter::Options options;
+    options.port = http_port;
+    options.port_file = http_port_file;
+    HttpExporter::Hooks hooks;
+    hooks.append_metrics = [&manager](std::string* out) {
+      AppendPrometheusText(manager.metrics(), out);
+    };
+    hooks.readiness_causes = [&manager] { return manager.ReadinessCauses(); };
+    hooks.statusz = [&manager] { return manager.StatuszJson(); };
+    exporter = std::make_unique<HttpExporter>(options, std::move(hooks));
+    const Status started = exporter->Start();
+    if (!started.ok()) {
+      // Stdout belongs to the wire protocol; the bind failure goes to
+      // the log and the daemon refuses to start half-observable.
+      logging::Error("kbrepaird", "http exporter failed to start")
+          .With("error", started.message());
+      return 1;
+    }
+  }
+
   // Workers complete concurrently; one mutex keeps response lines whole.
   std::mutex stdout_mu;
   auto emit = [&stdout_mu](std::string line) {
@@ -129,7 +198,9 @@ int Main(int argc, char** argv) {
     if (line.empty()) continue;
     manager.SubmitLine(line, emit);
   }
+  logging::Info("kbrepaird", "stdin closed; shutting down");
   manager.Shutdown();  // drain + flush before exiting
+  if (exporter != nullptr) exporter->Stop();
   return 0;
 }
 

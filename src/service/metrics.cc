@@ -1,8 +1,12 @@
 #include "service/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace kbrepair {
 
@@ -13,6 +17,11 @@ size_t LatencyHistogram::BucketForMicros(uint64_t micros) {
     ++bucket;
   }
   return bucket;
+}
+
+uint64_t LatencyHistogram::BucketUpperBoundMicros(size_t bucket) {
+  if (bucket + 1 >= kNumBuckets) return UINT64_MAX;  // tail bucket
+  return uint64_t{1} << (bucket + 1);
 }
 
 void LatencyHistogram::Observe(double seconds) {
@@ -68,6 +77,11 @@ double LatencyHistogram::QuantileSeconds(double q) const {
   return MaxSeconds();
 }
 
+double LatencyHistogram::SumSeconds() const {
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
 double LatencyHistogram::MinSeconds() const {
   const uint64_t micros = min_micros_.load(std::memory_order_relaxed);
   if (micros == UINT64_MAX) return 0.0;  // no observations yet
@@ -88,6 +102,35 @@ LatencyHistogram::BucketCounts() const {
   return counts;
 }
 
+std::vector<LatencyHistogram::CumulativeBucket>
+LatencyHistogram::CumulativeBuckets() const {
+  const std::array<uint64_t, kNumBuckets> counts = BucketCounts();
+  size_t last_nonzero = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    total += counts[i];
+    if (counts[i] != 0) last_nonzero = i;
+  }
+  std::vector<CumulativeBucket> out;
+  if (total == 0) {
+    out.push_back(CumulativeBucket{0.0, true, 0});
+    return out;
+  }
+  // Emit bounded buckets through the last non-empty one (trailing empty
+  // buckets carry no information), then the +Inf bucket. The +Inf count
+  // is the sum of THIS snapshot, not count_, so the cumulative series
+  // is internally consistent even while observations race the read.
+  uint64_t running = 0;
+  for (size_t i = 0; i <= last_nonzero && i + 1 < kNumBuckets; ++i) {
+    running += counts[i];
+    out.push_back(CumulativeBucket{
+        static_cast<double>(BucketUpperBoundMicros(i)) / 1e6, false,
+        running});
+  }
+  out.push_back(CumulativeBucket{0.0, true, total});
+  return out;
+}
+
 JsonValue LatencyHistogram::ToJson() const {
   JsonValue out = JsonValue::Object();
   out.Set("count", JsonValue::Number(count()));
@@ -96,6 +139,16 @@ JsonValue LatencyHistogram::ToJson() const {
   out.Set("p95_ms", JsonValue::Number(QuantileSeconds(0.95) * 1e3));
   out.Set("min_ms", JsonValue::Number(MinSeconds() * 1e3));
   out.Set("max_ms", JsonValue::Number(MaxSeconds() * 1e3));
+  JsonValue buckets = JsonValue::Array();
+  for (const CumulativeBucket& bucket : CumulativeBuckets()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("le_ms", bucket.infinite
+                           ? JsonValue::String("+Inf")
+                           : JsonValue::Number(bucket.le_seconds * 1e3));
+    entry.Set("count", JsonValue::Number(bucket.cumulative_count));
+    buckets.Append(std::move(entry));
+  }
+  out.Set("buckets", std::move(buckets));
   return out;
 }
 
@@ -209,6 +262,245 @@ JsonValue ServiceMetrics::ToJson() const {
   out.Set("queue_wait", queue_wait.ToJson());
   out.Set("by_strategy_engine", std::move(by_strategy_engine));
   return out;
+}
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+// --- Prometheus text exposition (format 0.0.4) -------------------------
+
+std::string FormatDoubleCompact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// {strategy="opti-mcd",engine="scratch"} — empty for no labels.
+std::string LabelSet(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, with an extra `le` label appended (histogram bucket lines).
+std::string LabelSetWithLe(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& le) {
+  std::string out = "{";
+  for (const auto& [key, value] : labels) {
+    out += key + "=\"" + EscapeLabelValue(value) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+void AppendHelpType(std::string* out, const std::string& name,
+                    const std::string& help, const char* type) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+void AppendCounter(std::string* out, const std::string& name,
+                   const std::string& help, uint64_t value) {
+  AppendHelpType(out, name, help, "counter");
+  *out += name + " " + std::to_string(value) + "\n";
+}
+
+void AppendGauge(std::string* out, const std::string& name,
+                 const std::string& help, int64_t value) {
+  AppendHelpType(out, name, help, "gauge");
+  *out += name + " " + std::to_string(value) + "\n";
+}
+
+// One histogram's cumulative series under an optional label set. The
+// bucket lines come from LatencyHistogram::CumulativeBuckets() — the
+// same snapshot path the JSON `metrics` command renders — so the two
+// surfaces agree by construction.
+void AppendHistogramSeries(
+    std::string* out, const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const LatencyHistogram& histogram) {
+  uint64_t total = 0;
+  for (const LatencyHistogram::CumulativeBucket& bucket :
+       histogram.CumulativeBuckets()) {
+    const std::string le = bucket.infinite
+                               ? std::string("+Inf")
+                               : FormatDoubleCompact(bucket.le_seconds);
+    *out += name + "_bucket" + LabelSetWithLe(labels, le) + " " +
+            std::to_string(bucket.cumulative_count) + "\n";
+    total = bucket.cumulative_count;
+  }
+  *out += name + "_sum" + LabelSet(labels) + " " +
+          FormatDoubleCompact(histogram.SumSeconds()) + "\n";
+  // _count must equal the +Inf bucket; derive it from the same snapshot
+  // rather than re-reading the (racing) count_ counter.
+  *out += name + "_count" + LabelSet(labels) + " " + std::to_string(total) +
+          "\n";
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const std::string& help,
+                     const LatencyHistogram& histogram) {
+  AppendHelpType(out, name, help, "histogram");
+  AppendHistogramSeries(out, name, {}, histogram);
+}
+
+}  // namespace
+
+void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out) {
+  const auto load = [](const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+
+  AppendCounter(out, "kbrepair_sessions_opened_total",
+                "Sessions created (including recovered ones).",
+                load(metrics.sessions_opened));
+  AppendCounter(out, "kbrepair_sessions_completed_total",
+                "Sessions closed via the close command.",
+                load(metrics.sessions_completed));
+  AppendCounter(out, "kbrepair_sessions_evicted_total",
+                "Sessions reaped by the idle TTL.",
+                load(metrics.sessions_evicted));
+  AppendCounter(out, "kbrepair_sessions_failed_total",
+                "Session create/step/recovery failures.",
+                load(metrics.sessions_failed));
+  AppendGauge(out, "kbrepair_sessions_active",
+              "Sessions currently registered and not closed.",
+              metrics.sessions_active.load(std::memory_order_relaxed));
+  AppendCounter(out, "kbrepair_questions_served_total",
+                "Questions handed to clients.",
+                load(metrics.questions_served));
+  AppendCounter(out, "kbrepair_answers_applied_total",
+                "Answers applied to a session's dialogue.",
+                load(metrics.answers_applied));
+  AppendCounter(out, "kbrepair_requests_total",
+                "Wire commands received (including rejected ones).",
+                load(metrics.requests_total));
+  AppendCounter(out, "kbrepair_errors_total",
+                "Wire commands answered with an error envelope.",
+                load(metrics.errors_total));
+  AppendCounter(out, "kbrepair_rejected_overload_total",
+                "Commands rejected because the ready queue was full.",
+                load(metrics.rejected_overload));
+  AppendCounter(out, "kbrepair_rejected_commands_total",
+                "Commands refused at admission (overload, shutdown, WAL "
+                "append failure).",
+                load(metrics.rejected_commands));
+  AppendCounter(out, "kbrepair_deadline_exceeded_total",
+                "Commands cut off by the per-command deadline.",
+                load(metrics.deadline_exceeded));
+  AppendCounter(out, "kbrepair_wal_appends_total",
+                "Durable WAL appends (fsync'd before execution).",
+                load(metrics.wal_appends));
+  AppendCounter(out, "kbrepair_wal_fsync_failures_total",
+                "WAL appends whose fsync failed (command rejected).",
+                load(metrics.wal_fsync_failures));
+  AppendCounter(out, "kbrepair_wal_compactions_total",
+                "Session WALs snapshot-compacted.",
+                load(metrics.wal_compactions));
+  AppendCounter(out, "kbrepair_transcript_write_failures_total",
+                "Transcript flushes that failed.",
+                load(metrics.transcript_write_failures));
+  AppendCounter(out, "kbrepair_sessions_recovered_total",
+                "Sessions rebuilt from their WAL at startup.",
+                load(metrics.sessions_recovered));
+  AppendCounter(out, "kbrepair_engine_fallbacks_total",
+                "Incremental-engine demotions to the scratch engine.",
+                load(metrics.engine_fallbacks));
+  AppendCounter(out, "kbrepair_worker_stalls_total",
+                "Commands the watchdog flagged as stalling a worker.",
+                load(metrics.worker_stalls));
+
+  AppendHistogram(out, "kbrepair_turn_delay_seconds",
+                  "Engine compute delay producing each question "
+                  "(Prop. 4.10's measured bound).",
+                  metrics.turn_delay);
+  AppendHistogram(out, "kbrepair_request_latency_seconds",
+                  "End-to-end per-command service time (submission to "
+                  "completion).",
+                  metrics.request_latency);
+  AppendHistogram(out, "kbrepair_queue_wait_seconds",
+                  "Time a command waited in the ready queue before a "
+                  "worker picked it up.",
+                  metrics.queue_wait);
+
+  // Per-strategy / per-engine breakdown. HELP/TYPE once per metric
+  // name, then one labeled series per touched label pair.
+  AppendHelpType(out, "kbrepair_strategy_sessions_total",
+                 "Sessions opened, by strategy and active engine.",
+                 "counter");
+  AppendHelpType(out, "kbrepair_strategy_questions_total",
+                 "Questions served, by strategy and active engine.",
+                 "counter");
+  AppendHelpType(out, "kbrepair_strategy_answers_total",
+                 "Answers applied, by strategy and active engine.",
+                 "counter");
+  std::string labeled_histograms;
+  AppendHelpType(&labeled_histograms, "kbrepair_strategy_turn_delay_seconds",
+                 "Per-question engine delay, by strategy and active engine.",
+                 "histogram");
+  std::string phase_histograms;
+  AppendHelpType(&phase_histograms, "kbrepair_phase_seconds",
+                 "Per-command time attributed to each pipeline phase, by "
+                 "strategy and active engine.",
+                 "histogram");
+  bool any_phase = false;
+  for (size_t s = 0; s < kNumStrategyLabels; ++s) {
+    for (size_t e = 0; e < kNumEngineLabels; ++e) {
+      const LabeledMetrics& labeled = metrics.by_label[s][e];
+      if (!labeled.Touched()) continue;
+      const std::vector<std::pair<std::string, std::string>> labels = {
+          {"strategy", StrategyLabelName(s)}, {"engine", EngineLabelName(e)}};
+      *out += "kbrepair_strategy_sessions_total" + LabelSet(labels) + " " +
+              std::to_string(load(labeled.sessions)) + "\n";
+      *out += "kbrepair_strategy_questions_total" + LabelSet(labels) + " " +
+              std::to_string(load(labeled.questions)) + "\n";
+      *out += "kbrepair_strategy_answers_total" + LabelSet(labels) + " " +
+              std::to_string(load(labeled.answers)) + "\n";
+      AppendHistogramSeries(&labeled_histograms,
+                            "kbrepair_strategy_turn_delay_seconds", labels,
+                            labeled.turn_delay);
+      for (size_t p = 0; p < trace::kNumPhases; ++p) {
+        if (labeled.phases[p].count() == 0) continue;
+        any_phase = true;
+        auto phase_labels = labels;
+        phase_labels.emplace_back(
+            "phase", trace::PhaseName(static_cast<trace::Phase>(p)));
+        AppendHistogramSeries(&phase_histograms, "kbrepair_phase_seconds",
+                              phase_labels, labeled.phases[p]);
+      }
+    }
+  }
+  *out += labeled_histograms;
+  if (any_phase) *out += phase_histograms;
 }
 
 }  // namespace kbrepair

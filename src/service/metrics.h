@@ -13,6 +13,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "util/json.h"
 #include "util/trace.h"
@@ -33,12 +35,17 @@ class LatencyHistogram {
   // metric-invariant tests.
   static size_t BucketForMicros(uint64_t micros);
 
+  // Inclusive upper bound of bucket i in microseconds (2^(i+1)). The
+  // last bucket absorbs the tail and is unbounded: UINT64_MAX.
+  static uint64_t BucketUpperBoundMicros(size_t bucket);
+
   void Observe(double seconds);
 
   uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
   double MeanSeconds() const;
+  double SumSeconds() const;
   double QuantileSeconds(double q) const;
   double MinSeconds() const;
   double MaxSeconds() const;
@@ -47,7 +54,25 @@ class LatencyHistogram {
   // count()).
   std::array<uint64_t, kNumBuckets> BucketCounts() const;
 
-  // {"count":n,"mean_ms":..,"p50_ms":..,"p95_ms":..,"min_ms":..,"max_ms":..}
+  // One cumulative (Prometheus-style) bucket: how many observations
+  // were <= le_seconds. The final entry is always the unbounded +Inf
+  // bucket (`infinite` set) whose count equals the snapshot total.
+  struct CumulativeBucket {
+    double le_seconds = 0.0;
+    bool infinite = false;
+    uint64_t cumulative_count = 0;
+  };
+
+  // Cumulative rendering over ONE atomic-ish snapshot of the buckets.
+  // This is the single code path behind both the JSON `metrics` command
+  // ("buckets" array) and the Prometheus `/metrics` exposition
+  // (`_bucket{le=...}`), so the two surfaces cannot drift. Buckets past
+  // the last non-empty one are trimmed; +Inf is always present.
+  std::vector<CumulativeBucket> CumulativeBuckets() const;
+
+  // {"count":n,"mean_ms":..,"p50_ms":..,"p95_ms":..,"min_ms":..,
+  //  "max_ms":..,"buckets":[{"le_ms":..,"count":..},...,
+  //  {"le_ms":"+Inf","count":n}]}
   JsonValue ToJson() const;
 
  private:
@@ -116,6 +141,12 @@ struct ServiceMetrics {
   std::atomic<uint64_t> engine_fallbacks{0};     // incremental -> scratch
   std::atomic<uint64_t> worker_stalls{0};        // watchdog flags
 
+  // Readiness signals: monotonic-clock nanoseconds of the most recent
+  // event (0 = never happened). The HTTP exporter's /readyz degrades
+  // for a hold-down window after each (see SessionManager's readiness).
+  std::atomic<int64_t> last_wal_fsync_failure_ns{0};
+  std::atomic<int64_t> last_engine_demotion_ns{0};
+
   // Per-turn question-production delay (Prop. 4.10's service-latency
   // bound, measured as engine compute time — parked wall time between
   // wire commands is excluded) and end-to-end per-command service time.
@@ -138,6 +169,18 @@ struct ServiceMetrics {
 
   JsonValue ToJson() const;
 };
+
+// Steady-clock nanoseconds since an arbitrary epoch; the readiness
+// timestamps above are recorded against this clock.
+int64_t MonotonicNowNs();
+
+// Renders `metrics` in the Prometheus text exposition format (0.0.4):
+// HELP/TYPE comments, `kbrepair_*` counters and gauges, and every
+// latency histogram as cumulative `_bucket{le=...}` / `_sum` / `_count`
+// series (per-strategy/per-engine histograms carry `strategy` and
+// `engine` labels, phase histograms additionally `phase`). Appended to
+// *out.
+void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out);
 
 }  // namespace kbrepair
 

@@ -1,6 +1,6 @@
 #include "service/session.h"
 
-#include <iostream>
+#include "util/log.h"
 #include <utility>
 
 #include "gen/durum_wheat.h"
@@ -282,7 +282,15 @@ void RepairSession::ReportEngineFallbacks(size_t total_fallbacks,
   if (metrics != nullptr) {
     metrics->engine_fallbacks.fetch_add(total_fallbacks - reported_fallbacks_,
                                         std::memory_order_relaxed);
+    // Readiness signal: a demotion means the incremental latency bound
+    // regressed to the scratch engine's; /readyz degrades for the
+    // hold-down window.
+    metrics->last_engine_demotion_ns.store(MonotonicNowNs(),
+                                           std::memory_order_relaxed);
   }
+  logging::Warn("session", "incremental engine demoted to scratch")
+      .With("session", id_)
+      .With("fallbacks", total_fallbacks - reported_fallbacks_);
   reported_fallbacks_ = total_fallbacks;
 }
 
@@ -376,9 +384,14 @@ StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
       if (metrics != nullptr) {
         if (fsync_failed) {
           metrics->wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+          metrics->last_wal_fsync_failure_ns.store(MonotonicNowNs(),
+                                                   std::memory_order_relaxed);
         }
         metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
       }
+      logging::Warn("session", "answer rejected: WAL append failed")
+          .With("session", id_)
+          .With("error", appended.message());
       return appended;
     }
     if (metrics != nullptr) {
@@ -407,8 +420,9 @@ StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
     } else {
       // The pre-compaction log is still intact and replayable; keep
       // serving and try again after the next answer.
-      std::cerr << "[kbrepair] WAL compaction failed for session " << id_
-                << ": " << compacted << "\n";
+      logging::Warn("session", "WAL compaction failed")
+          .With("session", id_)
+          .With("error", compacted.message());
     }
   }
 
@@ -503,9 +517,14 @@ StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
       if (metrics != nullptr) {
         if (fsync_failed) {
           metrics->wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+          metrics->last_wal_fsync_failure_ns.store(MonotonicNowNs(),
+                                                   std::memory_order_relaxed);
         }
         metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
       }
+      logging::Warn("session", "close rejected: WAL append failed")
+          .With("session", id_)
+          .With("error", appended.message());
       return appended;
     }
     if (metrics != nullptr) {
@@ -520,8 +539,9 @@ StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
   if (wal_ != nullptr) {
     const Status removed = wal_->Remove();
     if (!removed.ok()) {
-      std::cerr << "[kbrepair] WAL removal failed for session " << id_
-                << ": " << removed << "\n";
+      logging::Warn("session", "WAL removal failed")
+          .With("session", id_)
+          .With("error", removed.message());
     }
     wal_.reset();
   }

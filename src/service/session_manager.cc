@@ -4,18 +4,20 @@
 #include <stdlib.h>
 
 #include <algorithm>
-#include <iostream>
 #include <utility>
 
 #include "service/wal.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
+#include "util/log.h"
 #include "util/logging.h"
 #include "util/trace.h"
 
 namespace kbrepair {
 
 namespace {
+
+constexpr char kComponent[] = "session_manager";
 
 // Commands that do not address an existing session.
 bool IsIndependentCommand(const std::string& command) {
@@ -188,14 +190,20 @@ void SessionManager::Shutdown() {
   if (!config_.trace_dir.empty() && trace::Recorder::enabled()) {
     (void)trace::Recorder::Instance().DrainToFile();
   }
-  // Single-threaded from here: flush transcripts of sessions that were
-  // never closed, then drop them.
-  for (const auto& [id, entry] : sessions_) {
-    if (!config_.transcript_dir.empty() && entry.session != nullptr) {
-      WriteTranscriptFile(id, entry.session->TranscriptJson().Dump());
+  // Workers and reaper are gone, but the HTTP exporter thread may still
+  // call StatuszJson()/ReadinessCauses(); keep touching sessions_ under
+  // the lock. Flush transcripts of sessions that were never closed,
+  // then drop them.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : sessions_) {
+      if (!config_.transcript_dir.empty() && entry.session != nullptr) {
+        WriteTranscriptFile(id, entry.session->TranscriptJson().Dump());
+      }
     }
+    sessions_.clear();
   }
-  sessions_.clear();
+  logging::Info(kComponent, "shutdown complete");
 }
 
 void SessionManager::WorkerLoop(size_t worker_index) {
@@ -242,6 +250,9 @@ void SessionManager::RunCreate(Task task) {
     std::lock_guard<std::mutex> lock(mu_);
     id = "s-" + std::to_string(++next_session_);
   }
+  // Correlate every log line below (WAL failures, engine demotions in
+  // the census) with the session being created.
+  logging::ScopedSessionId log_scope(id);
   // Log the create before building the session: a crash between the two
   // recovers an empty session instead of losing an acknowledged one. If
   // the log cannot be made durable the command is rejected outright.
@@ -259,7 +270,11 @@ void SessionManager::RunCreate(Task task) {
     if (!logged.ok()) {
       if (fsync_failed) {
         metrics_.wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+        metrics_.last_wal_fsync_failure_ns.store(MonotonicNowNs(),
+                                                 std::memory_order_relaxed);
       }
+      logging::Warn(kComponent, "create rejected: WAL append failed")
+          .With("error", logged.message());
       metrics_.rejected_commands.fetch_add(1, std::memory_order_relaxed);
       if (wal != nullptr) (void)wal->Remove();
       Complete(task, logged, JsonValue::Null());
@@ -319,6 +334,9 @@ void SessionManager::RunSessionCommand(const std::string& key) {
   // Queue wait includes time parked behind earlier commands of the same
   // session — that is real scheduling delay, not execution time.
   metrics_.queue_wait.Observe(task.timer.ElapsedSeconds());
+  // Every log line the handler emits (WAL append, compaction, demotion,
+  // deadline) carries this session id without explicit plumbing.
+  logging::ScopedSessionId log_scope(key);
 
   // The busy flag keeps every other worker (and the reaper) away from
   // this session, so the handler runs without holding mu_.
@@ -412,6 +430,85 @@ JsonValue SessionManager::MetricsJson() {
   return out;
 }
 
+std::vector<std::string> SessionManager::ReadinessCauses() {
+  std::vector<std::string> causes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || shut_down_) causes.push_back("shutdown-in-progress");
+  }
+  // A worker currently past the stall threshold means new commands can
+  // queue behind a wedged one — stop sending traffic here until it
+  // clears.
+  const int64_t threshold_ns =
+      StallThresholdMs(config_.deadline_ms) * 1000000;
+  const int64_t now_ns = SteadyNowNs();
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    const int64_t since =
+        worker_busy_since_[i].load(std::memory_order_relaxed);
+    if (since != 0 && now_ns - since > threshold_ns) {
+      causes.push_back("worker-stalled: worker " + std::to_string(i) +
+                       " busy " + std::to_string((now_ns - since) / 1000000) +
+                       " ms");
+      break;  // one cause line is enough
+    }
+  }
+  // Recent degrading events keep the instance out of rotation for a
+  // hold-down window: a disk that failed one fsync is likely to fail
+  // the next, and a demoted engine means the latency bound regressed.
+  const int64_t hold_ns =
+      static_cast<int64_t>(kReadinessHoldDownSeconds * 1e9);
+  const int64_t mono_now = MonotonicNowNs();
+  const int64_t last_fsync =
+      metrics_.last_wal_fsync_failure_ns.load(std::memory_order_relaxed);
+  if (last_fsync != 0 && mono_now - last_fsync < hold_ns) {
+    causes.push_back("recent-wal-fsync-failure");
+  }
+  const int64_t last_demotion =
+      metrics_.last_engine_demotion_ns.load(std::memory_order_relaxed);
+  if (last_demotion != 0 && mono_now - last_demotion < hold_ns) {
+    causes.push_back("recent-engine-demotion");
+  }
+  return causes;
+}
+
+JsonValue SessionManager::StatuszJson() {
+  JsonValue out = JsonValue::Object();
+  out.Set("uptime_s", JsonValue::Number(
+                          static_cast<double>(MonotonicNowNs() - start_ns_) /
+                          1e9));
+  out.Set("workers",
+          JsonValue::Number(static_cast<int64_t>(config_.num_workers)));
+  out.Set("max_queue",
+          JsonValue::Number(static_cast<int64_t>(config_.max_queue)));
+  out.Set("deadline_ms", JsonValue::Number(config_.deadline_ms));
+  out.Set("idle_ttl_s", JsonValue::Number(config_.idle_ttl_seconds));
+  out.Set("wal", JsonValue::Bool(!config_.wal_dir.empty()));
+  out.Set("tracing", JsonValue::Bool(!config_.trace_dir.empty()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.Set("stopping", JsonValue::Bool(stopping_));
+    out.Set("commands_in_flight",
+            JsonValue::Number(static_cast<int64_t>(tasks_in_flight_)));
+    out.Set("queue_depth",
+            JsonValue::Number(static_cast<int64_t>(ready_.size())));
+    JsonValue ids = JsonValue::Array();
+    for (const auto& [id, entry] : sessions_) {
+      (void)entry;
+      ids.Append(JsonValue::String(id));
+    }
+    out.Set("sessions", std::move(ids));
+  }
+  out.Set("sessions_active",
+          JsonValue::Number(
+              metrics_.sessions_active.load(std::memory_order_relaxed)));
+  JsonValue readiness = JsonValue::Array();
+  for (const std::string& cause : ReadinessCauses()) {
+    readiness.Append(JsonValue::String(cause));
+  }
+  out.Set("readiness_causes", std::move(readiness));
+  return out;
+}
+
 JsonValue SessionManager::TraceJson(const JsonValue& params) {
   trace::Recorder& recorder = trace::Recorder::Instance();
   JsonValue out = JsonValue::Object();
@@ -458,6 +555,9 @@ void SessionManager::Complete(Task& task, const Status& status,
     metrics_.errors_total.fetch_add(1, std::memory_order_relaxed);
     if (status.code() == StatusCode::kDeadlineExceeded) {
       metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      logging::Warn(kComponent, "command deadline exceeded")
+          .With("command", task.request.command)
+          .With("elapsed_s", task.timer.ElapsedSeconds());
     }
   }
   if (task.done) task.done(status, std::move(result));
@@ -497,6 +597,9 @@ void SessionManager::ReaperLoop() {
           }
           metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
           metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+          logging::Info(kComponent, "evicted idle session")
+              .With("session", it->first)
+              .With("idle_s", idle);
           it = sessions_.erase(it);
         } else {
           ++it;
@@ -516,8 +619,10 @@ void SessionManager::WriteTranscriptFile(const std::string& session_id,
   const Status status = AtomicWriteFile(path, dump + "\n");
   if (!status.ok()) {
     metrics_.transcript_write_failures.fetch_add(1, std::memory_order_relaxed);
-    std::cerr << "[kbrepaird] transcript flush for session '" << session_id
-              << "' failed: " << status << "\n";
+    logging::Error(kComponent, "transcript flush failed")
+        .With("session", session_id)
+        .With("path", path)
+        .With("error", status.message());
   }
 }
 
@@ -549,8 +654,10 @@ void SessionManager::RecoverSessions() {
         continue;
       }
       if (read->dropped_torn_tail) {
-        std::cerr << "[kbrepaird] WAL " << path
-                  << ": dropped torn tail record (crash mid-append)\n";
+        logging::Warn(kComponent,
+                      "WAL: dropped torn tail record (crash mid-append)")
+            .With("session", id)
+            .With("path", path);
       }
       StatusOr<std::unique_ptr<RepairSession>> recovered =
           RepairSession::Recover(id, read->create_params, read->entries);
@@ -563,11 +670,14 @@ void SessionManager::RecoverSessions() {
     if (session == nullptr) {
       // Keep the daemon up: set the broken log aside for inspection and
       // carry on recovering the rest.
-      std::cerr << "[kbrepaird] could not recover session '" << id
-                << "': " << failure << "; renaming WAL to " << path
-                << ".corrupt\n";
+      logging::Error(kComponent, "could not recover session; quarantining WAL")
+          .With("session", id)
+          .With("error", failure.message())
+          .With("quarantine", path + ".corrupt");
       if (::rename(path.c_str(), (path + ".corrupt").c_str()) != 0) {
-        std::cerr << "[kbrepaird] rename of " << path << " failed\n";
+        logging::Error(kComponent, "quarantine rename failed")
+            .With("session", id)
+            .With("path", path);
       }
       metrics_.sessions_failed.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -577,9 +687,10 @@ void SessionManager::RecoverSessions() {
     if (wal.ok()) {
       session->AttachWal(std::move(wal).value(), config_.wal_compact_every);
     } else {
-      std::cerr << "[kbrepaird] session '" << id
-                << "' recovered but its WAL could not be reopened: "
-                << wal.status() << "\n";
+      logging::Warn(kComponent,
+                    "session recovered but its WAL could not be reopened")
+          .With("session", id)
+          .With("error", wal.status().message());
     }
     session->RecordOpened(&metrics_);
     {
@@ -592,8 +703,9 @@ void SessionManager::RecoverSessions() {
     metrics_.sessions_recovered.fetch_add(1, std::memory_order_relaxed);
     metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
     metrics_.sessions_active.fetch_add(1, std::memory_order_relaxed);
-    std::cerr << "[kbrepaird] recovered session '" << id << "' ("
-              << read->entries.size() << " answers replayed)\n";
+    logging::Info(kComponent, "recovered session")
+        .With("session", id)
+        .With("answers_replayed", read->entries.size());
   }
 }
 
@@ -612,10 +724,11 @@ void SessionManager::CheckWorkerStalls(
         stall_flagged_[i] != since) {
       stall_flagged_[i] = since;  // one increment per stuck command
       metrics_.worker_stalls.fetch_add(1, std::memory_order_relaxed);
-      std::cerr << "[kbrepaird] worker " << i
-                << " has owned one command for "
-                << (now_ns - since) / 1000000 << " ms (stall threshold "
-                << threshold_ns / 1000000 << " ms)\n";
+      logging::Warn(kComponent, "worker has owned one command past the "
+                                "stall threshold")
+          .With("worker", i)
+          .With("busy_ms", (now_ns - since) / 1000000)
+          .With("threshold_ms", threshold_ns / 1000000);
     }
   }
 }

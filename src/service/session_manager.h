@@ -103,6 +103,18 @@ class SessionManager {
   ServiceMetrics& metrics() { return metrics_; }
   size_t num_workers() const { return config_.num_workers; }
 
+  // Readiness-failure causes for the HTTP exporter's /readyz: empty
+  // while the service is healthy. Degrading conditions: shutdown in
+  // progress, a worker currently past the stall threshold, and a WAL
+  // fsync failure or engine demotion within the last
+  // kReadinessHoldDownSeconds. Thread-safe.
+  std::vector<std::string> ReadinessCauses();
+  static constexpr double kReadinessHoldDownSeconds = 30.0;
+
+  // /statusz snapshot: sessions, queue depth, uptime, config. Safe to
+  // call from any thread at any time (including after Shutdown()).
+  JsonValue StatuszJson();
+
  private:
   struct Task {
     ServiceRequest request;
@@ -144,6 +156,7 @@ class SessionManager {
 
   ServiceConfig config_;
   ServiceMetrics metrics_;
+  const int64_t start_ns_ = MonotonicNowNs();  // for /statusz uptime
 
   std::mutex mu_;
   std::condition_variable work_cv_;    // workers wait for ready items

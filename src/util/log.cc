@@ -1,0 +1,238 @@
+#include "util/log.h"
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace kbrepair {
+namespace logging {
+
+namespace {
+
+// Sink + rate-limiter state, detached from the Logger object so the
+// singleton needs no out-of-line destructor ordering. Guarded by mu.
+struct SinkState {
+  std::mutex mu;
+  int fd = 2;             // stderr
+  bool owns_fd = false;   // close on replacement
+  RateLimitConfig rate_limit;
+  struct Bucket {
+    double tokens = 0.0;
+    bool initialized = false;
+    std::chrono::steady_clock::time_point last{};
+    uint64_t suppressed_since_emit = 0;
+  };
+  std::unordered_map<std::string, Bucket> buckets;
+};
+
+SinkState& Sink() {
+  static SinkState* state = new SinkState();
+  return *state;
+}
+
+thread_local std::string tls_session_id;
+
+// One full line in one write() (looping only on EINTR / short writes,
+// which cannot interleave with other threads — the mutex is held).
+void WriteWholeLine(int fd, const std::string& line) {
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // a broken sink must never take the process down
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string IsoTimestampUtc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer,
+                "%04d-%02d-%02dT%02d:%02d:%02d.%06ldZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<long>(micros));
+  return buffer;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "?";
+}
+
+StatusOr<Level> ParseLevel(const std::string& name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  return Status::InvalidArgument(
+      "unknown log level '" + name +
+      "' (expected debug, info, warn or error)");
+}
+
+Logger& Logger::Instance() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+Status Logger::OpenFile(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open log file '" + path + "'");
+  }
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.owns_fd) ::close(sink.fd);
+  sink.fd = fd;
+  sink.owns_fd = true;
+  return Status::Ok();
+}
+
+void Logger::UseStderr() {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (sink.owns_fd) ::close(sink.fd);
+  sink.fd = 2;
+  sink.owns_fd = false;
+}
+
+void Logger::SetRateLimit(RateLimitConfig config) {
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.rate_limit = config;
+  sink.buckets.clear();
+}
+
+void Logger::ResetForTest() {
+  UseStderr();
+  SetLevel(Level::kInfo);
+  SetRateLimit(RateLimitConfig{});
+  suppressed_.store(0, std::memory_order_relaxed);
+}
+
+void Logger::Emit(Level level, const char* component, JsonValue fields) {
+  JsonValue line = JsonValue::Object();
+  line.Set("ts", JsonValue::String(IsoTimestampUtc()));
+  line.Set("level", JsonValue::String(LevelName(level)));
+  line.Set("component", JsonValue::String(component));
+  if (!tls_session_id.empty() && !fields.Has("session")) {
+    line.Set("session", JsonValue::String(tls_session_id));
+  }
+  for (const auto& [key, value] : fields.members()) {
+    line.Set(key, value);
+  }
+
+  SinkState& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  // Rate-limit repeated warn/error lines per (component, msg): floods
+  // from one failing call site must not drown the rest of the log.
+  if (level >= Level::kWarn && sink.rate_limit.burst > 0) {
+    const std::string key = std::string(component) + "\x1f" +
+                            fields.Get("msg").AsString();
+    SinkState::Bucket& bucket = sink.buckets[key];
+    const auto now = std::chrono::steady_clock::now();
+    if (!bucket.initialized) {
+      bucket.initialized = true;
+      bucket.tokens = sink.rate_limit.burst;
+      bucket.last = now;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - bucket.last).count();
+      bucket.tokens =
+          std::min(sink.rate_limit.burst,
+                   bucket.tokens + elapsed * sink.rate_limit.tokens_per_second);
+      bucket.last = now;
+    }
+    if (bucket.tokens < 1.0) {
+      ++bucket.suppressed_since_emit;
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    bucket.tokens -= 1.0;
+    if (bucket.suppressed_since_emit > 0) {
+      line.Set("suppressed_prior",
+               JsonValue::Number(bucket.suppressed_since_emit));
+      bucket.suppressed_since_emit = 0;
+    }
+  }
+  WriteWholeLine(sink.fd, line.Dump() + "\n");
+}
+
+ScopedSessionId::ScopedSessionId(const std::string& id)
+    : previous_(tls_session_id) {
+  tls_session_id = id;
+}
+
+ScopedSessionId::~ScopedSessionId() { tls_session_id = previous_; }
+
+const std::string& CurrentSessionId() { return tls_session_id; }
+
+LogEvent::LogEvent(Level level, const char* component, std::string msg)
+    : enabled_(Logger::Instance().Enabled(level)),
+      level_(level),
+      component_(component) {
+  if (!enabled_) return;
+  fields_ = JsonValue::Object();
+  fields_.Set("msg", JsonValue::String(std::move(msg)));
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_ || emitted_) return;
+  emitted_ = true;
+  Logger::Instance().Emit(level_, component_, std::move(fields_));
+}
+
+LogEvent& LogEvent::With(const char* key, const std::string& value) {
+  if (enabled_) fields_.Set(key, JsonValue::String(value));
+  return *this;
+}
+LogEvent& LogEvent::With(const char* key, const char* value) {
+  if (enabled_) fields_.Set(key, JsonValue::String(value));
+  return *this;
+}
+LogEvent& LogEvent::With(const char* key, int64_t value) {
+  if (enabled_) fields_.Set(key, JsonValue::Number(value));
+  return *this;
+}
+LogEvent& LogEvent::With(const char* key, uint64_t value) {
+  if (enabled_) fields_.Set(key, JsonValue::Number(value));
+  return *this;
+}
+LogEvent& LogEvent::With(const char* key, int value) {
+  return With(key, static_cast<int64_t>(value));
+}
+LogEvent& LogEvent::With(const char* key, double value) {
+  if (enabled_) fields_.Set(key, JsonValue::Number(value));
+  return *this;
+}
+LogEvent& LogEvent::With(const char* key, bool value) {
+  if (enabled_) fields_.Set(key, JsonValue::Bool(value));
+  return *this;
+}
+
+}  // namespace logging
+}  // namespace kbrepair

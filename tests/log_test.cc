@@ -1,0 +1,223 @@
+// Structured-logging tests: every emitted line is well-formed JSON
+// (parsed back through util/json), the level gate filters, the
+// thread-local session id attaches and nests, the token-bucket rate
+// limiter suppresses floods and reports them, and concurrent writers
+// never interleave partial lines.
+
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace kbrepair {
+namespace {
+
+using logging::Level;
+using logging::Logger;
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char path_template[] = "/tmp/kbrepair-log-test-XXXXXX";
+    const int fd = ::mkstemp(path_template);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    path_ = path_template;
+    Logger::Instance().ResetForTest();
+    ASSERT_TRUE(Logger::Instance().OpenFile(path_).ok());
+  }
+
+  void TearDown() override {
+    Logger::Instance().ResetForTest();
+    ::unlink(path_.c_str());
+  }
+
+  std::vector<std::string> Lines() {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::vector<JsonValue> ParsedLines() {
+    std::vector<JsonValue> parsed;
+    for (const std::string& line : Lines()) {
+      StatusOr<JsonValue> json = JsonValue::Parse(line);
+      EXPECT_TRUE(json.ok()) << "unparseable log line: " << line;
+      if (json.ok()) parsed.push_back(std::move(json).value());
+    }
+    return parsed;
+  }
+
+  std::string path_;
+};
+
+TEST_F(LogTest, EmitsWellFormedJsonWithRequiredFields) {
+  logging::Info("test", "hello world")
+      .With("answer", 42)
+      .With("ratio", 0.5)
+      .With("flag", true)
+      .With("name", std::string("x"));
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue& line = lines[0];
+  EXPECT_TRUE(line.is_object());
+  EXPECT_FALSE(line.Get("ts").AsString().empty());
+  EXPECT_EQ(line.Get("level").AsString(), "info");
+  EXPECT_EQ(line.Get("component").AsString(), "test");
+  EXPECT_EQ(line.Get("msg").AsString(), "hello world");
+  EXPECT_EQ(line.Get("answer").AsInt(0), 42);
+  EXPECT_DOUBLE_EQ(line.Get("ratio").AsDouble(0), 0.5);
+  EXPECT_TRUE(line.Get("flag").AsBool(false));
+  EXPECT_EQ(line.Get("name").AsString(), "x");
+  // ISO-8601 UTC shape: 2026-08-05T12:34:56.123456Z
+  const std::string ts = line.Get("ts").AsString();
+  ASSERT_EQ(ts.size(), 27u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST_F(LogTest, LevelGateFiltersLowerLevels) {
+  Logger::Instance().SetLevel(Level::kWarn);
+  logging::Debug("test", "filtered debug");
+  logging::Info("test", "filtered info");
+  logging::Warn("test", "kept warn");
+  logging::Error("test", "kept error");
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].Get("level").AsString(), "warn");
+  EXPECT_EQ(lines[1].Get("level").AsString(), "error");
+}
+
+TEST_F(LogTest, ScopedSessionIdAttachesAndNests) {
+  logging::Info("test", "before");
+  {
+    logging::ScopedSessionId outer("s-1");
+    EXPECT_EQ(logging::CurrentSessionId(), "s-1");
+    logging::Info("test", "outer");
+    {
+      logging::ScopedSessionId inner("s-2");
+      logging::Info("test", "inner");
+    }
+    logging::Info("test", "outer again");
+  }
+  logging::Info("test", "after");
+  EXPECT_TRUE(logging::CurrentSessionId().empty());
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_FALSE(lines[0].Has("session"));
+  EXPECT_EQ(lines[1].Get("session").AsString(), "s-1");
+  EXPECT_EQ(lines[2].Get("session").AsString(), "s-2");
+  EXPECT_EQ(lines[3].Get("session").AsString(), "s-1");
+  EXPECT_FALSE(lines[4].Has("session"));
+}
+
+TEST_F(LogTest, ExplicitSessionFieldWinsOverThreadLocal) {
+  logging::ScopedSessionId scope("thread-local");
+  logging::Info("test", "explicit").With("session", "explicit-id");
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].Get("session").AsString(), "explicit-id");
+}
+
+TEST_F(LogTest, RateLimiterSuppressesRepeatedWarnings) {
+  logging::RateLimitConfig config;
+  config.tokens_per_second = 0.0;  // no refill: exactly `burst` lines
+  config.burst = 3.0;
+  Logger::Instance().SetRateLimit(config);
+  for (int i = 0; i < 10; ++i) {
+    logging::Warn("test", "same message").With("i", i);
+  }
+  // A different (component, msg) key has its own bucket.
+  logging::Warn("test", "other message");
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(Logger::Instance().suppressed(), 7u);
+}
+
+TEST_F(LogTest, RateLimiterReportsSuppressedPriorOnReEarnedToken) {
+  logging::RateLimitConfig config;
+  config.tokens_per_second = 1000.0;  // re-earn within a millisecond
+  config.burst = 1.0;
+  Logger::Instance().SetRateLimit(config);
+  logging::Warn("test", "flood");  // emitted, bucket drained
+  logging::Warn("test", "flood");  // suppressed
+  logging::Warn("test", "flood");  // suppressed
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  logging::Warn("test", "flood");  // emitted with suppressed_prior
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_FALSE(lines[0].Has("suppressed_prior"));
+  EXPECT_EQ(lines[1].Get("suppressed_prior").AsInt(0), 2);
+}
+
+TEST_F(LogTest, InfoLinesAreNeverRateLimited) {
+  logging::RateLimitConfig config;
+  config.tokens_per_second = 0.0;
+  config.burst = 1.0;
+  Logger::Instance().SetRateLimit(config);
+  for (int i = 0; i < 20; ++i) logging::Info("test", "chatty");
+  EXPECT_EQ(ParsedLines().size(), 20u);
+}
+
+TEST_F(LogTest, ConcurrentWritersNeverInterleaveLines) {
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      logging::ScopedSessionId scope("thread-" + std::to_string(t));
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        logging::Info("stress", "interleaving probe")
+            .With("thread", t)
+            .With("i", i)
+            // A long payload makes torn writes overwhelmingly likely to
+            // break JSON parsing if line atomicity ever regresses.
+            .With("pad", std::string(256, 'x'));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<JsonValue> lines = ParsedLines();
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kThreads) * kLinesPerThread);
+  std::vector<int> per_thread(kThreads, 0);
+  for (const JsonValue& line : lines) {
+    EXPECT_EQ(line.Get("msg").AsString(), "interleaving probe");
+    const int t = static_cast<int>(line.Get("thread").AsInt(-1));
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ++per_thread[t];
+    EXPECT_EQ(line.Get("session").AsString(),
+              "thread-" + std::to_string(t));
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kLinesPerThread) << "thread " << t;
+  }
+}
+
+TEST(LogLevelTest, ParseLevelRoundTrips) {
+  for (const Level level :
+       {Level::kDebug, Level::kInfo, Level::kWarn, Level::kError}) {
+    StatusOr<Level> parsed = logging::ParseLevel(logging::LevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(logging::ParseLevel("verbose").ok());
+  EXPECT_FALSE(logging::ParseLevel("").ok());
+  EXPECT_FALSE(logging::ParseLevel("INFO").ok());
+}
+
+}  // namespace
+}  // namespace kbrepair

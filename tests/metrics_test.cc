@@ -168,5 +168,114 @@ TEST(LabeledMetricsTest, LabelNamesAreStable) {
   EXPECT_STREQ(StrategyLabelName(99), "unknown");
 }
 
+TEST(CumulativeBucketsTest, UpperBoundsArePowersOfTwoWithUnboundedTail) {
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundMicros(0), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundMicros(1), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundMicros(10), 2048u);
+  for (size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketUpperBoundMicros(i),
+              uint64_t{1} << (i + 1));
+  }
+  // The tail bucket is unbounded — it must never advertise a finite le.
+  EXPECT_EQ(
+      LatencyHistogram::BucketUpperBoundMicros(LatencyHistogram::kNumBuckets -
+                                               1),
+      UINT64_MAX);
+}
+
+TEST(CumulativeBucketsTest, EmptyHistogramIsOneZeroInfBucket) {
+  LatencyHistogram histogram;
+  const auto buckets = histogram.CumulativeBuckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_TRUE(buckets[0].infinite);
+  EXPECT_EQ(buckets[0].cumulative_count, 0u);
+}
+
+// Property: for arbitrary streams the cumulative rendering is monotone
+// non-decreasing, ends in a +Inf bucket equal to count(), uses the
+// published power-of-two upper bounds, and trims trailing-empty finite
+// buckets (so the exposition never pads dozens of identical lines).
+TEST(CumulativeBucketsTest, PropertyMonotoneAndConsistentWithCount) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 100; ++trial) {
+    LatencyHistogram histogram;
+    const size_t n = 1 + rng.UniformIndex(200);
+    for (size_t i = 0; i < n; ++i) {
+      const double exponent = -7.0 + 9.0 * rng.UniformDouble();
+      histogram.Observe(std::pow(10.0, exponent));
+    }
+    const auto buckets = histogram.CumulativeBuckets();
+    ASSERT_GE(buckets.size(), 1u);
+    uint64_t prev = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      EXPECT_GE(buckets[i].cumulative_count, prev) << "trial " << trial;
+      prev = buckets[i].cumulative_count;
+      if (i + 1 < buckets.size()) {
+        EXPECT_FALSE(buckets[i].infinite);
+        EXPECT_DOUBLE_EQ(
+            buckets[i].le_seconds,
+            static_cast<double>(LatencyHistogram::BucketUpperBoundMicros(i)) /
+                1e6);
+      }
+    }
+    EXPECT_TRUE(buckets.back().infinite);
+    EXPECT_EQ(buckets.back().cumulative_count, histogram.count());
+    // Trimming: the last finite bucket (if any) is non-empty, i.e. it
+    // added something over its predecessor.
+    if (buckets.size() >= 2) {
+      const uint64_t last_finite = buckets[buckets.size() - 2].cumulative_count;
+      const uint64_t before = buckets.size() >= 3
+                                  ? buckets[buckets.size() - 3].cumulative_count
+                                  : 0;
+      EXPECT_GT(last_finite, before) << "trial " << trial;
+    }
+  }
+}
+
+TEST(CumulativeBucketsTest, ToJsonBucketsRenderTheSameSnapshotPath) {
+  LatencyHistogram histogram;
+  histogram.Observe(3e-6);
+  histogram.Observe(50e-6);
+  histogram.Observe(2e-3);
+  const auto buckets = histogram.CumulativeBuckets();
+  const JsonValue json = histogram.ToJson();
+  const JsonValue& rendered = json.Get("buckets");
+  ASSERT_TRUE(rendered.is_array());
+  ASSERT_EQ(rendered.size(), buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const JsonValue& entry = rendered.at(i);
+    EXPECT_EQ(entry.Get("count").AsInt(-1),
+              static_cast<int64_t>(buckets[i].cumulative_count));
+    if (buckets[i].infinite) {
+      EXPECT_EQ(entry.Get("le_ms").AsString(), "+Inf");
+    } else {
+      EXPECT_NEAR(entry.Get("le_ms").AsDouble(-1),
+                  buckets[i].le_seconds * 1e3, 1e-9);
+    }
+  }
+  EXPECT_EQ(rendered.at(rendered.size() - 1).Get("count").AsInt(-1),
+            static_cast<int64_t>(histogram.count()));
+}
+
+TEST(PrometheusTextTest, ExpositionCountEqualsInfBucketAndJsonCount) {
+  ServiceMetrics metrics;
+  for (int i = 0; i < 7; ++i) metrics.turn_delay.Observe(1e-3 * (i + 1));
+  metrics.questions_served.fetch_add(7);
+  std::string body;
+  AppendPrometheusText(metrics, &body);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.back(), '\n');
+  EXPECT_NE(body.find("# TYPE kbrepair_turn_delay_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("kbrepair_turn_delay_seconds_bucket{le=\"+Inf\"} 7\n"),
+      std::string::npos);
+  EXPECT_NE(body.find("kbrepair_turn_delay_seconds_count 7\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("kbrepair_questions_served_total 7\n"),
+            std::string::npos);
+  EXPECT_EQ(metrics.turn_delay.ToJson().Get("count").AsInt(-1), 7);
+}
+
 }  // namespace
 }  // namespace kbrepair
