@@ -1,7 +1,5 @@
 #include "service/http_exporter.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -13,8 +11,8 @@
 
 #include "service/metrics.h"
 #include "util/failpoint.h"
-#include "util/fs.h"
 #include "util/log.h"
+#include "util/net.h"
 
 namespace kbrepair {
 
@@ -71,53 +69,21 @@ HttpExporter::HttpExporter(Options options, Hooks hooks)
 HttpExporter::~HttpExporter() { Stop(); }
 
 Status HttpExporter::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Status::Unavailable("http: socket() failed: " +
-                               std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  StatusOr<int> listener =
+      net::ListenTcp(options_.bind_address, options_.port, 16);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = listener.value();
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
+  StatusOr<int> bound_port = net::BoundTcpPort(listen_fd_);
+  if (!bound_port.ok()) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return Status::InvalidArgument("http: bad bind address '" +
-                                   options_.bind_address + "'");
+    return bound_port.status();
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    const std::string error = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Unavailable("http: cannot bind " + options_.bind_address +
-                               ":" + std::to_string(options_.port) + ": " +
-                               error);
-  }
-  if (::listen(listen_fd_, 16) < 0) {
-    const std::string error = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Unavailable("http: listen() failed: " + error);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) < 0) {
-    const std::string error = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Unavailable("http: getsockname() failed: " + error);
-  }
-  port_ = ntohs(bound.sin_port);
+  port_ = bound_port.value();
 
   if (!options_.port_file.empty()) {
-    const Status written =
-        AtomicWriteFile(options_.port_file, std::to_string(port_) + "\n");
+    const Status written = net::WritePortFile(options_.port_file, port_);
     if (!written.ok()) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -149,13 +115,17 @@ void HttpExporter::Stop() {
 
 void HttpExporter::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    StatusOr<int> accepted = net::AcceptConnection(listen_fd_);
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      logging::Error(kComponent, "accept failed")
+          .With("error", accepted.status().message());
+      break;
+    }
+    const int fd = accepted.value();
     if (fd < 0) {
       if (stopping_.load(std::memory_order_relaxed)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      logging::Error(kComponent, "accept failed")
-          .With("error", std::strerror(errno));
-      break;
+      continue;  // benign retryable accept error
     }
     if (failpoint::ShouldFail("http.accept")) {
       // Simulated accept-path failure: the scraper sees a reset

@@ -1,23 +1,38 @@
 // kbrepair-client: scripted driver and correctness checker for
 // `kbrepaird`.
 //
-// Spawns the daemon as a child process, then runs N concurrent scripted
-// repair sessions against it over the JSON-lines protocol. Each driver
-// thread answers every question with Rng(seed_i).UniformIndex(num_fixes)
-// — the same draw RandomUser makes — so the whole dialogue is
-// deterministic. After closing its session (include_facts) the driver
-// replays the identical inquiry in-process with a fresh engine and the
-// same seed and demands the repaired fact base match byte for byte:
-// concurrency in the service must not change any repair.
+// Runs N concurrent scripted repair sessions against the daemon over
+// the JSON-lines protocol. Each driver thread answers every question
+// with Rng(seed_i).UniformIndex(num_fixes) — the same draw RandomUser
+// makes — so the whole dialogue is deterministic. After closing its
+// session (include_facts) the driver replays the identical inquiry
+// in-process with a fresh engine and the same seed and demands the
+// repaired fact base match byte for byte: concurrency in the service
+// must not change any repair.
 //
-// Exit 0 iff every session verified and the final metrics are coherent
-// (opened == completed == N, active == 0, no errors).
+// Transports (--transport):
+//   stdio  spawn the daemon and speak over its stdin/stdout pipes
+//          (the default; one connection by construction);
+//   unix   spawn the daemon with --listen-unix on a temp socket and
+//          fan the sessions over --connections socket connections;
+//   tcp    same over a loopback TCP listener on an ephemeral port.
+// With --connect TARGET the client skips the spawn and drives an
+// already-running daemon (TARGET is a socket path or HOST:PORT); the
+// spawn-only checks (exit code, metrics ledger balance) are skipped
+// because the daemon's history is not ours.
+//
+// Exit 0 iff every session verified and — when we spawned the daemon —
+// the final metrics are coherent (opened == completed == N, active ==
+// 0, no errors).
 //
 // Usage:
 //   kbrepair-client [--server PATH] [--sessions N] [--workers N]
+//                   [--transport stdio|unix|tcp] [--connections N]
+//                   [--connect TARGET] [--shards N]
 //                   [--kb NAME] [--strategy NAME] [--seed S] [--quiet]
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -45,6 +60,7 @@
 #include "service/protocol.h"
 #include "service/session.h"
 #include "util/json.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -52,7 +68,9 @@ namespace kbrepair {
 namespace {
 
 // ------------------------------------------------------------------
-// A pipelined JSON-lines connection to a spawned kbrepaird process.
+// A pipelined JSON-lines connection to a kbrepaird — either the
+// stdin/stdout pipes of a process this connection spawned, or an
+// adopted socket fd (Unix-domain or TCP) to a daemon owned elsewhere.
 // Many threads issue Call()s concurrently; a reader thread demuxes the
 // out-of-order responses by correlation id.
 class ServerConnection {
@@ -90,10 +108,23 @@ class ServerConnection {
     return true;
   }
 
+  // Takes ownership of an already-connected stream socket. The daemon
+  // process behind it (if we spawned one) is managed by the caller.
+  void AdoptSocket(int fd) {
+    socket_ = true;
+    read_fd_ = fd;
+    write_fd_ = fd;
+    reader_ = std::thread([this] { ReaderLoop(); });
+  }
+
   // Sends `request` (stamping a fresh "id") and blocks for its response
   // envelope. Unavailable and DeadlineExceeded mean the server never
   // executed the command, so those are retried with the SAME correlation
-  // id under bounded exponential backoff; everything else is final.
+  // id under full-jitter exponential backoff — sleep uniform in
+  // [0, base << attempt] rather than the cap itself, so the many
+  // sessions that hit a momentarily saturated daemon together do not
+  // come back as one synchronized thundering herd; everything else is
+  // final.
   StatusOr<JsonValue> Call(JsonValue request) {
     const std::string id = "r-" + std::to_string(next_id_.fetch_add(1));
     request.Set("id", JsonValue::String(id));
@@ -104,8 +135,15 @@ class ServerConnection {
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
       if (attempt > 0) {
         retries_.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(kBackoffBaseMs << (attempt - 1)));
+        const int64_t cap_ms = kBackoffBaseMs << (attempt - 1);
+        int64_t sleep_ms;
+        {
+          // Drawing under a lock is fine here: retries are rare and
+          // already on a multi-millisecond path.
+          std::lock_guard<std::mutex> lock(backoff_mu_);
+          sleep_ms = backoff_rng_.UniformInt(0, cap_ms);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
       }
       StatusOr<JsonValue> outcome = CallOnce(id, line);
       if (outcome.ok()) return outcome;
@@ -135,9 +173,23 @@ class ServerConnection {
 
   uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
-  // Closes the server's stdin (EOF triggers its graceful shutdown) and
-  // reaps it. Returns the child's exit code, or -1.
+  // Announces end-of-requests and drains. Pipes: closes the server's
+  // stdin (EOF triggers its graceful shutdown), reaps the child and
+  // returns its exit code (or -1). Sockets: half-closes with SHUT_WR —
+  // the daemon answers everything in flight, flushes, and closes its
+  // end, which ends our reader; returns 0 (the daemon process outlives
+  // its connections).
   int ShutdownAndWait() {
+    if (socket_) {
+      if (write_fd_ >= 0) ::shutdown(write_fd_, SHUT_WR);
+      if (reader_.joinable()) reader_.join();
+      if (write_fd_ >= 0) {
+        close(write_fd_);
+        write_fd_ = -1;
+        read_fd_ = -1;
+      }
+      return 0;
+    }
     if (write_fd_ >= 0) {
       close(write_fd_);
       write_fd_ = -1;
@@ -247,6 +299,7 @@ class ServerConnection {
   }
 
   pid_t pid_ = -1;
+  bool socket_ = false;  // read_fd_ == write_fd_ == a connected socket
   int write_fd_ = -1;
   int read_fd_ = -1;
   std::mutex write_mu_;
@@ -254,6 +307,11 @@ class ServerConnection {
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> garbled_{0};
   std::atomic<uint64_t> retries_{0};
+  // Full-jitter draws for retry backoff. Seeded from entropy, not the
+  // workload seed: jitter exists to decorrelate concurrent retriers,
+  // and it never influences a repair outcome.
+  std::mutex backoff_mu_;
+  Rng backoff_rng_{std::random_device{}()};
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, JsonValue> responses_;
@@ -419,6 +477,17 @@ struct ClientOptions {
   std::string engine = "scratch";
   uint64_t seed = 20180326;  // EDBT'18
   bool quiet = false;
+  // Protocol channel: "stdio" (spawned daemon's pipes), "unix"
+  // (--listen-unix socket) or "tcp" (loopback listener).
+  std::string transport = "stdio";
+  // When non-empty: drive an already-running daemon at this target (a
+  // socket path, or HOST:PORT / :PORT for TCP) instead of spawning one.
+  std::string connect;
+  // Socket transports only: number of connections the sessions are
+  // spread over (round-robin). Stdio is one connection by construction.
+  size_t connections = 1;
+  // > 0: forward --shards to the spawned daemon.
+  size_t shards = 0;
   // >= 0: start the daemon with --http-port N (0 = ephemeral) and after
   // the sessions finish validate all four observability endpoints,
   // cross-checking /metrics histogram counts against the JSON `metrics`
@@ -807,11 +876,96 @@ std::string CheckAndPrintTrace(const JsonValue& result, bool expect_wal,
   return "";
 }
 
+// ------------------------------------------------------------------
+// Socket-transport plumbing.
+
+// Spawns kbrepaird detached from the protocol channel: stdin becomes
+// /dev/null (the sockets carry the protocol; socket-mode kbrepaird
+// ignores stdin and waits for SIGTERM), stdout/stderr stay inherited.
+// Returns the child pid, or -1.
+pid_t SpawnDetachedDaemon(const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const int devnull = ::open("/dev/null", O_RDONLY);
+  if (devnull >= 0) {
+    dup2(devnull, STDIN_FILENO);
+    close(devnull);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  std::cerr << "exec " << args[0] << " failed: " << std::strerror(errno)
+            << "\n";
+  _exit(127);
+}
+
+// A freshly spawned daemon needs a moment to bind its listener: retry
+// `once` for up to ~10s, failing fast if the daemon dies first.
+StatusOr<int> ConnectPatiently(const std::function<StatusOr<int>()>& once,
+                               pid_t daemon_pid) {
+  Status last = Status::Unavailable("connect never attempted");
+  for (int i = 0; i < 1000; ++i) {
+    StatusOr<int> fd = once();
+    if (fd.ok()) return fd;
+    last = fd.status();
+    if (daemon_pid > 0) {
+      int wstatus = 0;
+      if (::waitpid(daemon_pid, &wstatus, WNOHANG) == daemon_pid) {
+        return Status::Internal("daemon exited before accepting connections");
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return last;
+}
+
+// First integer in a daemon-written port file; 0 when absent/partial.
+int ReadPortFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  int port = 0;
+  if (std::fscanf(f, "%d", &port) != 1) port = 0;
+  std::fclose(f);
+  return port;
+}
+
+// "HOST:PORT", ":PORT" or bare "PORT" (host defaults to loopback).
+bool ParseTcpTarget(const std::string& target, std::string* host,
+                    int* port) {
+  const size_t colon = target.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? target : target.substr(colon + 1);
+  *host = (colon == std::string::npos || colon == 0)
+              ? "127.0.0.1"
+              : target.substr(0, colon);
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0') return false;
+  *port = static_cast<int>(value);
+  return *port > 0 && *port < 65536;
+}
+
+// mkstemp-backed unique /tmp name (the file itself is a placeholder;
+// both the Unix listener and the port-file writer replace it).
+std::string MakeTempPath(const char* pattern) {
+  std::string path = pattern;
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) return "";
+  ::close(fd);
+  return path;
+}
+
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--server PATH] [--server-arg ARG]... [--sessions N]"
                " [--workers N] [--kb NAME] [--strategy NAME] [--engine NAME]"
-               " [--seed S] [--trace-dir DIR] [--http-port N] [--quiet]\n"
+               " [--seed S] [--trace-dir DIR] [--http-port N]"
+               " [--transport stdio|unix|tcp] [--connections N]"
+               " [--connect TARGET] [--shards N] [--quiet]\n"
                "       "
             << argv0
             << " --scrape [http://]HOST:PORT[/path]   fetch one"
@@ -855,6 +1009,15 @@ int Main(int argc, char** argv) {
       options.trace_dir = v;
     } else if (arg == "--http-port" && (v = next_value())) {
       options.http_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--transport" && (v = next_value())) {
+      options.transport = v;
+    } else if (arg == "--connect" && (v = next_value())) {
+      options.connect = v;
+    } else if (arg == "--connections" && (v = next_value())) {
+      options.connections =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--shards" && (v = next_value())) {
+      options.shards = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--scrape" && (v = next_value())) {
       return ScrapeMain(v);
     } else if (arg == "--quiet") {
@@ -868,14 +1031,40 @@ int Main(int argc, char** argv) {
     }
   }
   if (options.sessions == 0) options.sessions = 1;
+  if (options.connections == 0) options.connections = 1;
+  const bool external = !options.connect.empty();
+  if (external && options.transport == "stdio") {
+    // Infer the transport from the target: a path is a Unix socket,
+    // anything with a port is TCP.
+    options.transport =
+        options.connect.find('/') != std::string::npos ? "unix" : "tcp";
+  }
+  if (options.transport != "stdio" && options.transport != "unix" &&
+      options.transport != "tcp") {
+    std::cerr << "--transport must be stdio, unix or tcp\n";
+    return Usage(argv[0]);
+  }
+  if (options.transport == "stdio" && options.connections != 1) {
+    std::cerr << "--connections requires a socket transport"
+                 " (stdio is a single pipe pair)\n";
+    return Usage(argv[0]);
+  }
+  if (external && (options.http_port >= 0 || !options.trace_dir.empty())) {
+    std::cerr << "--connect drives an existing daemon; --http-port and"
+                 " --trace-dir configure a spawned one\n";
+    return Usage(argv[0]);
+  }
 
   // A daemon that dies mid-stream must become a reported failure, not a
   // SIGPIPE-killed client.
   ::signal(SIGPIPE, SIG_IGN);
 
-  ServerConnection server;
   std::vector<std::string> server_argv = {
       options.server_path, "--workers", std::to_string(options.workers)};
+  if (options.shards > 0) {
+    server_argv.push_back("--shards");
+    server_argv.push_back(std::to_string(options.shards));
+  }
   if (!options.trace_dir.empty()) {
     server_argv.push_back("--trace-dir");
     server_argv.push_back(options.trace_dir);
@@ -884,14 +1073,11 @@ int Main(int argc, char** argv) {
   // (stdout is the protocol channel) for us to read after the drive.
   std::string port_file;
   if (options.http_port >= 0) {
-    char port_template[] = "/tmp/kbrepair-http-port-XXXXXX";
-    const int port_fd = ::mkstemp(port_template);
-    if (port_fd < 0) {
+    port_file = MakeTempPath("/tmp/kbrepair-http-port-XXXXXX");
+    if (port_file.empty()) {
       std::cerr << "cannot create HTTP port file\n";
       return 1;
     }
-    ::close(port_fd);
-    port_file = port_template;
     server_argv.push_back("--http-port");
     server_argv.push_back(std::to_string(options.http_port));
     server_argv.push_back("--http-port-file");
@@ -899,10 +1085,89 @@ int Main(int argc, char** argv) {
   }
   server_argv.insert(server_argv.end(), options.server_args.begin(),
                      options.server_args.end());
-  if (!server.Spawn(server_argv)) {
-    std::cerr << "failed to spawn " << options.server_path << "\n";
-    return 1;
+
+  // Establish the protocol channel(s). Stdio spawns the daemon on a
+  // pipe pair; the socket transports either spawn it with a listener
+  // (owning the process) or connect to --connect.
+  std::vector<std::unique_ptr<ServerConnection>> conns;
+  pid_t daemon_pid = -1;        // socket-transport spawn only
+  std::string unix_sock_path;   // unlinked by the daemon on shutdown
+  std::string listen_port_file;
+  if (options.transport == "stdio") {
+    auto conn = std::make_unique<ServerConnection>();
+    if (!conn->Spawn(server_argv)) {
+      std::cerr << "failed to spawn " << options.server_path << "\n";
+      return 1;
+    }
+    conns.push_back(std::move(conn));
+  } else {
+    std::string tcp_host = "127.0.0.1";
+    int tcp_port = 0;
+    if (external) {
+      if (options.transport == "unix") {
+        unix_sock_path = options.connect;
+      } else if (!ParseTcpTarget(options.connect, &tcp_host, &tcp_port)) {
+        std::cerr << "--connect: cannot parse TCP target '"
+                  << options.connect << "'\n";
+        return 1;
+      }
+    } else {
+      if (options.transport == "unix") {
+        unix_sock_path = MakeTempPath("/tmp/kbrepair-sock-XXXXXX");
+        if (unix_sock_path.empty()) {
+          std::cerr << "cannot create Unix socket path\n";
+          return 1;
+        }
+        server_argv.push_back("--listen-unix");
+        server_argv.push_back(unix_sock_path);
+      } else {
+        listen_port_file = MakeTempPath("/tmp/kbrepair-listen-port-XXXXXX");
+        if (listen_port_file.empty()) {
+          std::cerr << "cannot create listener port file\n";
+          return 1;
+        }
+        server_argv.push_back("--listen-tcp");
+        server_argv.push_back("0");
+        server_argv.push_back("--listen-tcp-port-file");
+        server_argv.push_back(listen_port_file);
+      }
+      daemon_pid = SpawnDetachedDaemon(server_argv);
+      if (daemon_pid < 0) {
+        std::cerr << "failed to spawn " << options.server_path << "\n";
+        return 1;
+      }
+    }
+    for (size_t i = 0; i < options.connections; ++i) {
+      StatusOr<int> fd = ConnectPatiently(
+          [&]() -> StatusOr<int> {
+            if (options.transport == "unix") {
+              return net::ConnectUnix(unix_sock_path);
+            }
+            if (tcp_port == 0) {
+              // The spawned daemon publishes its ephemeral port
+              // atomically; an absent/partial file reads as 0.
+              const int published = ReadPortFile(listen_port_file);
+              if (published <= 0) {
+                return Status::Unavailable("listener port not published yet");
+              }
+              tcp_port = published;
+            }
+            return net::ConnectTcp(tcp_host, tcp_port);
+          },
+          daemon_pid);
+      if (!fd.ok()) {
+        std::cerr << "cannot connect to the daemon: "
+                  << fd.status().ToString() << "\n";
+        if (daemon_pid > 0) ::kill(daemon_pid, SIGKILL);
+        return 1;
+      }
+      auto conn = std::make_unique<ServerConnection>();
+      conn->AdoptSocket(*fd);
+      conns.push_back(std::move(conn));
+    }
+    if (!listen_port_file.empty()) ::unlink(listen_port_file.c_str());
   }
+  ServerConnection& server = *conns.front();
 
   std::mutex report_mu;
   std::vector<std::string> failures;
@@ -911,7 +1176,10 @@ int Main(int argc, char** argv) {
   drivers.reserve(options.sessions);
   for (size_t i = 0; i < options.sessions; ++i) {
     drivers.emplace_back([&, i] {
-      StatusOr<size_t> outcome = DriveSession(server, options, i);
+      // Sessions round-robin over the open connections; the protocol
+      // pipelines, so many sessions per connection is the normal case.
+      StatusOr<size_t> outcome =
+          DriveSession(*conns[i % conns.size()], options, i);
       if (outcome.ok()) {
         total_questions.fetch_add(*outcome, std::memory_order_relaxed);
       } else {
@@ -924,23 +1192,28 @@ int Main(int argc, char** argv) {
   for (std::thread& driver : drivers) driver.join();
 
   // The lifecycle ledger must balance: every session opened was closed.
+  // Only meaningful for a daemon we spawned — an external one carries
+  // whatever history it carries.
   JsonValue metrics_request = JsonValue::Object();
   metrics_request.Set("command", JsonValue::String("metrics"));
   StatusOr<JsonValue> metrics = server.Call(std::move(metrics_request));
   if (!metrics.ok()) {
     failures.push_back("metrics: " + metrics.status().ToString());
   } else {
-    const JsonValue& sessions = metrics->Get("sessions");
-    const int64_t opened = sessions.Get("opened").AsInt(-1);
-    const int64_t completed = sessions.Get("completed").AsInt(-1);
-    const int64_t active = sessions.Get("active").AsInt(-1);
-    const int64_t expected = static_cast<int64_t>(options.sessions);
-    if (opened != expected || completed != expected || active != 0) {
-      failures.push_back(
-          "metrics imbalance: opened=" + std::to_string(opened) +
-          " completed=" + std::to_string(completed) +
-          " active=" + std::to_string(active) + " expected " +
-          std::to_string(expected) + "/" + std::to_string(expected) + "/0");
+    if (!external) {
+      const JsonValue& sessions = metrics->Get("sessions");
+      const int64_t opened = sessions.Get("opened").AsInt(-1);
+      const int64_t completed = sessions.Get("completed").AsInt(-1);
+      const int64_t active = sessions.Get("active").AsInt(-1);
+      const int64_t expected = static_cast<int64_t>(options.sessions);
+      if (opened != expected || completed != expected || active != 0) {
+        failures.push_back(
+            "metrics imbalance: opened=" + std::to_string(opened) +
+            " completed=" + std::to_string(completed) +
+            " active=" + std::to_string(active) + " expected " +
+            std::to_string(expected) + "/" + std::to_string(expected) +
+            "/0");
+      }
     }
     if (!options.quiet) {
       std::cout << "metrics: " << metrics->Dump() << "\n";
@@ -949,15 +1222,8 @@ int Main(int argc, char** argv) {
 
   if (options.http_port >= 0) {
     // The port file was written before the daemon started serving
-    // stdin, so after a full drive it must be present and complete.
-    int bound_port = 0;
-    {
-      FILE* f = std::fopen(port_file.c_str(), "r");
-      if (f != nullptr) {
-        if (std::fscanf(f, "%d", &bound_port) != 1) bound_port = 0;
-        std::fclose(f);
-      }
-    }
+    // requests, so after a full drive it must be present and complete.
+    const int bound_port = ReadPortFile(port_file);
     if (bound_port <= 0) {
       failures.push_back("exporter: no bound port in " + port_file);
     } else if (!metrics.ok()) {
@@ -988,16 +1254,40 @@ int Main(int argc, char** argv) {
     }
   }
 
-  const int server_exit = server.ShutdownAndWait();
-  if (server_exit != 0) {
+  // Tear the connections down (pipes: EOF-triggered daemon shutdown;
+  // sockets: SHUT_WR half-close and drain), then reap a socket-mode
+  // daemon with SIGTERM — its graceful path must exit 0.
+  int server_exit = 0;
+  for (const auto& conn : conns) {
+    const int rc = conn->ShutdownAndWait();
+    if (options.transport == "stdio") server_exit = rc;
+  }
+  if (daemon_pid > 0) {
+    ::kill(daemon_pid, SIGTERM);
+    int wstatus = 0;
+    server_exit =
+        (::waitpid(daemon_pid, &wstatus, 0) == daemon_pid &&
+         WIFEXITED(wstatus))
+            ? WEXITSTATUS(wstatus)
+            : -1;
+  }
+  if (!external && server_exit != 0) {
     failures.push_back("server exited with code " +
                        std::to_string(server_exit));
   }
-  if (server.garbled_lines() != 0) {
-    failures.push_back(std::to_string(server.garbled_lines()) +
-                       " garbled response lines");
+  uint64_t garbled = 0;
+  uint64_t retries = 0;
+  std::vector<std::string> unanswered;
+  for (const auto& conn : conns) {
+    garbled += conn->garbled_lines();
+    retries += conn->retries();
+    for (std::string& id : conn->UnansweredIds()) {
+      unanswered.push_back(std::move(id));
+    }
   }
-  const std::vector<std::string> unanswered = server.UnansweredIds();
+  if (garbled != 0) {
+    failures.push_back(std::to_string(garbled) + " garbled response lines");
+  }
   if (!unanswered.empty()) {
     std::string joined;
     for (const std::string& id : unanswered) {
@@ -1008,8 +1298,8 @@ int Main(int argc, char** argv) {
                        std::to_string(unanswered.size()) +
                        " unanswered command(s): " + joined);
   }
-  if (!options.quiet && server.retries() != 0) {
-    std::cout << "retried " << server.retries()
+  if (!options.quiet && retries != 0) {
+    std::cout << "retried " << retries
               << " command(s) after Unavailable/DeadlineExceeded\n";
   }
 

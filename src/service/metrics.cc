@@ -131,6 +131,29 @@ LatencyHistogram::CumulativeBuckets() const {
   return out;
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_micros_.fetch_add(other.sum_micros_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  const uint64_t other_max = other.max_micros_.load(std::memory_order_relaxed);
+  uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_micros_.compare_exchange_weak(seen, other_max,
+                                            std::memory_order_relaxed)) {
+  }
+  const uint64_t other_min = other.min_micros_.load(std::memory_order_relaxed);
+  seen = min_micros_.load(std::memory_order_relaxed);
+  while (other_min < seen &&
+         !min_micros_.compare_exchange_weak(seen, other_min,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
 JsonValue LatencyHistogram::ToJson() const {
   JsonValue out = JsonValue::Object();
   out.Set("count", JsonValue::Number(count()));
@@ -176,6 +199,19 @@ bool LabeledMetrics::Touched() const {
   if (questions.load(std::memory_order_relaxed) != 0) return true;
   if (answers.load(std::memory_order_relaxed) != 0) return true;
   return turn_delay.count() != 0;
+}
+
+void LabeledMetrics::MergeFrom(const LabeledMetrics& other) {
+  sessions.fetch_add(other.sessions.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  questions.fetch_add(other.questions.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  answers.fetch_add(other.answers.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  turn_delay.MergeFrom(other.turn_delay);
+  for (size_t p = 0; p < trace::kNumPhases; ++p) {
+    phases[p].MergeFrom(other.phases[p]);
+  }
 }
 
 JsonValue LabeledMetrics::ToJson() const {
@@ -262,6 +298,54 @@ JsonValue ServiceMetrics::ToJson() const {
   out.Set("queue_wait", queue_wait.ToJson());
   out.Set("by_strategy_engine", std::move(by_strategy_engine));
   return out;
+}
+
+void ServiceMetrics::MergeFrom(const ServiceMetrics& other) {
+  const auto add = [](std::atomic<uint64_t>& into,
+                      const std::atomic<uint64_t>& from) {
+    into.fetch_add(from.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  };
+  add(sessions_opened, other.sessions_opened);
+  add(sessions_completed, other.sessions_completed);
+  add(sessions_evicted, other.sessions_evicted);
+  add(sessions_failed, other.sessions_failed);
+  sessions_active.fetch_add(
+      other.sessions_active.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  add(questions_served, other.questions_served);
+  add(answers_applied, other.answers_applied);
+  add(requests_total, other.requests_total);
+  add(errors_total, other.errors_total);
+  add(rejected_overload, other.rejected_overload);
+  add(rejected_commands, other.rejected_commands);
+  add(deadline_exceeded, other.deadline_exceeded);
+  add(wal_appends, other.wal_appends);
+  add(wal_fsync_failures, other.wal_fsync_failures);
+  add(wal_compactions, other.wal_compactions);
+  add(transcript_write_failures, other.transcript_write_failures);
+  add(sessions_recovered, other.sessions_recovered);
+  add(engine_fallbacks, other.engine_fallbacks);
+  add(worker_stalls, other.worker_stalls);
+  const auto take_latest = [](std::atomic<int64_t>& into,
+                              const std::atomic<int64_t>& from) {
+    const int64_t candidate = from.load(std::memory_order_relaxed);
+    int64_t seen = into.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !into.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  };
+  take_latest(last_wal_fsync_failure_ns, other.last_wal_fsync_failure_ns);
+  take_latest(last_engine_demotion_ns, other.last_engine_demotion_ns);
+  turn_delay.MergeFrom(other.turn_delay);
+  request_latency.MergeFrom(other.request_latency);
+  queue_wait.MergeFrom(other.queue_wait);
+  for (size_t s = 0; s < kNumStrategyLabels; ++s) {
+    for (size_t e = 0; e < kNumEngineLabels; ++e) {
+      by_label[s][e].MergeFrom(other.by_label[s][e]);
+    }
+  }
 }
 
 int64_t MonotonicNowNs() {
@@ -501,6 +585,67 @@ void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out) {
   }
   *out += labeled_histograms;
   if (any_phase) *out += phase_histograms;
+}
+
+void AppendShardPrometheusText(
+    const std::vector<const ServiceMetrics*>& shards, std::string* out) {
+  const auto load = [](const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+  struct CounterRow {
+    const char* name;
+    const char* help;
+    std::atomic<uint64_t> ServiceMetrics::* field;
+  };
+  static constexpr CounterRow kRows[] = {
+      {"kbrepair_shard_sessions_opened_total",
+       "Sessions created on this shard.", &ServiceMetrics::sessions_opened},
+      {"kbrepair_shard_sessions_completed_total",
+       "Sessions closed via the close command on this shard.",
+       &ServiceMetrics::sessions_completed},
+      {"kbrepair_shard_sessions_evicted_total",
+       "Sessions reaped by the idle TTL on this shard.",
+       &ServiceMetrics::sessions_evicted},
+      {"kbrepair_shard_sessions_failed_total",
+       "Session failures on this shard.", &ServiceMetrics::sessions_failed},
+      {"kbrepair_shard_requests_total",
+       "Wire commands routed to this shard.", &ServiceMetrics::requests_total},
+      {"kbrepair_shard_errors_total",
+       "Commands this shard answered with an error envelope.",
+       &ServiceMetrics::errors_total},
+      {"kbrepair_shard_rejected_commands_total",
+       "Commands this shard refused at admission.",
+       &ServiceMetrics::rejected_commands},
+      {"kbrepair_shard_wal_appends_total",
+       "Durable WAL appends on this shard.", &ServiceMetrics::wal_appends},
+  };
+  // HELP/TYPE once per metric name, then one `shard="i"` line per shard
+  // — interleaving the comments per shard would be an invalid
+  // exposition.
+  for (const CounterRow& row : kRows) {
+    AppendHelpType(out, row.name, row.help, "counter");
+    for (size_t i = 0; i < shards.size(); ++i) {
+      *out += std::string(row.name) +
+              LabelSet({{"shard", std::to_string(i)}}) + " " +
+              std::to_string(load(shards[i]->*(row.field))) + "\n";
+    }
+  }
+  AppendHelpType(out, "kbrepair_shard_sessions_active",
+                 "Sessions currently registered on this shard.", "gauge");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    *out += "kbrepair_shard_sessions_active" +
+            LabelSet({{"shard", std::to_string(i)}}) + " " +
+            std::to_string(
+                shards[i]->sessions_active.load(std::memory_order_relaxed)) +
+            "\n";
+  }
+  AppendHelpType(out, "kbrepair_shard_turn_delay_seconds",
+                 "Per-question engine delay on this shard.", "histogram");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    AppendHistogramSeries(out, "kbrepair_shard_turn_delay_seconds",
+                          {{"shard", std::to_string(i)}},
+                          shards[i]->turn_delay);
+  }
 }
 
 }  // namespace kbrepair

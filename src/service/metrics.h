@@ -75,6 +75,12 @@ class LatencyHistogram {
   //  {"le_ms":"+Inf","count":n}]}
   JsonValue ToJson() const;
 
+  // Adds `other`'s observations into this histogram (bucket-wise adds,
+  // min/max folds). Used to aggregate per-shard histograms into one
+  // service-wide view; each side's counters are read relaxed, so the
+  // merge is a consistent-enough snapshot, not a linearizable one.
+  void MergeFrom(const LatencyHistogram& other);
+
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -103,6 +109,8 @@ struct LabeledMetrics {
   std::array<LatencyHistogram, trace::kNumPhases> phases;
 
   bool Touched() const;
+
+  void MergeFrom(const LabeledMetrics& other);
 
   // {"sessions":..,"questions":..,"answers":..,"turn_delay":{..},
   //  "phase_chase":{..}, ...} — only phases with observations appear.
@@ -168,6 +176,13 @@ struct ServiceMetrics {
   }
 
   JsonValue ToJson() const;
+
+  // Folds `other` (one shard's metrics) into this aggregate: counters
+  // and gauges add, readiness timestamps take the most recent, and
+  // every histogram merges bucket-wise. The sharded daemon uses this to
+  // answer the `metrics` command with the same shape a single-shard
+  // daemon produces.
+  void MergeFrom(const ServiceMetrics& other);
 };
 
 // Steady-clock nanoseconds since an arbitrary epoch; the readiness
@@ -181,6 +196,17 @@ int64_t MonotonicNowNs();
 // `engine` labels, phase histograms additionally `phase`). Appended to
 // *out.
 void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out);
+
+// Per-shard breakdown for a sharded daemon: a compact set of
+// `kbrepair_shard_*{shard="<i>"}` series (active sessions, lifecycle
+// counters, wire traffic, WAL appends, and a per-shard turn-delay
+// histogram), one labeled line per shard with each metric's HELP/TYPE
+// emitted exactly once. `shards[i]` is shard i's metrics. Intended to
+// be appended AFTER the unlabeled aggregate from
+// AppendPrometheusText(); a single-shard daemon skips it entirely so
+// its exposition stays byte-stable.
+void AppendShardPrometheusText(
+    const std::vector<const ServiceMetrics*>& shards, std::string* out);
 
 }  // namespace kbrepair
 

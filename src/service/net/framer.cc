@@ -1,0 +1,40 @@
+#include "service/net/framer.h"
+
+#include <cstring>
+
+namespace kbrepair {
+namespace net {
+
+bool LineFramer::Feed(const char* data, size_t size,
+                      std::vector<std::string>* lines) {
+  if (overflowed_) return false;
+  size_t offset = 0;
+  while (offset < size) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + offset, '\n', size - offset));
+    if (nl == nullptr) {
+      partial_.append(data + offset, size - offset);
+      break;
+    }
+    const size_t line_end = static_cast<size_t>(nl - data);
+    partial_.append(data + offset, line_end - offset);
+    offset = line_end + 1;
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    if (partial_.size() > max_line_bytes_) {
+      overflowed_ = true;
+      partial_.clear();
+      return false;
+    }
+    if (!partial_.empty()) lines->push_back(std::move(partial_));
+    partial_.clear();
+  }
+  if (partial_.size() > max_line_bytes_) {
+    overflowed_ = true;
+    partial_.clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace kbrepair

@@ -1,0 +1,54 @@
+// Length-tolerant line framing for the JSON-lines wire protocol.
+//
+// A TCP or Unix-socket read hands the server an arbitrary byte chunk:
+// half a line, three lines and a fragment, one byte. LineFramer
+// accumulates those chunks and re-emits exactly the newline-delimited
+// lines the stdio transport would have seen, so both transports feed
+// identical strings into SessionManager::SubmitLine. A trailing '\r'
+// is stripped (telnet/CRLF clients), empty lines are dropped, and a
+// line longer than `max_line_bytes` poisons the stream — the caller
+// should answer with one error envelope and drop the connection, since
+// resynchronizing inside an unbounded line is guesswork.
+
+#ifndef KBREPAIR_SERVICE_NET_FRAMER_H_
+#define KBREPAIR_SERVICE_NET_FRAMER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kbrepair {
+namespace net {
+
+class LineFramer {
+ public:
+  static constexpr size_t kDefaultMaxLineBytes = 1 << 20;  // 1 MiB
+
+  explicit LineFramer(size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  // Appends `size` bytes and appends every newly completed line to
+  // `lines` (without the terminator; '\r\n' and '\n' both end a line;
+  // empty lines are skipped). Returns false once the line under
+  // construction exceeds max_line_bytes: the framer is poisoned and
+  // every later Feed also returns false.
+  bool Feed(const char* data, size_t size, std::vector<std::string>* lines);
+
+  // True when a partial (unterminated) line is buffered. A connection
+  // that closes mid-line had a torn final command; the server drops it
+  // rather than guessing.
+  bool HasPartial() const { return !partial_.empty(); }
+
+  bool overflowed() const { return overflowed_; }
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string partial_;
+  bool overflowed_ = false;
+};
+
+}  // namespace net
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_NET_FRAMER_H_

@@ -1,0 +1,444 @@
+#include "service/net/line_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/log.h"
+#include "util/net.h"
+
+namespace kbrepair {
+namespace net {
+
+namespace {
+
+constexpr char kComponent[] = "net";
+
+// epoll_event.data.u64 tags below the first connection id.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kUnixTag = 1;
+constexpr uint64_t kTcpTag = 2;
+
+}  // namespace
+
+LineServer::LineServer(LineServerOptions options, Handlers handlers)
+    : options_(std::move(options)), handlers_(std::move(handlers)) {}
+
+LineServer::~LineServer() { Stop(); }
+
+Status LineServer::Start() {
+  if (options_.unix_path.empty() && !options_.tcp) {
+    return Status::InvalidArgument("net: no listener configured");
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Unavailable("net: epoll_create1 failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const Status status = Status::Unavailable(
+        "net: eventfd failed: " + std::string(std::strerror(errno)));
+    Stop();
+    return status;
+  }
+
+  const auto add_to_epoll = [this](int fd, uint64_t tag) -> Status {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Status::Unavailable("net: epoll_ctl(ADD) failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    return Status::Ok();
+  };
+
+  Status status = add_to_epoll(wake_fd_, kWakeTag);
+  if (!status.ok()) {
+    Stop();
+    return status;
+  }
+
+  if (!options_.unix_path.empty()) {
+    StatusOr<int> fd = ListenUnix(options_.unix_path, options_.backlog);
+    if (!fd.ok()) {
+      Stop();
+      return fd.status();
+    }
+    unix_listen_fd_ = fd.value();
+    status = SetNonBlocking(unix_listen_fd_);
+    if (status.ok()) status = add_to_epoll(unix_listen_fd_, kUnixTag);
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+    logging::Info(kComponent, "listening on unix socket")
+        .With("path", options_.unix_path);
+  }
+
+  if (options_.tcp) {
+    StatusOr<int> fd =
+        ListenTcp(options_.tcp_bind_address, options_.tcp_port,
+                  options_.backlog);
+    if (!fd.ok()) {
+      Stop();
+      return fd.status();
+    }
+    tcp_listen_fd_ = fd.value();
+    StatusOr<int> port = BoundTcpPort(tcp_listen_fd_);
+    if (!port.ok()) {
+      Stop();
+      return port.status();
+    }
+    tcp_port_ = port.value();
+    if (!options_.tcp_port_file.empty()) {
+      status = WritePortFile(options_.tcp_port_file, tcp_port_);
+      if (!status.ok()) {
+        Stop();
+        return status;
+      }
+    }
+    status = SetNonBlocking(tcp_listen_fd_);
+    if (status.ok()) status = add_to_epoll(tcp_listen_fd_, kTcpTag);
+    if (!status.ok()) {
+      Stop();
+      return status;
+    }
+    logging::Info(kComponent, "listening on tcp")
+        .With("address", options_.tcp_bind_address)
+        .With("port", tcp_port_);
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void LineServer::Stop() {
+  if (started_) {
+    stopping_.store(true, std::memory_order_relaxed);
+    WakeLoop();
+    thread_.join();
+    started_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : conns_) {
+      (void)id;
+      ::close(conn->fd);
+    }
+    conns_.clear();
+    dirty_.clear();
+  }
+  const auto close_fd = [](int* fd) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  };
+  close_fd(&unix_listen_fd_);
+  close_fd(&tcp_listen_fd_);
+  close_fd(&wake_fd_);
+  close_fd(&epoll_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  active_.store(0, std::memory_order_relaxed);
+}
+
+void LineServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore write errors.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void LineServer::Send(ConnId id, std::string data) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // raced with a disconnect: drop
+    Conn* conn = it->second.get();
+    conn->outbuf += data;
+    if (conn->pending_lines > 0) --conn->pending_lines;
+    if (conn->eof && conn->pending_lines == 0) {
+      conn->close_after_flush = true;
+    }
+    if (conn->outbuf.size() - conn->out_off >
+        options_.max_output_buffer_bytes) {
+      // Slow or stuck reader: drop the connection rather than buffer
+      // without bound. The loop closes it on the next wake.
+      conn->close_after_flush = true;
+      conn->outbuf.clear();
+      conn->out_off = 0;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    dirty_.push_back(id);
+    wake = true;
+  }
+  if (wake) WakeLoop();
+}
+
+void LineServer::CloseAfterFlush(ConnId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    it->second->close_after_flush = true;
+    dirty_.push_back(id);
+  }
+  WakeLoop();
+}
+
+void LineServer::AcceptAll(int listen_fd) {
+  while (true) {
+    StatusOr<int> accepted = AcceptConnection(listen_fd);
+    if (!accepted.ok()) {
+      if (!stopping_.load(std::memory_order_relaxed)) {
+        logging::Error(kComponent, "accept failed")
+            .With("error", accepted.status().message());
+      }
+      return;
+    }
+    const int fd = accepted.value();
+    if (fd < 0) return;  // EAGAIN: the backlog is drained
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    if (listen_fd == tcp_listen_fd_) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    ConnId id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      id = next_conn_id_++;
+      conns_.emplace(id,
+                     std::make_unique<Conn>(fd, options_.max_line_bytes));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.erase(id);
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void LineServer::HandleReadable(ConnId id) {
+  Conn* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = it->second.get();
+  }
+  // Only the loop thread erases connections, so `conn` stays valid
+  // across the handler calls below; the framer is loop-thread-only.
+  char buffer[65536];
+  bool should_close = false;
+  std::vector<std::string> lines;
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buffer, sizeof buffer);
+    if (n > 0) {
+      if (!conn->framer.Feed(buffer, static_cast<size_t>(n), &lines)) {
+        // Unbounded line: answer once, then hang up after the flush.
+        if (handlers_.framing_error) {
+          Send(id, handlers_.framing_error(
+                       "line exceeds " +
+                       std::to_string(conn->framer.max_line_bytes()) +
+                       " bytes"));
+        }
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        CloseAfterFlush(id);
+        break;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or a hard error. A buffered partial line was a torn final
+    // command and is dropped, matching stdio EOF semantics.
+    should_close = true;
+    break;
+  }
+  if (!lines.empty()) {
+    // Count the dispatched lines BEFORE running the handlers: a
+    // completion (and its Send) can fire on a worker thread while we
+    // are still dispatching, and must see itself as pending.
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->pending_lines += lines.size();
+  }
+  for (std::string& line : lines) {
+    if (handlers_.on_line) handlers_.on_line(id, std::move(line));
+  }
+  if (should_close) {
+    // Half-close: stop reading, but tear down only once every
+    // dispatched line has been answered and the answers have flushed.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        Conn* c = it->second.get();
+        c->eof = true;
+        if (c->pending_lines == 0) c->close_after_flush = true;
+        UpdateInterestLocked(id, c);
+        dirty_.push_back(id);
+      }
+    }
+    WakeLoop();
+  }
+}
+
+void LineServer::UpdateInterestLocked(ConnId id, Conn* conn) {
+  // An EOF'd socket stays level-triggered readable forever (read()
+  // keeps returning 0); keep polling only for what the connection
+  // still needs.
+  epoll_event ev{};
+  ev.events = (conn->eof ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void LineServer::FlushLocked(ConnId id, Conn* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        UpdateInterestLocked(id, conn);
+      }
+      return;
+    }
+    // Hard write error: the peer is gone; drop everything.
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    conn->close_after_flush = true;
+    return;
+  }
+  // Fully drained.
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    UpdateInterestLocked(id, conn);
+  }
+}
+
+void LineServer::CloseConnLocked(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void LineServer::Loop() {
+  std::vector<epoll_event> events(256);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      logging::Error(kComponent, "epoll_wait failed")
+          .With("error", std::strerror(errno));
+      break;
+    }
+    std::vector<ConnId> closed;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        continue;
+      }
+      if (tag == kUnixTag) {
+        AcceptAll(unix_listen_fd_);
+        continue;
+      }
+      if (tag == kTcpTag) {
+        AcceptAll(tcp_listen_fd_);
+        continue;
+      }
+      const ConnId id = tag;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = conns_.find(id);
+        if (it != conns_.end()) {
+          // Deliver what the kernel already buffered for us? No: the
+          // peer reset — tear down without guessing at torn input.
+          CloseConnLocked(id);
+          closed.push_back(id);
+        }
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(id);
+      if (events[i].events & EPOLLOUT) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = conns_.find(id);
+        if (it != conns_.end()) {
+          Conn* conn = it->second.get();
+          FlushLocked(id, conn);
+          if (conn->close_after_flush &&
+              conn->out_off >= conn->outbuf.size()) {
+            CloseConnLocked(id);
+            closed.push_back(id);
+          }
+        }
+      }
+    }
+    // Drain connections with freshly queued output or pending closes.
+    std::vector<ConnId> dirty;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dirty.swap(dirty_);
+      for (const ConnId id : dirty) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        Conn* conn = it->second.get();
+        FlushLocked(id, conn);
+        if (conn->close_after_flush && conn->out_off >= conn->outbuf.size()) {
+          CloseConnLocked(id);
+          closed.push_back(id);
+        }
+      }
+    }
+    if (handlers_.on_close) {
+      for (const ConnId id : closed) handlers_.on_close(id);
+    }
+  }
+  // Final best-effort flush: Stop() runs after the manager drained, so
+  // responses queued by the very last completions are sitting in
+  // outbufs; give each socket one non-blocking chance to take them.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, conn] : conns_) FlushLocked(id, conn.get());
+}
+
+}  // namespace net
+}  // namespace kbrepair

@@ -1,0 +1,172 @@
+// LineServer: the daemon's connection listener for the JSON-lines
+// protocol.
+//
+// One epoll event-loop thread owns every socket: it accepts from a
+// Unix-domain listener and/or a loopback TCP listener (both optional,
+// both non-blocking), reads whatever byte chunks the kernel delivers,
+// reassembles protocol lines with LineFramer, and hands each completed
+// line to `on_line` — the same strings the stdio transport reads with
+// getline, so both transports are byte-identical at the protocol
+// layer.
+//
+// Threading contract:
+//  * on_line / on_close run on the event-loop thread; they must not
+//    block (the daemon's on_line just enqueues into SessionManager).
+//  * Send() is safe from any thread (worker completions call it): it
+//    appends to the connection's output buffer under a lock and wakes
+//    the loop via an eventfd; all socket writes happen on the loop
+//    thread, with EPOLLOUT armed only while a buffer is backlogged.
+//  * A Send to a connection that is already gone is silently dropped —
+//    completions can race with disconnects by design.
+//
+// Overload and abuse handling:
+//  * a line longer than max_line_bytes gets one error line (built by
+//    the `framing_error` hook) and the connection is closed after the
+//    buffer flushes — there is no way to resynchronize inside an
+//    unbounded line;
+//  * a connection whose unread output exceeds max_output_buffer_bytes
+//    (a slow or stuck reader) is dropped;
+//  * a connection that closes mid-line had a torn final command, which
+//    is discarded, matching stdio EOF semantics.
+
+#ifndef KBREPAIR_SERVICE_NET_LINE_SERVER_H_
+#define KBREPAIR_SERVICE_NET_LINE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/net/framer.h"
+#include "util/status.h"
+
+namespace kbrepair {
+namespace net {
+
+struct LineServerOptions {
+  // Unix-domain listener path; empty disables it.
+  std::string unix_path;
+  // TCP listener (loopback by default); tcp_port 0 picks an ephemeral
+  // port, published to tcp_port_file when set.
+  bool tcp = false;
+  std::string tcp_bind_address = "127.0.0.1";
+  int tcp_port = 0;
+  std::string tcp_port_file;
+  int backlog = 128;
+  size_t max_line_bytes = LineFramer::kDefaultMaxLineBytes;
+  // Per-connection cap on buffered-but-unsent response bytes.
+  size_t max_output_buffer_bytes = 64u << 20;
+};
+
+class LineServer {
+ public:
+  using ConnId = uint64_t;
+
+  struct Handlers {
+    // One framed protocol line from a connection. Required.
+    std::function<void(ConnId, std::string)> on_line;
+    // The connection is gone (client close, error, or drop). Optional.
+    std::function<void(ConnId)> on_close;
+    // Builds the single error line sent before dropping a connection
+    // that overflowed max_line_bytes. Optional (nothing sent if unset).
+    std::function<std::string(const std::string& reason)> framing_error;
+  };
+
+  LineServer(LineServerOptions options, Handlers handlers);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  // Binds the listeners and starts the event-loop thread. At least one
+  // of unix_path / tcp must be configured.
+  Status Start();
+
+  // Closes listeners and every connection, joins the loop thread,
+  // unlinks the Unix socket path. Idempotent.
+  void Stop();
+
+  // Queues `data` (the caller includes the trailing '\n') for `conn`.
+  // Thread-safe; drops silently if the connection no longer exists.
+  void Send(ConnId conn, std::string data);
+
+  // Closes `conn` once its pending output has flushed. Thread-safe.
+  void CloseAfterFlush(ConnId conn);
+
+  // The TCP listener's bound port (resolves tcp_port 0), -1 when no
+  // TCP listener is configured. Valid after Start().
+  int tcp_port() const { return tcp_port_; }
+
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    LineFramer framer;
+    std::string outbuf;     // bytes queued for the socket
+    size_t out_off = 0;     // already-written prefix of outbuf
+    bool want_write = false;       // EPOLLOUT currently armed
+    bool close_after_flush = false;
+    // The protocol answers every request line with exactly one response
+    // line, so a half-closed (EOF'd) connection is torn down only once
+    // every dispatched line has been answered and flushed — EOF means
+    // "no more requests", not "drop my in-flight responses" (matching
+    // stdio, where EOF drains the manager before exiting).
+    uint64_t pending_lines = 0;
+    bool eof = false;
+    Conn(int fd_in, size_t max_line) : fd(fd_in), framer(max_line) {}
+  };
+
+  void Loop();
+  void AcceptAll(int listen_fd);
+  void HandleReadable(ConnId id);
+  // Flushes as much of conn->outbuf as the socket accepts; arms or
+  // disarms EPOLLOUT to match. Caller holds mu_.
+  void FlushLocked(ConnId id, Conn* conn);
+  // Re-registers the connection's epoll interest from its eof /
+  // want_write state. Caller holds mu_.
+  void UpdateInterestLocked(ConnId id, Conn* conn);
+  // Caller holds mu_. Removes the connection and fires on_close.
+  void CloseConnLocked(ConnId id);
+  void WakeLoop();
+
+  LineServerOptions options_;
+  Handlers handlers_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Send()/Stop() nudge the loop
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int tcp_port_ = -1;
+
+  std::mutex mu_;
+  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
+  // Connections with freshly queued output, drained on each wake.
+  std::vector<ConnId> dirty_;
+  ConnId next_conn_id_ = 16;  // ids below 16 are reserved for listeners
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> active_{0};
+  std::atomic<uint64_t> dropped_{0};
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_NET_LINE_SERVER_H_

@@ -32,6 +32,11 @@ struct ServiceRequest {
   std::string command;     // required
   std::string session_id;  // required for session commands
   JsonValue params;        // the full request object (extra fields)
+  // Internal-only (never parsed from the wire): a pre-assigned id for a
+  // `create`. The sharded front-end picks the id so it can route the
+  // session to the shard its id hashes to; a plain SessionManager keeps
+  // assigning its own ids when this is empty.
+  std::string assigned_session_id;
 };
 
 // Parses one wire line. InvalidArgument on malformed JSON, a non-object

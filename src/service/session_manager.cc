@@ -132,6 +132,21 @@ void SessionManager::Submit(ServiceRequest request, Completion done) {
   Complete(task, rejection, JsonValue::Null());
 }
 
+uint64_t SessionManager::LastSessionNumber() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_session_;
+}
+
+size_t SessionManager::CommandsInFlight() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_in_flight_;
+}
+
+size_t SessionManager::SessionsRegistered() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
 void SessionManager::SubmitLine(const std::string& line,
                                 std::function<void(std::string)> emit) {
   StatusOr<ServiceRequest> parsed = ParseRequestLine(line);
@@ -248,7 +263,21 @@ void SessionManager::RunCreate(Task task) {
   std::string id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    id = "s-" + std::to_string(++next_session_);
+    if (!task.request.assigned_session_id.empty()) {
+      // The sharded front-end already chose the id (so it routes to this
+      // shard). Keep our own counter ahead of it, so a later
+      // self-assigned id can never collide.
+      id = task.request.assigned_session_id;
+      if (id.size() > 2 && id.compare(0, 2, "s-") == 0) {
+        char* end = nullptr;
+        const unsigned long long n = ::strtoull(id.c_str() + 2, &end, 10);
+        if (end != nullptr && *end == '\0' && n > next_session_) {
+          next_session_ = n;
+        }
+      }
+    } else {
+      id = "s-" + std::to_string(++next_session_);
+    }
   }
   // Correlate every log line below (WAL failures, engine demotions in
   // the census) with the session being created.

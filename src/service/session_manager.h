@@ -103,6 +103,16 @@ class SessionManager {
   ServiceMetrics& metrics() { return metrics_; }
   size_t num_workers() const { return config_.num_workers; }
 
+  // Highest "s-N" session number this manager has seen (assigned,
+  // recovered, or externally routed). The sharded front-end seeds its
+  // global id counter past every shard's value after recovery.
+  uint64_t LastSessionNumber();
+
+  // Point-in-time queue/registry sizes (for the sharded front-end's
+  // aggregate `metrics` response). Thread-safe.
+  size_t CommandsInFlight();
+  size_t SessionsRegistered();
+
   // Readiness-failure causes for the HTTP exporter's /readyz: empty
   // while the service is healthy. Degrading conditions: shutdown in
   // progress, a worker currently past the stall threshold, and a WAL

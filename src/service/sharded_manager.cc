@@ -1,0 +1,318 @@
+#include "service/sharded_manager.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "service/protocol.h"
+#include "service/wal.h"
+#include "util/log.h"
+
+namespace kbrepair {
+
+namespace {
+
+constexpr char kComponent[] = "shard";
+
+}  // namespace
+
+size_t ShardedSessionManager::ShardForSession(const std::string& session_id,
+                                              size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // FNV-1a 64: stable across restarts and standard libraries, which
+  // std::hash is not — recovery re-routes WALs by this value.
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : session_id) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash % num_shards);
+}
+
+std::string ShardedSessionManager::ShardWalDir(const std::string& root,
+                                               size_t shard_index,
+                                               size_t num_shards) {
+  if (num_shards <= 1) return root;  // the pre-shard layout
+  return root + "/shard-" + std::to_string(shard_index);
+}
+
+void ShardedSessionManager::RebalanceWalFiles(const std::string& root,
+                                              size_t num_shards) {
+  // Collect every WAL anywhere in the layout: the root itself (the
+  // 1-shard layout) and any shard-*/ subdirectory a previous run with a
+  // different shard count left behind.
+  std::vector<std::pair<std::string, std::string>> found;  // {dir, id}
+  for (const std::string& id : ListWalSessionIds(root)) {
+    found.emplace_back(root, id);
+  }
+  if (DIR* dir = ::opendir(root.c_str())) {
+    while (dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.compare(0, 6, "shard-") != 0) continue;
+      const std::string sub = root + "/" + name;
+      struct stat st{};
+      if (::stat(sub.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) continue;
+      for (const std::string& id : ListWalSessionIds(sub)) {
+        found.emplace_back(sub, id);
+      }
+    }
+    ::closedir(dir);
+  }
+  size_t moved = 0;
+  for (const auto& [dir, id] : found) {
+    const std::string target_dir =
+        ShardWalDir(root, ShardForSession(id, num_shards), num_shards);
+    if (dir == target_dir) continue;
+    const std::string from = dir + "/" + id + ".wal";
+    const std::string to = target_dir + "/" + id + ".wal";
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      logging::Error(kComponent, "WAL rebalance rename failed")
+          .With("from", from)
+          .With("to", to);
+      continue;
+    }
+    ++moved;
+  }
+  if (moved != 0) {
+    logging::Info(kComponent, "rebalanced WALs across shards")
+        .With("moved", static_cast<int64_t>(moved))
+        .With("shards", static_cast<int64_t>(num_shards));
+  }
+}
+
+ShardedSessionManager::ShardedSessionManager(ShardedConfig config)
+    : config_(std::move(config)) {
+  const size_t num_shards = std::max<size_t>(1, config_.num_shards);
+  const std::string wal_root = config_.shard.wal_dir;
+  if (!wal_root.empty() && num_shards > 1) {
+    for (size_t i = 0; i < num_shards; ++i) {
+      // Best-effort; SessionWal::Open reports a usable error if the
+      // directory is truly unavailable.
+      ::mkdir(ShardWalDir(wal_root, i, num_shards).c_str(), 0755);
+    }
+  }
+  if (config_.shard.recover && !wal_root.empty()) {
+    RebalanceWalFiles(wal_root, num_shards);
+  }
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    ServiceConfig shard_config = config_.shard;
+    if (!wal_root.empty()) {
+      shard_config.wal_dir = ShardWalDir(wal_root, i, num_shards);
+    }
+    // The span recorder is process-global and Enable() resets its
+    // epoch; only shard 0 may own it.
+    if (i != 0) shard_config.trace_dir.clear();
+    shards_.push_back(std::make_unique<SessionManager>(shard_config));
+  }
+  uint64_t max_seen = 0;
+  for (const auto& shard : shards_) {
+    max_seen = std::max(max_seen, shard->LastSessionNumber());
+  }
+  next_session_.store(max_seen, std::memory_order_relaxed);
+  if (num_shards > 1) {
+    logging::Info(kComponent, "sharded session manager up")
+        .With("shards", static_cast<int64_t>(num_shards))
+        .With("workers_per_shard",
+              static_cast<int64_t>(config_.shard.num_workers));
+  }
+}
+
+ShardedSessionManager::~ShardedSessionManager() { Shutdown(); }
+
+void ShardedSessionManager::Shutdown() {
+  for (const auto& shard : shards_) shard->Shutdown();
+}
+
+void ShardedSessionManager::Submit(ServiceRequest request,
+                                   SessionManager::Completion done) {
+  if (shards_.size() == 1) {
+    shards_[0]->Submit(std::move(request), std::move(done));
+    return;
+  }
+  const std::string& command = request.command;
+  if (command == "create") {
+    const std::string id =
+        "s-" + std::to_string(
+                   next_session_.fetch_add(1, std::memory_order_relaxed) + 1);
+    request.assigned_session_id = id;
+    shards_[ShardForSession(id, shards_.size())]->Submit(std::move(request),
+                                                         std::move(done));
+    return;
+  }
+  if (command == "metrics") {
+    // Answered at the front-end: the aggregate over every shard, in the
+    // single-shard response shape. Accounted to shard 0, counted before
+    // the snapshot so the response includes itself (matching the
+    // single-shard ordering).
+    shards_[0]->metrics().requests_total.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    done(Status::Ok(), MetricsJson());
+    return;
+  }
+  if (command == "trace") {
+    shards_[0]->Submit(std::move(request), std::move(done));
+    return;
+  }
+  if (request.session_id.empty()) {
+    // Shard 0 produces the canonical missing-/unknown-session errors.
+    shards_[0]->Submit(std::move(request), std::move(done));
+    return;
+  }
+  shards_[ShardForSession(request.session_id, shards_.size())]->Submit(
+      std::move(request), std::move(done));
+}
+
+void ShardedSessionManager::SubmitLine(const std::string& line,
+                                       std::function<void(std::string)> emit) {
+  if (shards_.size() == 1) {
+    shards_[0]->SubmitLine(line, std::move(emit));
+    return;
+  }
+  StatusOr<ServiceRequest> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    ServiceMetrics& front = shards_[0]->metrics();
+    front.requests_total.fetch_add(1, std::memory_order_relaxed);
+    front.errors_total.fetch_add(1, std::memory_order_relaxed);
+    emit(ErrorResponseForLine(line, parsed.status()));
+    return;
+  }
+  ServiceRequest request = std::move(parsed).value();
+  std::string id = request.id;
+  Submit(std::move(request),
+         [id = std::move(id), emit = std::move(emit)](Status status,
+                                                      JsonValue result) {
+           ServiceRequest echo;
+           echo.id = id;
+           emit(status.ok() ? OkResponseLine(echo, std::move(result))
+                            : ErrorResponseLine(echo, status));
+         });
+}
+
+StatusOr<JsonValue> ShardedSessionManager::Execute(ServiceRequest request) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Status status = Status::Ok();
+  JsonValue result;
+  Submit(std::move(request), [&](Status s, JsonValue r) {
+    std::lock_guard<std::mutex> lock(mu);
+    status = std::move(s);
+    result = std::move(r);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  if (!status.ok()) return status;
+  return result;
+}
+
+JsonValue ShardedSessionManager::MetricsJson() {
+  ServiceMetrics aggregate;
+  for (const auto& shard : shards_) aggregate.MergeFrom(shard->metrics());
+  JsonValue out = aggregate.ToJson();
+
+  size_t commands_in_flight = 0;
+  size_t sessions_registered = 0;
+  for (const auto& shard : shards_) {
+    commands_in_flight += shard->CommandsInFlight();
+    sessions_registered += shard->SessionsRegistered();
+  }
+  JsonValue service = JsonValue::Object();
+  service.Set("workers",
+              JsonValue::Number(static_cast<int64_t>(
+                  shards_.size() * config_.shard.num_workers)));
+  service.Set("commands_in_flight",
+              JsonValue::Number(static_cast<int64_t>(commands_in_flight)));
+  service.Set("sessions_registered",
+              JsonValue::Number(static_cast<int64_t>(sessions_registered)));
+  service.Set("shards",
+              JsonValue::Number(static_cast<int64_t>(shards_.size())));
+  out.Set("service", std::move(service));
+
+  JsonValue per_shard = JsonValue::Array();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ServiceMetrics& m = shards_[i]->metrics();
+    JsonValue row = JsonValue::Object();
+    row.Set("shard", JsonValue::Number(static_cast<int64_t>(i)));
+    row.Set("sessions_active",
+            JsonValue::Number(
+                m.sessions_active.load(std::memory_order_relaxed)));
+    row.Set("sessions_opened",
+            JsonValue::Number(
+                m.sessions_opened.load(std::memory_order_relaxed)));
+    row.Set("requests_total",
+            JsonValue::Number(
+                m.requests_total.load(std::memory_order_relaxed)));
+    row.Set("turn_delay_count",
+            JsonValue::Number(m.turn_delay.count()));
+    per_shard.Append(std::move(row));
+  }
+  out.Set("per_shard", std::move(per_shard));
+  return out;
+}
+
+void ShardedSessionManager::AppendMetricsText(std::string* out) {
+  ServiceMetrics aggregate;
+  for (const auto& shard : shards_) aggregate.MergeFrom(shard->metrics());
+  AppendPrometheusText(aggregate, out);
+  if (shards_.size() > 1) {
+    std::vector<const ServiceMetrics*> views;
+    views.reserve(shards_.size());
+    for (const auto& shard : shards_) views.push_back(&shard->metrics());
+    AppendShardPrometheusText(views, out);
+  }
+}
+
+std::vector<std::string> ShardedSessionManager::ReadinessCauses() {
+  if (shards_.size() == 1) return shards_[0]->ReadinessCauses();
+  std::vector<std::string> causes;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (const std::string& cause : shards_[i]->ReadinessCauses()) {
+      causes.push_back("shard " + std::to_string(i) + ": " + cause);
+    }
+  }
+  return causes;
+}
+
+JsonValue ShardedSessionManager::StatuszJson() {
+  if (shards_.size() == 1) return shards_[0]->StatuszJson();
+  JsonValue out = JsonValue::Object();
+  out.Set("uptime_s", JsonValue::Number(
+                          static_cast<double>(MonotonicNowNs() - start_ns_) /
+                          1e9));
+  out.Set("shards",
+          JsonValue::Number(static_cast<int64_t>(shards_.size())));
+  out.Set("workers_per_shard",
+          JsonValue::Number(
+              static_cast<int64_t>(config_.shard.num_workers)));
+  int64_t sessions_active = 0;
+  size_t commands_in_flight = 0;
+  for (const auto& shard : shards_) {
+    sessions_active +=
+        shard->metrics().sessions_active.load(std::memory_order_relaxed);
+    commands_in_flight += shard->CommandsInFlight();
+  }
+  out.Set("sessions_active", JsonValue::Number(sessions_active));
+  out.Set("commands_in_flight",
+          JsonValue::Number(static_cast<int64_t>(commands_in_flight)));
+  JsonValue readiness = JsonValue::Array();
+  for (const std::string& cause : ReadinessCauses()) {
+    readiness.Append(JsonValue::String(cause));
+  }
+  out.Set("readiness_causes", std::move(readiness));
+  JsonValue per_shard = JsonValue::Array();
+  for (const auto& shard : shards_) {
+    per_shard.Append(shard->StatuszJson());
+  }
+  out.Set("shard", std::move(per_shard));
+  return out;
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,111 @@
+// ShardedSessionManager: N independent SessionManagers behind one
+// protocol front-end.
+//
+// Scaling past one SessionManager means scaling past its one mutex:
+// admission, per-session queues, eviction and recovery all serialize on
+// it. Instead of making that lock cleverer, the daemon runs N whole
+// managers ("shards"), each with its own workers, ready queue, reaper
+// and WAL directory, and routes every command by a stable hash of the
+// session id:
+//
+//  * `create` — the front-end assigns the globally unique "s-<n>" id
+//    from one atomic counter, hashes it, and hands the create (with the
+//    id pre-assigned via ServiceRequest::assigned_session_id) to the
+//    owning shard;
+//  * session commands (`ask`/`answer`/...) — routed by hashing the
+//    client-supplied session id, so a session's commands always land on
+//    the shard that owns its state;
+//  * `metrics` — answered at the front-end by merging every shard's
+//    ServiceMetrics into one aggregate with the single-shard JSON
+//    shape (plus a per-shard summary);
+//  * `trace` — routed to shard 0, the only shard given a trace_dir
+//    (the span recorder is process-global; enabling it N times would
+//    reset its epoch N times).
+//
+// The hash is FNV-1a, not std::hash: shard ownership must be stable
+// across restarts (recovery re-routes each WAL to the shard its id
+// hashes to) and across standard libraries.
+//
+// WAL layout: with 1 shard the root wal_dir is used as-is (the
+// pre-shard layout); with N > 1 shard i logs under
+// <wal_dir>/shard-<i>/. Recovery with a *different* shard count than
+// the previous run first sweeps every WAL found anywhere in the layout
+// into the directory its session id now hashes to, so scaling the
+// daemon up or down never strands a session.
+//
+// With num_shards == 1 every call is a pure pass-through to the single
+// SessionManager — the stdio daemon's behavior is byte-identical to
+// the pre-sharding one.
+
+#ifndef KBREPAIR_SERVICE_SHARDED_MANAGER_H_
+#define KBREPAIR_SERVICE_SHARDED_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/session_manager.h"
+
+namespace kbrepair {
+
+struct ShardedConfig {
+  size_t num_shards = 1;
+  // Per-shard template. num_workers/max_queue are PER SHARD; wal_dir
+  // and trace_dir are the root locations the sharded layout described
+  // above is derived from.
+  ServiceConfig shard;
+};
+
+class ShardedSessionManager {
+ public:
+  explicit ShardedSessionManager(ShardedConfig config);
+  ~ShardedSessionManager();
+
+  ShardedSessionManager(const ShardedSessionManager&) = delete;
+  ShardedSessionManager& operator=(const ShardedSessionManager&) = delete;
+
+  // Wire-level submit, same contract as SessionManager::SubmitLine:
+  // parses, routes, and emits exactly one enveloped response line.
+  void SubmitLine(const std::string& line,
+                  std::function<void(std::string)> emit);
+
+  // Routed submit / blocking convenience (tests).
+  void Submit(ServiceRequest request, SessionManager::Completion done);
+  StatusOr<JsonValue> Execute(ServiceRequest request);
+
+  // Shuts every shard down (drains all of them). Idempotent.
+  void Shutdown();
+
+  size_t num_shards() const { return shards_.size(); }
+  SessionManager& shard(size_t i) { return *shards_[i]; }
+
+  // Aggregate observability, exporter-shaped like the single-shard
+  // manager's. With N > 1 the exposition additionally carries
+  // kbrepair_shard_*{shard="i"} series and /statusz a "shard" array.
+  JsonValue MetricsJson();
+  void AppendMetricsText(std::string* out);
+  std::vector<std::string> ReadinessCauses();
+  JsonValue StatuszJson();
+
+  // Stable shard routing (FNV-1a 64 over the session id).
+  static size_t ShardForSession(const std::string& session_id,
+                                size_t num_shards);
+  // <root>/shard-<i> for N > 1; the root itself for N == 1.
+  static std::string ShardWalDir(const std::string& root, size_t shard_index,
+                                 size_t num_shards);
+
+ private:
+  void RebalanceWalFiles(const std::string& root, size_t num_shards);
+
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<SessionManager>> shards_;
+  std::atomic<uint64_t> next_session_{0};
+  const int64_t start_ns_ = MonotonicNowNs();
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_SHARDED_MANAGER_H_

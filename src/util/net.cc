@@ -1,0 +1,158 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace kbrepair {
+namespace net {
+
+namespace {
+
+std::string Errno() { return std::strerror(errno); }
+
+}  // namespace
+
+StatusOr<int> ListenTcp(const std::string& bind_address, int port,
+                        int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Unavailable("net: socket() failed: " + Errno());
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("net: bad bind address '" + bind_address +
+                                   "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string error = Errno();
+    ::close(fd);
+    return Status::Unavailable("net: cannot bind " + bind_address + ":" +
+                               std::to_string(port) + ": " + error);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const std::string error = Errno();
+    ::close(fd);
+    return Status::Unavailable("net: listen() failed: " + error);
+  }
+  return fd;
+}
+
+StatusOr<int> BoundTcpPort(int fd) {
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    return Status::Unavailable("net: getsockname() failed: " + Errno());
+  }
+  return static_cast<int>(ntohs(bound.sin_port));
+}
+
+StatusOr<int> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument("net: unix socket path too long: '" + path +
+                                   "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Unavailable("net: socket() failed: " + Errno());
+  }
+  // A stale socket file from a previous run would make bind fail with
+  // EADDRINUSE even though nothing is listening.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string error = Errno();
+    ::close(fd);
+    return Status::Unavailable("net: cannot bind unix socket '" + path +
+                               "': " + error);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const std::string error = Errno();
+    ::close(fd);
+    return Status::Unavailable("net: listen() failed: " + error);
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: bad address '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Unavailable("net: socket() failed: " + Errno());
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string error = Errno();
+    ::close(fd);
+    return Status::Unavailable("net: cannot connect to " + host + ":" +
+                               std::to_string(port) + ": " + error);
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument("net: unix socket path too long: '" + path +
+                                   "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Unavailable("net: socket() failed: " + Errno());
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string error = Errno();
+    ::close(fd);
+    return Status::Unavailable("net: cannot connect to unix socket '" + path +
+                               "': " + error);
+  }
+  return fd;
+}
+
+Status WritePortFile(const std::string& path, int port) {
+  return AtomicWriteFile(path, std::to_string(port) + "\n");
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Unavailable("net: fcntl(O_NONBLOCK) failed: " + Errno());
+  }
+  return Status::Ok();
+}
+
+StatusOr<int> AcceptConnection(int listen_fd) {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd >= 0) return fd;
+  if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+      errno == EWOULDBLOCK) {
+    return -1;  // benign: caller should retry / wait for the next event
+  }
+  return Status::Unavailable("net: accept() failed: " + Errno());
+}
+
+}  // namespace net
+}  // namespace kbrepair

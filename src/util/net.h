@@ -1,0 +1,54 @@
+// Socket setup helpers shared by every listener in the daemon (the
+// HTTP exporter and the JSON-lines connection listener) and by the
+// client's connect paths: one place that gets SO_REUSEADDR, CLOEXEC,
+// ephemeral-port discovery and port-file publication right.
+//
+// All functions return raw fds owned by the caller (close() them) and
+// never throw; errors come back as Status with the errno text folded
+// into the message.
+
+#ifndef KBREPAIR_UTIL_NET_H_
+#define KBREPAIR_UTIL_NET_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace kbrepair {
+namespace net {
+
+// Creates a TCP listener bound to `bind_address:port` (port 0 = pick an
+// ephemeral port) with SO_REUSEADDR and CLOEXEC set. Returns the
+// listening fd.
+StatusOr<int> ListenTcp(const std::string& bind_address, int port,
+                        int backlog);
+
+// The actual bound port of a TCP listening fd (resolves port 0).
+StatusOr<int> BoundTcpPort(int fd);
+
+// Creates a Unix-domain stream listener at `path` (CLOEXEC set). An
+// existing socket file at `path` is unlinked first so daemon restarts
+// do not fail with EADDRINUSE. Returns the listening fd.
+StatusOr<int> ListenUnix(const std::string& path, int backlog);
+
+// Blocking connect to a TCP endpoint / Unix-domain socket path.
+// Returns the connected fd (CLOEXEC set).
+StatusOr<int> ConnectTcp(const std::string& host, int port);
+StatusOr<int> ConnectUnix(const std::string& path);
+
+// Publishes the bound port atomically (tmp + fsync + rename), so a
+// watcher polling the file never reads a partial number.
+Status WritePortFile(const std::string& path, int port);
+
+// O_NONBLOCK on an existing fd (for event-loop sockets).
+Status SetNonBlocking(int fd);
+
+// accept4(CLOEXEC) wrapper: returns the connection fd, -1 on a benign
+// retryable error (EINTR/ECONNABORTED/EAGAIN), or a Status on a real
+// accept failure.
+StatusOr<int> AcceptConnection(int listen_fd);
+
+}  // namespace net
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_NET_H_

@@ -1,0 +1,293 @@
+// LineFramer and LineServer under adversarial fragmentation.
+//
+// TCP (and even Unix-domain sockets under load) deliver bytes in
+// arbitrary chunks: a framed protocol must produce the same lines
+// whether a command arrives one byte at a time, coalesced with its
+// neighbors, or split across a chunk boundary mid-UTF-8-sequence.
+// These tests feed LineFramer every pathological chunking and then
+// drive a live LineServer over a Unix socket with the same patterns.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/net/framer.h"
+#include "service/net/line_server.h"
+#include "util/net.h"
+#include "util/status.h"
+
+namespace kbrepair {
+namespace {
+
+using net::LineFramer;
+using net::LineServer;
+using net::LineServerOptions;
+
+std::vector<std::string> FeedAll(LineFramer& framer, const std::string& data,
+                                 size_t chunk_size) {
+  std::vector<std::string> lines;
+  for (size_t off = 0; off < data.size(); off += chunk_size) {
+    const size_t n = std::min(chunk_size, data.size() - off);
+    EXPECT_TRUE(framer.Feed(data.data() + off, n, &lines));
+  }
+  return lines;
+}
+
+TEST(LineFramerTest, WholeLinesInOneChunk) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines =
+      FeedAll(framer, "alpha\nbeta\ngamma\n", 1024);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(lines[1], "beta");
+  EXPECT_EQ(lines[2], "gamma");
+  EXPECT_FALSE(framer.HasPartial());
+}
+
+TEST(LineFramerTest, OneByteAtATime) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines =
+      FeedAll(framer, "alpha\nbeta\ngamma\n", 1);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(lines[1], "beta");
+  EXPECT_EQ(lines[2], "gamma");
+}
+
+TEST(LineFramerTest, EveryChunkSizeYieldsIdenticalLines) {
+  const std::string data =
+      "{\"id\":\"r-1\",\"command\":\"create\"}\n"
+      "{\"id\":\"r-2\",\"command\":\"ask\",\"session\":\"s-1\"}\n"
+      "{\"id\":\"r-3\"}\n";
+  LineFramer reference(1024);
+  const std::vector<std::string> want = FeedAll(reference, data, data.size());
+  for (size_t chunk = 1; chunk <= data.size(); ++chunk) {
+    LineFramer framer(1024);
+    EXPECT_EQ(FeedAll(framer, data, chunk), want)
+        << "chunk size " << chunk << " changed the framed lines";
+  }
+}
+
+TEST(LineFramerTest, CarriageReturnStrippedAndEmptyLinesSkipped) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines =
+      FeedAll(framer, "one\r\n\n\r\ntwo\n", 1);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+}
+
+TEST(LineFramerTest, PartialLineIsHeldNotEmitted) {
+  LineFramer framer(1024);
+  std::vector<std::string> lines;
+  EXPECT_TRUE(framer.Feed("no newline yet", 14, &lines));
+  EXPECT_TRUE(lines.empty());
+  EXPECT_TRUE(framer.HasPartial());
+  EXPECT_TRUE(framer.Feed(" done\n", 6, &lines));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "no newline yet done");
+  EXPECT_FALSE(framer.HasPartial());
+}
+
+TEST(LineFramerTest, LineExactlyAtTheCapIsFine) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  EXPECT_TRUE(framer.Feed("12345678\n", 9, &lines));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "12345678");
+  EXPECT_FALSE(framer.overflowed());
+}
+
+TEST(LineFramerTest, OverflowPoisonsPermanently) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  EXPECT_FALSE(framer.Feed("123456789", 9, &lines));
+  EXPECT_TRUE(framer.overflowed());
+  EXPECT_TRUE(lines.empty());
+  // There is no way to resynchronize inside an unbounded line: even a
+  // newline does not revive the framer.
+  EXPECT_FALSE(framer.Feed("\nshort\n", 7, &lines));
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST(LineFramerTest, OverflowAcrossManySmallChunks) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  bool ok = true;
+  for (int i = 0; i < 20 && ok; ++i) ok = framer.Feed("x", 1, &lines);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(framer.overflowed());
+}
+
+// ------------------------------------------------------------------
+// Live LineServer: an echo handler over a real Unix socket, driven
+// with the same fragmentation patterns.
+
+struct EchoServer {
+  EchoServer() {
+    char tmpl[] = "/tmp/kbrepair_framing_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    EXPECT_GE(fd, 0);
+    ::close(fd);
+    path = tmpl;
+    LineServerOptions options;
+    options.unix_path = path;
+    options.max_line_bytes = 1 << 10;
+    LineServer::Handlers handlers;
+    handlers.on_line = [this](LineServer::ConnId conn, std::string line) {
+      server->Send(conn, "echo:" + line + "\n");
+    };
+    handlers.framing_error = [](const std::string& reason) {
+      return "framing-error:" + reason + "\n";
+    };
+    server = std::make_unique<LineServer>(options, handlers);
+    Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+  ~EchoServer() {
+    server->Stop();
+    ::unlink(path.c_str());
+  }
+  std::string path;
+  std::unique_ptr<LineServer> server;
+};
+
+void WriteAll(int fd, const std::string& data, size_t chunk_size,
+              bool pause_between_chunks = false) {
+  for (size_t off = 0; off < data.size();) {
+    const size_t want = std::min(chunk_size, data.size() - off);
+    const ssize_t n = ::write(fd, data.data() + off, want);
+    ASSERT_GT(n, 0) << "write failed: " << std::strerror(errno);
+    off += static_cast<size_t>(n);
+    if (pause_between_chunks) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+// Reads exactly `count` framed lines from the socket.
+std::vector<std::string> ReadLines(int fd, size_t count) {
+  std::vector<std::string> lines;
+  LineFramer framer(1 << 16);
+  char chunk[4096];
+  while (lines.size() < count) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    EXPECT_TRUE(framer.Feed(chunk, static_cast<size_t>(n), &lines));
+  }
+  return lines;
+}
+
+TEST(LineServerTest, OneByteAtATimeMatchesCoalesced) {
+  EchoServer echo;
+  const std::string input = "first\nsecond\nthird\n";
+  const std::vector<std::string> want = {"echo:first", "echo:second",
+                                         "echo:third"};
+
+  StatusOr<int> coalesced = net::ConnectUnix(echo.path);
+  ASSERT_TRUE(coalesced.ok()) << coalesced.status();
+  WriteAll(*coalesced, input, input.size());
+  EXPECT_EQ(ReadLines(*coalesced, want.size()), want);
+  ::close(*coalesced);
+
+  StatusOr<int> dribble = net::ConnectUnix(echo.path);
+  ASSERT_TRUE(dribble.ok()) << dribble.status();
+  // A pause between single-byte writes defeats kernel-side coalescing,
+  // so the server genuinely sees fragmented reads.
+  WriteAll(*dribble, input, 1, /*pause_between_chunks=*/true);
+  EXPECT_EQ(ReadLines(*dribble, want.size()), want);
+  ::close(*dribble);
+}
+
+TEST(LineServerTest, ManyCommandsCoalescedIntoOneWrite) {
+  EchoServer echo;
+  std::string input;
+  std::vector<std::string> want;
+  for (int i = 0; i < 200; ++i) {
+    input += "cmd-" + std::to_string(i) + "\n";
+    want.push_back("echo:cmd-" + std::to_string(i));
+  }
+  StatusOr<int> fd = net::ConnectUnix(echo.path);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  WriteAll(*fd, input, input.size());
+  EXPECT_EQ(ReadLines(*fd, want.size()), want);
+  ::close(*fd);
+}
+
+TEST(LineServerTest, HalfCloseStillDeliversPendingEchoes) {
+  EchoServer echo;
+  StatusOr<int> fd = net::ConnectUnix(echo.path);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  WriteAll(*fd, "parting\n", 8);
+  // SHUT_WR announces "no more requests"; the response must still
+  // arrive, then the server closes its end.
+  ASSERT_EQ(::shutdown(*fd, SHUT_WR), 0);
+  const std::vector<std::string> lines = ReadLines(*fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "echo:parting");
+  char extra;
+  EXPECT_EQ(::read(*fd, &extra, 1), 0) << "server did not close after flush";
+  ::close(*fd);
+}
+
+TEST(LineServerTest, OversizedLineGetsErrorThenClose) {
+  EchoServer echo;
+  StatusOr<int> fd = net::ConnectUnix(echo.path);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  const std::string huge(2048, 'x');  // max_line_bytes is 1024
+  WriteAll(*fd, huge, huge.size());
+  const std::vector<std::string> lines = ReadLines(*fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].compare(0, 14, "framing-error:"), 0) << lines[0];
+  char extra;
+  EXPECT_EQ(::read(*fd, &extra, 1), 0)
+      << "server kept an unframeable connection open";
+  ::close(*fd);
+}
+
+TEST(LineServerTest, TornFinalLineIsDiscarded) {
+  EchoServer echo;
+  StatusOr<int> fd = net::ConnectUnix(echo.path);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  WriteAll(*fd, "whole\ntorn-no-newline", 21);
+  ASSERT_EQ(::shutdown(*fd, SHUT_WR), 0);
+  // Only the complete line is answered; the torn tail evaporates
+  // (matching stdio EOF semantics).
+  const std::vector<std::string> lines = ReadLines(*fd, 2);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "echo:whole");
+  ::close(*fd);
+}
+
+TEST(LineServerTest, TcpListenerServesTheSameProtocol) {
+  LineServerOptions options;
+  options.tcp = true;
+  options.tcp_port = 0;
+  LineServer* raw = nullptr;
+  LineServer::Handlers handlers;
+  handlers.on_line = [&raw](LineServer::ConnId conn, std::string line) {
+    raw->Send(conn, "echo:" + line + "\n");
+  };
+  LineServer server(options, handlers);
+  raw = &server;
+  Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started;
+  ASSERT_GT(server.tcp_port(), 0);
+
+  StatusOr<int> fd = net::ConnectTcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  WriteAll(*fd, "over-tcp\n", 1, /*pause_between_chunks=*/true);
+  const std::vector<std::string> lines = ReadLines(*fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "echo:over-tcp");
+  ::close(*fd);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace kbrepair
