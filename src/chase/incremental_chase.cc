@@ -25,24 +25,53 @@ Status IncrementalChase::Initialize(const FactBase& facts) {
   initialized_ = false;
   chased_ = facts;
   num_original_ = facts.size();
-  derivations_.clear();
-  children_.clear();
-  suppressed_.clear();
-  suppressed_by_witness_.clear();
+  derivations_.Clear();
+  children_.Clear();
+  suppressed_.Clear();
+  suppressed_by_witness_.Clear();
 
-  anchor_index_.clear();
+  auto anchors = std::make_shared<AnchorIndex>();
   for (size_t r = 0; r < tgds_->size(); ++r) {
     const std::vector<Atom>& body = (*tgds_)[r].body();
     for (size_t j = 0; j < body.size(); ++j) {
-      anchor_index_[body[j].predicate].emplace_back(r, j);
+      (*anchors)[body[j].predicate].emplace_back(r, j);
     }
   }
+  anchor_index_ = std::move(anchors);
 
   std::deque<AtomId> work;
   for (AtomId id = 0; id < chased_.size(); ++id) work.push_back(id);
   KBREPAIR_RETURN_IF_ERROR(Saturate(std::move(work)));
   initialized_ = true;
   return Status::Ok();
+}
+
+void IncrementalChase::FreezeShared() {
+  KBREPAIR_CHECK(initialized_);
+  chased_.FreezeSharedBase();
+  derivations_.Freeze();
+  children_.Freeze();
+  suppressed_.Freeze();
+  suppressed_by_witness_.Freeze();
+}
+
+void IncrementalChase::AdoptShared(const IncrementalChase& frozen) {
+  KBREPAIR_CHECK(frozen.initialized_);
+  KBREPAIR_DCHECK(frozen.chased_.has_shared_base());
+  chased_ = frozen.chased_;
+  num_original_ = frozen.num_original_;
+  derivations_ = frozen.derivations_;
+  children_ = frozen.children_;
+  anchor_index_ = frozen.anchor_index_;
+  suppressed_ = frozen.suppressed_;
+  suppressed_by_witness_ = frozen.suppressed_by_witness_;
+  // A cold Initialize() never resets the lifetime counters, and a fresh
+  // chase starts them at zero — so adopting the prototype's values is
+  // exactly what Initialize() on the same facts would leave behind.
+  total_retracted_ = frozen.total_retracted_;
+  total_added_ = frozen.total_added_;
+  total_refired_ = frozen.total_refired_;
+  initialized_ = true;
 }
 
 AtomId IncrementalChase::FindAtom(const Atom& atom) const {
@@ -61,10 +90,10 @@ void IncrementalChase::RecordSuppressed(
     std::unordered_map<TermId, TermId> bindings,
     const std::vector<AtomId>& witnesses) {
   const size_t entry = suppressed_.size();
-  suppressed_.push_back(SuppressedTrigger{tgd_index, std::move(matched),
-                                          std::move(bindings)});
+  suppressed_.PushBack(SuppressedTrigger{tgd_index, std::move(matched),
+                                         std::move(bindings)});
   for (AtomId witness : witnesses) {
-    suppressed_by_witness_[witness].push_back(entry);
+    suppressed_by_witness_.Mutable(witness).push_back(entry);
   }
 }
 
@@ -104,8 +133,8 @@ Status IncrementalChase::FireTrigger(
     Derivation derivation;
     derivation.tgd_index = tgd_index;
     derivation.parents = matched;
-    derivations_.push_back(std::move(derivation));
-    for (AtomId parent : matched) children_[parent].push_back(new_id);
+    derivations_.PushBack(std::move(derivation));
+    for (AtomId parent : matched) children_.Mutable(parent).push_back(new_id);
     work->push_back(new_id);
     ++total_added_;
   }
@@ -129,8 +158,8 @@ Status IncrementalChase::Saturate(std::deque<AtomId> work) {
     work.pop_front();
     if (!chased_.alive(current)) continue;
     const PredicateId pred = chased_.atom(current).predicate;
-    auto it = anchor_index_.find(pred);
-    if (it == anchor_index_.end()) continue;
+    auto it = anchor_index_->find(pred);
+    if (it == anchor_index_->end()) continue;
     for (const auto& [tgd_index, body_pos] : it->second) {
       const Tgd& tgd = (*tgds_)[tgd_index];
       // Materialize triggers before firing: firing mutates the base the
@@ -163,25 +192,22 @@ void IncrementalChase::RetractAtom(AtomId id) {
   chased_.Remove(id);
   const Derivation& derivation = derivations_[id - num_original_];
   for (AtomId parent : derivation.parents) {
-    auto it = children_.find(parent);
-    if (it == children_.end()) continue;
-    auto entry = std::find(it->second.begin(), it->second.end(), id);
-    if (entry != it->second.end()) {
-      *entry = it->second.back();
-      it->second.pop_back();
-      if (it->second.empty()) children_.erase(it);
+    std::vector<AtomId>* kids = children_.FindMutable(parent);
+    if (kids == nullptr) continue;
+    auto entry = std::find(kids->begin(), kids->end(), id);
+    if (entry != kids->end()) {
+      *entry = kids->back();
+      kids->pop_back();
+      if (kids->empty()) children_.Erase(parent);
     }
   }
-  children_.erase(id);
+  children_.Erase(id);
   ++total_retracted_;
 }
 
 std::vector<size_t> IncrementalChase::TakeSuppressedByWitness(
     AtomId witness) {
-  auto it = suppressed_by_witness_.find(witness);
-  if (it == suppressed_by_witness_.end()) return {};
-  std::vector<size_t> entries = std::move(it->second);
-  suppressed_by_witness_.erase(it);
+  std::vector<size_t> entries = suppressed_by_witness_.Take(witness);
   entries.erase(std::remove_if(entries.begin(), entries.end(),
                                [&](size_t e) {
                                  return suppressed_[e].matched.empty();
@@ -204,19 +230,17 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
   // provenance (transitively) used it.
   std::vector<AtomId> frontier;
   {
-    auto it = children_.find(atom);
-    if (it != children_.end()) {
-      frontier.assign(it->second.begin(), it->second.end());
-    }
+    const std::vector<AtomId>* kids = children_.Find(atom);
+    if (kids != nullptr) frontier.assign(kids->begin(), kids->end());
   }
   std::vector<AtomId> cone;
   while (!frontier.empty()) {
     const AtomId id = frontier.back();
     frontier.pop_back();
     if (!chased_.alive(id)) continue;  // already collected via another path
-    auto it = children_.find(id);
-    if (it != children_.end()) {
-      frontier.insert(frontier.end(), it->second.begin(), it->second.end());
+    const std::vector<AtomId>* kids = children_.Find(id);
+    if (kids != nullptr) {
+      frontier.insert(frontier.end(), kids->begin(), kids->end());
     }
     RetractAtom(id);
     cone.push_back(id);
@@ -249,8 +273,8 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
 
   HomomorphismFinder finder(symbols_, &chased_);
   for (size_t entry_index : revive) {
-    SuppressedTrigger& entry = suppressed_[entry_index];
-    if (entry.matched.empty()) continue;  // killed meanwhile
+    if (suppressed_[entry_index].matched.empty()) continue;  // killed
+    SuppressedTrigger& entry = suppressed_.Mutable(entry_index);
     const Tgd& tgd = (*tgds_)[entry.tgd_index];
     // The body must still be alive and still match under the recorded
     // bindings (the fixed atom may have invalidated it).
@@ -270,7 +294,7 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
     if (witness.has_value()) {
       // Still blocked; re-register under the current witness.
       for (AtomId w : witness->matched) {
-        suppressed_by_witness_[w].push_back(entry_index);
+        suppressed_by_witness_.Mutable(w).push_back(entry_index);
       }
       continue;
     }

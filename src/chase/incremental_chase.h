@@ -49,6 +49,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +57,7 @@
 #include "kb/fact_base.h"
 #include "kb/symbol_table.h"
 #include "rules/tgd.h"
+#include "util/cow.h"
 #include "util/status.h"
 
 namespace kbrepair {
@@ -77,6 +79,19 @@ class IncrementalChase {
 
   // Full chase of a copy of `facts`. Resets all maintained state.
   Status Initialize(const FactBase& facts);
+
+  // Flattens the maintained state (chased base, provenance, ledger) into
+  // immutable shared segments so AdoptShared() forks are O(1). Call on a
+  // fully saturated prototype that will never be mutated again.
+  void FreezeShared();
+
+  // Adopts the frozen maintained state of `frozen` — a prototype
+  // saturated over the same rule set and a symbol-table ancestor of this
+  // chase's table — instead of re-chasing. Equivalent to Initialize()
+  // on the prototype's original facts, in O(delta)=O(1). The chase's own
+  // symbols/tgds/options (from the constructor) are kept, so per-session
+  // cancel tokens keep working.
+  void AdoptShared(const IncrementalChase& frozen);
 
   bool initialized() const { return initialized_; }
 
@@ -152,15 +167,17 @@ class IncrementalChase {
   FactBase chased_;
   size_t num_original_ = 0;
   // Derivation of atom id (valid while alive); index id - num_original_.
-  std::vector<Derivation> derivations_;
+  CowVector<Derivation> derivations_;
   // parent atom -> alive derived children (lazily pruned).
-  std::unordered_map<AtomId, std::vector<AtomId>> children_;
-  // (rule body predicate) -> [(tgd index, body position)].
-  std::unordered_map<int32_t, std::vector<std::pair<size_t, size_t>>>
-      anchor_index_;
+  CowMap<AtomId, std::vector<AtomId>> children_;
+  // (rule body predicate) -> [(tgd index, body position)]. Immutable
+  // after Initialize, shared between a frozen prototype and its forks.
+  using AnchorIndex =
+      std::unordered_map<int32_t, std::vector<std::pair<size_t, size_t>>>;
+  std::shared_ptr<const AnchorIndex> anchor_index_;
 
-  std::vector<SuppressedTrigger> suppressed_;
-  std::unordered_map<AtomId, std::vector<size_t>> suppressed_by_witness_;
+  CowVector<SuppressedTrigger> suppressed_;
+  CowMap<AtomId, std::vector<size_t>> suppressed_by_witness_;
 
   size_t total_retracted_ = 0;
   size_t total_added_ = 0;

@@ -10,8 +10,8 @@ const std::vector<AtomId> kEmptyPostings;
 
 AtomId FactBase::Add(const Atom& atom) {
   const AtomId id = static_cast<AtomId>(atoms_.size());
-  atoms_.push_back(atom);
-  by_predicate_[atom.predicate].push_back(id);
+  atoms_.PushBack(atom);
+  by_predicate_.Mutable(atom.predicate).push_back(id);
   for (int pos = 0; pos < atom.arity(); ++pos) {
     IndexArg(id, pos, atom.args[static_cast<size_t>(pos)]);
   }
@@ -22,12 +22,11 @@ AtomId FactBase::Add(const Atom& atom) {
 void FactBase::SetArg(AtomId id, int pos, TermId term) {
   KBREPAIR_DCHECK(id < atoms_.size());
   KBREPAIR_DCHECK(alive(id));
-  Atom& atom = atoms_[id];
-  KBREPAIR_DCHECK(pos >= 0 && pos < atom.arity());
-  const TermId old_term = atom.args[static_cast<size_t>(pos)];
+  KBREPAIR_DCHECK(pos >= 0 && pos < atoms_[id].arity());
+  const TermId old_term = atoms_[id].args[static_cast<size_t>(pos)];
   if (old_term == term) return;
   UnindexArg(id, pos, old_term);
-  atom.args[static_cast<size_t>(pos)] = term;
+  atoms_.Mutable(id).args[static_cast<size_t>(pos)] = term;
   IndexArg(id, pos, term);
 }
 
@@ -38,14 +37,13 @@ void FactBase::Remove(AtomId id) {
   for (int pos = 0; pos < atom.arity(); ++pos) {
     UnindexArg(id, pos, atom.args[static_cast<size_t>(pos)]);
   }
-  auto pred_it = by_predicate_.find(atom.predicate);
-  KBREPAIR_DCHECK(pred_it != by_predicate_.end());
-  std::vector<AtomId>& postings = pred_it->second;
-  auto entry = std::find(postings.begin(), postings.end(), id);
-  KBREPAIR_DCHECK(entry != postings.end());
-  *entry = postings.back();
-  postings.pop_back();
-  if (postings.empty()) by_predicate_.erase(pred_it);
+  std::vector<AtomId>* postings = by_predicate_.FindMutable(atom.predicate);
+  KBREPAIR_DCHECK(postings != nullptr);
+  auto entry = std::find(postings->begin(), postings->end(), id);
+  KBREPAIR_DCHECK(entry != postings->end());
+  *entry = postings->back();
+  postings->pop_back();
+  if (postings->empty()) by_predicate_.Erase(atom.predicate);
   num_positions_ -= static_cast<size_t>(atom.arity());
   if (dead_.size() < atoms_.size()) dead_.resize(atoms_.size(), false);
   dead_[id] = true;
@@ -54,15 +52,16 @@ void FactBase::Remove(AtomId id) {
 
 const std::vector<AtomId>& FactBase::AtomsWithPredicate(
     PredicateId pred) const {
-  auto it = by_predicate_.find(pred);
-  return it == by_predicate_.end() ? kEmptyPostings : it->second;
+  const std::vector<AtomId>* postings = by_predicate_.Find(pred);
+  return postings == nullptr ? kEmptyPostings : *postings;
 }
 
 const std::vector<AtomId>& FactBase::AtomsWithTermAt(PredicateId pred,
                                                      int pos,
                                                      TermId term) const {
-  auto it = by_probe_.find(ProbeKey(pred, pos, term));
-  return it == by_probe_.end() ? kEmptyPostings : it->second;
+  const std::vector<AtomId>* postings =
+      by_probe_.Find(ProbeKey(pred, pos, term));
+  return postings == nullptr ? kEmptyPostings : *postings;
 }
 
 bool FactBase::Contains(const Atom& atom) const {
@@ -93,8 +92,8 @@ std::vector<TermId> FactBase::ActiveDomain(PredicateId pred,
 }
 
 size_t FactBase::TermUseCount(TermId term) const {
-  auto it = term_use_count_.find(term);
-  return it == term_use_count_.end() ? 0 : it->second;
+  const size_t* count = term_use_count_.Find(term);
+  return count == nullptr ? 0 : *count;
 }
 
 std::string FactBase::ToString(const SymbolTable& symbols) const {
@@ -107,23 +106,33 @@ std::string FactBase::ToString(const SymbolTable& symbols) const {
   return out;
 }
 
+void FactBase::FreezeSharedBase() {
+  KBREPAIR_CHECK_EQ(num_dead_, 0u)
+      << " cannot freeze a FactBase with tombstones";
+  atoms_.Freeze();
+  by_predicate_.Freeze();
+  by_probe_.Freeze();
+  term_use_count_.Freeze();
+  dead_.clear();
+}
+
 void FactBase::IndexArg(AtomId id, int pos, TermId term) {
-  by_probe_[ProbeKey(atoms_[id].predicate, pos, term)].push_back(id);
-  ++term_use_count_[term];
+  by_probe_.Mutable(ProbeKey(atoms_[id].predicate, pos, term)).push_back(id);
+  ++term_use_count_.Mutable(term);
 }
 
 void FactBase::UnindexArg(AtomId id, int pos, TermId term) {
-  auto it = by_probe_.find(ProbeKey(atoms_[id].predicate, pos, term));
-  KBREPAIR_DCHECK(it != by_probe_.end());
-  std::vector<AtomId>& postings = it->second;
-  auto entry = std::find(postings.begin(), postings.end(), id);
-  KBREPAIR_DCHECK(entry != postings.end());
+  std::vector<AtomId>* postings =
+      by_probe_.FindMutable(ProbeKey(atoms_[id].predicate, pos, term));
+  KBREPAIR_DCHECK(postings != nullptr);
+  auto entry = std::find(postings->begin(), postings->end(), id);
+  KBREPAIR_DCHECK(entry != postings->end());
   // Swap-erase: posting lists are unordered multisets.
-  *entry = postings.back();
-  postings.pop_back();
-  auto count_it = term_use_count_.find(term);
-  KBREPAIR_DCHECK(count_it != term_use_count_.end());
-  if (--count_it->second == 0) term_use_count_.erase(count_it);
+  *entry = postings->back();
+  postings->pop_back();
+  size_t* count = term_use_count_.FindMutable(term);
+  KBREPAIR_DCHECK(count != nullptr);
+  if (--*count == 0) term_use_count_.Erase(term);
 }
 
 }  // namespace kbrepair

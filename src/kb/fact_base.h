@@ -30,6 +30,7 @@
 
 #include "kb/atom.h"
 #include "kb/symbol_table.h"
+#include "util/cow.h"
 
 namespace kbrepair {
 
@@ -102,6 +103,24 @@ class FactBase {
   // One atom per line, for debugging and the examples.
   std::string ToString(const SymbolTable& symbols) const;
 
+  // --- Shared-base forking -----------------------------------------------
+
+  // Flattens atoms and every index into an immutable shared base
+  // segment. Afterwards plain copies of this FactBase share the segment
+  // in O(1) and carry only their own delta overlay (rewritten args,
+  // appended atoms, tombstones, touched posting lists). Requires no
+  // tombstones: a shared base must be all-alive so per-fork tombstones
+  // stay a private, lazily-sized bitmap.
+  void FreezeSharedBase();
+
+  bool has_shared_base() const { return atoms_.has_base(); }
+  size_t shared_base_size() const { return atoms_.base_size(); }
+  // Atoms/posting lists this instance materializes itself (its delta).
+  size_t overlay_size() const {
+    return atoms_.overlay_size() + by_predicate_.overlay_size() +
+           by_probe_.overlay_size() + term_use_count_.overlay_size();
+  }
+
  private:
   // Packs a (pred, pos, term) probe into a 64-bit map key.
   static uint64_t ProbeKey(PredicateId pred, int pos, TermId term) {
@@ -114,10 +133,10 @@ class FactBase {
   void IndexArg(AtomId id, int pos, TermId term);
   void UnindexArg(AtomId id, int pos, TermId term);
 
-  std::vector<Atom> atoms_;
-  std::unordered_map<int32_t, std::vector<AtomId>> by_predicate_;
-  std::unordered_map<uint64_t, std::vector<AtomId>> by_probe_;
-  std::unordered_map<int32_t, size_t> term_use_count_;
+  CowVector<Atom> atoms_;
+  CowMap<int32_t, std::vector<AtomId>> by_predicate_;
+  CowMap<uint64_t, std::vector<AtomId>> by_probe_;
+  CowMap<int32_t, size_t> term_use_count_;
   size_t num_positions_ = 0;
   // Tombstone flags; lazily sized on the first Remove() so bases that
   // never retract (the common case) pay nothing.

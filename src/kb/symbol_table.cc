@@ -4,17 +4,17 @@ namespace kbrepair {
 
 TermId SymbolTable::InternTerm(TermKind kind, const std::string& name) {
   const std::string key = TermKey(kind, name);
-  auto it = term_index_.find(key);
-  if (it != term_index_.end()) return it->second;
+  const TermId* found = term_index_.Find(key);
+  if (found != nullptr) return *found;
   const TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(TermEntry{kind, name});
-  term_index_.emplace(key, id);
+  terms_.PushBack(TermEntry{kind, name});
+  term_index_.Mutable(key) = id;
   return id;
 }
 
 TermId SymbolTable::FindTerm(TermKind kind, const std::string& name) const {
-  auto it = term_index_.find(TermKey(kind, name));
-  return it == term_index_.end() ? kInvalidTerm : it->second;
+  const TermId* found = term_index_.Find(TermKey(kind, name));
+  return found == nullptr ? kInvalidTerm : *found;
 }
 
 TermId SymbolTable::MakeFreshNull() {
@@ -39,22 +39,40 @@ TermId SymbolTable::MakeFreshVariable() {
 PredicateId SymbolTable::InternPredicate(const std::string& name,
                                          int arity) {
   KBREPAIR_CHECK(arity >= 1) << " predicate " << name;
-  auto it = predicate_index_.find(name);
-  if (it != predicate_index_.end()) {
-    KBREPAIR_CHECK_EQ(predicates_[static_cast<size_t>(it->second)].arity,
-                      arity)
+  const PredicateId* found = predicate_index_.Find(name);
+  if (found != nullptr) {
+    KBREPAIR_CHECK_EQ(predicates_[static_cast<size_t>(*found)].arity, arity)
         << " predicate " << name << " re-interned with different arity";
-    return it->second;
+    return *found;
   }
   const PredicateId id = static_cast<PredicateId>(predicates_.size());
-  predicates_.push_back(PredicateEntry{name, arity});
-  predicate_index_.emplace(name, id);
+  predicates_.PushBack(PredicateEntry{name, arity});
+  predicate_index_.Mutable(name) = id;
   return id;
 }
 
 PredicateId SymbolTable::FindPredicate(const std::string& name) const {
-  auto it = predicate_index_.find(name);
-  return it == predicate_index_.end() ? kInvalidPredicate : it->second;
+  const PredicateId* found = predicate_index_.Find(name);
+  return found == nullptr ? kInvalidPredicate : *found;
+}
+
+void SymbolTable::FreezeSharedBase() {
+  terms_.Freeze();
+  term_index_.Freeze();
+  predicates_.Freeze();
+  predicate_index_.Freeze();
+}
+
+void SymbolTable::ForkFrom(const SymbolTable& frozen) {
+  KBREPAIR_CHECK(num_terms() == 0 && num_predicates() == 0)
+      << " ForkFrom requires an empty symbol table";
+  KBREPAIR_DCHECK(frozen.has_shared_base() || frozen.num_terms() == 0);
+  terms_ = frozen.terms_;
+  term_index_ = frozen.term_index_;
+  predicates_ = frozen.predicates_;
+  predicate_index_ = frozen.predicate_index_;
+  fresh_null_counter_ = frozen.fresh_null_counter_;
+  fresh_variable_counter_ = frozen.fresh_variable_counter_;
 }
 
 }  // namespace kbrepair

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/cow.h"
 #include "util/logging.h"
 
 namespace kbrepair {
@@ -114,6 +115,25 @@ class SymbolTable {
 
   size_t num_predicates() const { return predicates_.size(); }
 
+  // --- Shared-base forking -----------------------------------------------
+
+  // Flattens the current contents into an immutable shared base segment.
+  // Afterwards ForkFrom() on an empty table shares that segment in O(1)
+  // and the fork only materializes symbols it interns itself. Existing
+  // ids and lookups are unchanged.
+  void FreezeSharedBase();
+
+  // Makes this (empty) table an O(delta) fork of `frozen`, which must
+  // have been FreezeSharedBase()'d. The fork sees every base symbol
+  // under its original id; new interns append after the base.
+  void ForkFrom(const SymbolTable& frozen);
+
+  bool has_shared_base() const { return terms_.has_base(); }
+  // Symbols this table interned itself (not inherited from the base).
+  size_t overlay_size() const {
+    return terms_.overlay_size() + predicates_.overlay_size();
+  }
+
  private:
   struct TermEntry {
     TermKind kind;
@@ -130,10 +150,10 @@ class SymbolTable {
     return key;
   }
 
-  std::vector<TermEntry> terms_;
-  std::unordered_map<std::string, TermId> term_index_;
-  std::vector<PredicateEntry> predicates_;
-  std::unordered_map<std::string, PredicateId> predicate_index_;
+  CowVector<TermEntry> terms_;
+  CowMap<std::string, TermId> term_index_;
+  CowVector<PredicateEntry> predicates_;
+  CowMap<std::string, PredicateId> predicate_index_;
   uint64_t fresh_null_counter_ = 0;
   uint64_t fresh_variable_counter_ = 0;
 };

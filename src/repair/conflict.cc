@@ -245,6 +245,14 @@ void ConflictTracker::Initialize(const FactBase& facts) {
   }
 }
 
+void ConflictTracker::InitializeFromCensus(
+    const std::vector<Conflict>& census) {
+  conflicts_.clear();
+  by_atom_.clear();
+  next_id_ = 0;
+  for (const Conflict& conflict : census) AddConflict(conflict);
+}
+
 void ConflictTracker::OnFixApplied(const FactBase& facts, AtomId atom) {
   // Drop every conflict whose support contains the modified atom.
   for (uint64_t id : ConflictsTouching(atom)) RemoveConflict(id);

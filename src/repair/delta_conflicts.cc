@@ -108,6 +108,16 @@ Status DeltaConflictEngine::Initialize(const FactBase& facts) {
   return Status::Ok();
 }
 
+Status DeltaConflictEngine::InitializeFromShared(
+    const DeltaConflictEngine& frozen) {
+  KBREPAIR_CHECK(frozen.initialized());
+  chase_.AdoptShared(frozen.chase_);
+  conflicts_ = frozen.conflicts_;
+  by_matched_ = frozen.by_matched_;
+  next_id_ = frozen.next_id_;
+  return Status::Ok();
+}
+
 Status DeltaConflictEngine::OnFixApplied(AtomId atom, int arg,
                                          TermId value) {
   KBREPAIR_CHECK(initialized());

@@ -76,6 +76,19 @@ class DeltaConflictEngine {
   // Resets all maintained state.
   Status Initialize(const FactBase& facts);
 
+  // Flattens the maintained chase into immutable shared segments so
+  // InitializeFromShared() forks are O(census) instead of O(chase).
+  // Call once on a fully initialized prototype never mutated again.
+  void FreezeShared() { chase_.FreezeShared(); }
+
+  // Initialize() by adoption: takes the frozen prototype's chased base
+  // and conflict census instead of re-chasing and re-scanning. The
+  // prototype must have been built over the same facts and rule vectors
+  // this engine was constructed against (its symbol table an ancestor of
+  // this engine's); the engine's own constructor-time symbols/options —
+  // per-session cancel tokens in particular — stay in effect.
+  Status InitializeFromShared(const DeltaConflictEngine& frozen);
+
   bool initialized() const { return chase_.initialized(); }
 
   // The caller has applied the position fix (atom, arg, value) to its

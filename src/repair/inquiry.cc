@@ -96,6 +96,12 @@ struct InquiryEngine::Session {
   double pending_delay = 0.0;             // delay captured at generation
   bool done = false;                      // consistent; dialogue over
 
+  // Frozen snapshot prototypes armed by BeginShared(): the lazy engine
+  // constructors adopt them and replay the session's own Π/fix history
+  // instead of cold-initializing. Null on cold (non-forked) sessions.
+  const DeltaConflictEngine* delta_proto = nullptr;
+  const DeltaConflictEngine* skeleton_proto = nullptr;
+
   // Helpers bound to the KB's rules.
   ConflictFinder finder;
   RepairabilityChecker repairability;
@@ -154,6 +160,33 @@ Status InquiryEngine::Begin(PositionSet initial_pi) {
   if (session.mode == Session::Mode::kPhaseOne) {
     session.tracker.Initialize(session.facts);
   }
+
+  session.total_timer.Restart();
+  return Status::Ok();
+}
+
+Status InquiryEngine::BeginShared(const SharedBeginSeed& seed) {
+  step_ = std::make_unique<Session>(kb_, options_);
+  Session& session = *step_;
+
+  // The snapshot's verdicts were computed for Π = ∅, which is exactly
+  // the initial Π of a forked session.
+  if (!seed.repairable) {
+    step_.reset();
+    return Status::FailedPrecondition(
+        "knowledge base is not Π-repairable for the initial Π");
+  }
+
+  session.result.initial_conflicts = seed.initial_conflicts;
+  session.result.initial_naive_conflicts = seed.initial_naive_conflicts;
+
+  if (session.mode == Session::Mode::kPhaseOne) {
+    KBREPAIR_CHECK(seed.naive_census != nullptr);
+    session.tracker.InitializeFromCensus(*seed.naive_census);
+  }
+
+  session.delta_proto = seed.delta_proto;
+  session.skeleton_proto = seed.skeleton_proto;
 
   session.total_timer.Restart();
   return Status::Ok();
@@ -371,6 +404,26 @@ StatusOr<Question> InquiryEngine::SelectQuestion(
 Status InquiryEngine::EnsureDeltaEngine(Session& session) {
   KBREPAIR_DCHECK(session.active_engine == ConflictEngineKind::kIncremental);
   if (session.delta != nullptr) return Status::Ok();
+
+  if (session.delta_proto != nullptr) {
+    // Shared-base fork: adopt the frozen prototype (saturated over the
+    // base facts) and replay this session's applied fixes in order —
+    // exactly the maintenance a live engine would have performed had it
+    // existed from the first answer.
+    session.delta = std::make_unique<DeltaConflictEngine>(
+        &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
+    Status status = session.delta->InitializeFromShared(*session.delta_proto);
+    for (const Fix& fix : session.result.applied_fixes) {
+      if (!status.ok()) break;
+      status = session.delta->OnFixApplied(fix.atom, fix.arg, fix.value);
+    }
+    if (status.ok()) return status;
+    // Adoption/replay failed (deadline, invariant trip): fall back to a
+    // cold initialization below rather than trusting a half-replayed
+    // census.
+    session.delta.reset();
+  }
+
   session.delta = std::make_unique<DeltaConflictEngine>(
       &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
   const Status status = session.delta->Initialize(session.facts);
@@ -383,6 +436,32 @@ Status InquiryEngine::EnsureDeltaEngine(Session& session) {
 Status InquiryEngine::EnsureSkeletonEngine(Session& session) {
   KBREPAIR_DCHECK(session.active_engine == ConflictEngineKind::kIncremental);
   if (session.skeleton_delta != nullptr) return Status::Ok();
+
+  if (session.skeleton_proto != nullptr) {
+    // Shared-base fork: adopt the frozen Π=∅ skeleton prototype and
+    // replay the current Π as position rewrites. Non-Π skeleton
+    // positions hold per-position scratch nulls independent of the
+    // facts' values, so rewriting exactly the frozen positions to their
+    // current working values reproduces skeleton(facts, Π) verbatim.
+    // Sorted for determinism (PositionSet iteration order is not).
+    session.skeleton_delta = std::make_unique<DeltaConflictEngine>(
+        &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
+    Status status =
+        session.skeleton_delta->InitializeFromShared(*session.skeleton_proto);
+    if (status.ok()) {
+      std::vector<Position> frozen(session.pi.begin(), session.pi.end());
+      std::sort(frozen.begin(), frozen.end());
+      for (const Position& p : frozen) {
+        status = session.skeleton_delta->OnFixApplied(
+            p.atom, p.arg,
+            session.facts.atom(p.atom).args[static_cast<size_t>(p.arg)]);
+        if (!status.ok()) break;
+      }
+    }
+    if (status.ok()) return status;
+    session.skeleton_delta.reset();
+  }
+
   session.skeleton_delta = std::make_unique<DeltaConflictEngine>(
       &kb_->symbols(), &kb_->tgds(), &kb_->cdds(), options_.chase_options);
   const Status status = session.skeleton_delta->Initialize(

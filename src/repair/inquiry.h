@@ -38,6 +38,7 @@
 #include "repair/conflict.h"
 #include "repair/consistency.h"
 #include "repair/fix.h"
+#include "repair/kb_snapshot.h"
 #include "repair/preference_model.h"
 #include "repair/question.h"
 #include "repair/repairability.h"
@@ -215,6 +216,13 @@ class InquiryEngine {
   // Starts a dialogue: checks Π-repairability, takes the initial
   // conflict census. Discards any session in progress.
   Status Begin(PositionSet initial_pi = {});
+
+  // Begin(Π=∅) for a session whose KB was forked from a shared snapshot
+  // (repair/kb_snapshot.h): adopts the precomputed repairability verdict
+  // and conflict censuses instead of re-running the chases, and arms the
+  // lazy engine constructors with the seed's frozen prototypes. The seed
+  // and the structures it points to must outlive the session.
+  Status BeginShared(const SharedBeginSeed& seed);
 
   // Produces (or returns the already-pending) next question. Returns
   // nullptr once the working base is consistent. Repeated calls without

@@ -26,7 +26,10 @@ namespace kbrepair {
 // never recycled).
 class KnowledgeBase {
  public:
-  KnowledgeBase() : symbols_(std::make_unique<SymbolTable>()) {}
+  KnowledgeBase()
+      : symbols_(std::make_unique<SymbolTable>()),
+        tgds_(std::make_shared<std::vector<Tgd>>()),
+        cdds_(std::make_shared<std::vector<Cdd>>()) {}
 
   KnowledgeBase(const KnowledgeBase&) = delete;
   KnowledgeBase& operator=(const KnowledgeBase&) = delete;
@@ -39,17 +42,42 @@ class KnowledgeBase {
   FactBase& facts() { return facts_; }
   const FactBase& facts() const { return facts_; }
 
-  std::vector<Tgd>& tgds() { return tgds_; }
-  const std::vector<Tgd>& tgds() const { return tgds_; }
+  std::vector<Tgd>& tgds() { return *tgds_; }
+  const std::vector<Tgd>& tgds() const { return *tgds_; }
 
-  std::vector<Cdd>& cdds() { return cdds_; }
-  const std::vector<Cdd>& cdds() const { return cdds_; }
+  std::vector<Cdd>& cdds() { return *cdds_; }
+  const std::vector<Cdd>& cdds() const { return *cdds_; }
+
+  // --- Shared-base forking -----------------------------------------------
+
+  // Flattens symbols and facts into immutable shared base segments so
+  // ForkShared() is O(1). Rule vectors already live behind shared_ptrs
+  // (shared by every fork, addresses stable) and need no flattening.
+  void FreezeShared() {
+    symbols_->FreezeSharedBase();
+    facts_.FreezeSharedBase();
+  }
+
+  // Forks a per-session KB off this frozen base: the fork shares the
+  // base's symbol segment, fact segment and rule vectors, and only
+  // materializes its own delta (interned symbols, rewritten args,
+  // derived atoms). Call FreezeShared() first — forking an unfrozen KB
+  // degenerates to a deep copy of the fact base.
+  KnowledgeBase ForkShared() const {
+    KBREPAIR_DCHECK(facts_.has_shared_base() || facts_.empty());
+    KnowledgeBase fork;
+    fork.symbols_->ForkFrom(*symbols_);
+    fork.facts_ = facts_;
+    fork.tgds_ = tgds_;
+    fork.cdds_ = cdds_;
+    return fork;
+  }
 
   // Validates the paper's standing assumptions: weakly-acyclic TGDs and
   // CDDs with join variables. Call once after construction/parsing.
   Status Validate() const {
-    KBREPAIR_RETURN_IF_ERROR(CheckWeaklyAcyclic(tgds_, *symbols_));
-    for (const Cdd& cdd : cdds_) {
+    KBREPAIR_RETURN_IF_ERROR(CheckWeaklyAcyclic(*tgds_, *symbols_));
+    for (const Cdd& cdd : *cdds_) {
       if (!cdd.has_join_variable()) {
         bool has_constant = false;
         for (const Atom& atom : cdd.body()) {
@@ -71,8 +99,11 @@ class KnowledgeBase {
  private:
   std::unique_ptr<SymbolTable> symbols_;
   FactBase facts_;
-  std::vector<Tgd> tgds_;
-  std::vector<Cdd> cdds_;
+  // Shared (not copied) between a frozen base KB and all of its forks,
+  // so engine prototypes built against the base's rule vectors stay
+  // valid in every forked session.
+  std::shared_ptr<std::vector<Tgd>> tgds_;
+  std::shared_ptr<std::vector<Cdd>> cdds_;
 };
 
 }  // namespace kbrepair

@@ -475,6 +475,12 @@ struct ClientOptions {
   std::string kb = "synthetic";
   std::string strategy = "random";
   std::string engine = "scratch";
+  // When non-empty: register one shared base KB under this name (built
+  // from --kb/--seed) before driving, fork every session from it with
+  // `create {"base": NAME}`, and after the drive check the base ledger
+  // (list-bases + metrics) balances. The oracle replays against the
+  // base KB params, so byte-identity still holds.
+  std::string base;
   uint64_t seed = 20180326;  // EDBT'18
   bool quiet = false;
   // Protocol channel: "stdio" (spawned daemon's pipes), "unix"
@@ -504,8 +510,27 @@ struct ClientOptions {
 
 JsonValue CreateParams(const ClientOptions& options, uint64_t seed_i) {
   JsonValue params = JsonValue::Object();
+  if (options.base.empty()) {
+    params.Set("kb", JsonValue::String(options.kb));
+    params.Set("kb_seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
+  } else {
+    params.Set("base", JsonValue::String(options.base));
+  }
+  params.Set("strategy", JsonValue::String(options.strategy));
+  params.Set("engine", JsonValue::String(options.engine));
+  params.Set("seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
+  return params;
+}
+
+// The KB the session actually repairs: its own (kb_seed = seed_i) in
+// private mode, the one registered base (kb_seed = options.seed) when
+// forking.
+JsonValue OracleParams(const ClientOptions& options, uint64_t seed_i) {
+  JsonValue params = JsonValue::Object();
   params.Set("kb", JsonValue::String(options.kb));
-  params.Set("kb_seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
+  params.Set("kb_seed",
+             JsonValue::Number(static_cast<int64_t>(
+                 options.base.empty() ? seed_i : options.seed)));
   params.Set("strategy", JsonValue::String(options.strategy));
   params.Set("engine", JsonValue::String(options.engine));
   params.Set("seed", JsonValue::Number(static_cast<int64_t>(seed_i)));
@@ -516,7 +541,7 @@ JsonValue CreateParams(const ClientOptions& options, uint64_t seed_i) {
 // per-turn draw. Returns the repaired facts rendered as strings.
 StatusOr<std::vector<std::string>> OracleFacts(const ClientOptions& options,
                                                uint64_t seed_i) {
-  const JsonValue params = CreateParams(options, seed_i);
+  const JsonValue params = OracleParams(options, seed_i);
   std::string label;
   KBREPAIR_ASSIGN_OR_RETURN(KnowledgeBase kb,
                             BuildKbFromParams(params, &label));
@@ -963,7 +988,7 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--server PATH] [--server-arg ARG]... [--sessions N]"
                " [--workers N] [--kb NAME] [--strategy NAME] [--engine NAME]"
-               " [--seed S] [--trace-dir DIR] [--http-port N]"
+               " [--base NAME] [--seed S] [--trace-dir DIR] [--http-port N]"
                " [--transport stdio|unix|tcp] [--connections N]"
                " [--connect TARGET] [--shards N] [--quiet]\n"
                "       "
@@ -1003,6 +1028,8 @@ int Main(int argc, char** argv) {
       options.strategy = v;
     } else if (arg == "--engine" && (v = next_value())) {
       options.engine = v;
+    } else if (arg == "--base" && (v = next_value())) {
+      options.base = v;
     } else if (arg == "--seed" && (v = next_value())) {
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--trace-dir" && (v = next_value())) {
@@ -1172,9 +1199,30 @@ int Main(int argc, char** argv) {
   std::mutex report_mu;
   std::vector<std::string> failures;
   std::atomic<size_t> total_questions{0};
+
+  // Shared-base mode: register the one base every session forks from.
+  // A registration failure makes driving pointless, so skip straight to
+  // teardown and report it.
+  bool drive = true;
+  if (!options.base.empty()) {
+    JsonValue reg = JsonValue::Object();
+    reg.Set("command", JsonValue::String("register-base"));
+    reg.Set("name", JsonValue::String(options.base));
+    reg.Set("kb", JsonValue::String(options.kb));
+    reg.Set("kb_seed", JsonValue::Number(static_cast<int64_t>(options.seed)));
+    StatusOr<JsonValue> registered = server.Call(std::move(reg));
+    if (!registered.ok()) {
+      failures.push_back("register-base: " + registered.status().ToString());
+      drive = false;
+    } else if (!options.quiet) {
+      std::cout << "base '" << options.base << "' registered: "
+                << registered->Dump() << "\n";
+    }
+  }
+
   std::vector<std::thread> drivers;
-  drivers.reserve(options.sessions);
-  for (size_t i = 0; i < options.sessions; ++i) {
+  drivers.reserve(drive ? options.sessions : 0);
+  for (size_t i = 0; drive && i < options.sessions; ++i) {
     drivers.emplace_back([&, i] {
       // Sessions round-robin over the open connections; the protocol
       // pipelines, so many sessions per connection is the normal case.
@@ -1215,8 +1263,54 @@ int Main(int argc, char** argv) {
             "/0");
       }
     }
+    if (!external && !options.base.empty() && drive) {
+      // The base ledger must balance too: one base registered, one fork
+      // per session. (Gauges live on one shard, so the sharded
+      // aggregate sums correctly.)
+      const JsonValue& bases = metrics->Get("bases");
+      const int64_t registered = bases.Get("registered").AsInt(-1);
+      const int64_t forks = bases.Get("forks").AsInt(-1);
+      if (registered != 1 ||
+          forks != static_cast<int64_t>(options.sessions)) {
+        failures.push_back(
+            "base metrics imbalance: registered=" +
+            std::to_string(registered) + " forks=" + std::to_string(forks) +
+            " expected 1/" + std::to_string(options.sessions));
+      }
+    }
     if (!options.quiet) {
       std::cout << "metrics: " << metrics->Dump() << "\n";
+    }
+  }
+
+  if (!options.base.empty() && drive) {
+    // list-bases over the wire: the base must still be live (it outlives
+    // its sessions) with every handle released after the closes.
+    JsonValue list = JsonValue::Object();
+    list.Set("command", JsonValue::String("list-bases"));
+    StatusOr<JsonValue> listed = server.Call(std::move(list));
+    if (!listed.ok()) {
+      failures.push_back("list-bases: " + listed.status().ToString());
+    } else {
+      const JsonValue& entries = listed->Get("bases");
+      bool found = false;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        const JsonValue& entry = entries.at(i);
+        if (entry.Get("name").AsString() != options.base) continue;
+        found = true;
+        const int64_t refcount = entry.Get("refcount").AsInt(-1);
+        const int64_t forks = entry.Get("forks").AsInt(-1);
+        if (refcount != 0 || forks != static_cast<int64_t>(options.sessions)) {
+          failures.push_back(
+              "list-bases: refcount=" + std::to_string(refcount) +
+              " forks=" + std::to_string(forks) + ", expected 0/" +
+              std::to_string(options.sessions));
+        }
+      }
+      if (!found) {
+        failures.push_back("list-bases: base '" + options.base +
+                           "' missing after drive");
+      }
     }
   }
 

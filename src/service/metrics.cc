@@ -278,6 +278,15 @@ JsonValue ServiceMetrics::ToJson() const {
   durability.Set("worker_stalls",
                  JsonValue::Number(worker_stalls.load(std::memory_order_relaxed)));
 
+  JsonValue bases = JsonValue::Object();
+  bases.Set("registered",
+            JsonValue::Number(bases_registered.load(std::memory_order_relaxed)));
+  bases.Set("rss_bytes",
+            JsonValue::Number(base_rss_bytes.load(std::memory_order_relaxed)));
+  bases.Set("forks",
+            JsonValue::Number(base_forks.load(std::memory_order_relaxed)));
+  bases.Set("fork_latency", base_fork_latency.ToJson());
+
   JsonValue by_strategy_engine = JsonValue::Object();
   for (size_t s = 0; s < kNumStrategyLabels; ++s) {
     for (size_t e = 0; e < kNumEngineLabels; ++e) {
@@ -293,6 +302,7 @@ JsonValue ServiceMetrics::ToJson() const {
   out.Set("sessions", std::move(sessions));
   out.Set("traffic", std::move(traffic));
   out.Set("durability", std::move(durability));
+  out.Set("bases", std::move(bases));
   out.Set("turn_delay", turn_delay.ToJson());
   out.Set("request_latency", request_latency.ToJson());
   out.Set("queue_wait", queue_wait.ToJson());
@@ -327,6 +337,16 @@ void ServiceMetrics::MergeFrom(const ServiceMetrics& other) {
   add(sessions_recovered, other.sessions_recovered);
   add(engine_fallbacks, other.engine_fallbacks);
   add(worker_stalls, other.worker_stalls);
+  add(base_forks, other.base_forks);
+  // Registry gauges live on exactly one shard's metrics, so summing is
+  // the correct aggregation.
+  bases_registered.fetch_add(
+      other.bases_registered.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  base_rss_bytes.fetch_add(
+      other.base_rss_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  base_fork_latency.MergeFrom(other.base_fork_latency);
   const auto take_latest = [](std::atomic<int64_t>& into,
                               const std::atomic<int64_t>& from) {
     const int64_t candidate = from.load(std::memory_order_relaxed);
@@ -522,6 +542,15 @@ void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out) {
   AppendCounter(out, "kbrepair_worker_stalls_total",
                 "Commands the watchdog flagged as stalling a worker.",
                 load(metrics.worker_stalls));
+  AppendGauge(out, "kbrepair_bases_registered",
+              "Shared base KBs currently registered.",
+              metrics.bases_registered.load(std::memory_order_relaxed));
+  AppendGauge(out, "kbrepair_base_rss_bytes",
+              "Approximate resident bytes of the shared base segments.",
+              metrics.base_rss_bytes.load(std::memory_order_relaxed));
+  AppendCounter(out, "kbrepair_base_forks_total",
+                "Sessions forked from a shared base.",
+                load(metrics.base_forks));
 
   AppendHistogram(out, "kbrepair_turn_delay_seconds",
                   "Engine compute delay producing each question "
@@ -535,6 +564,10 @@ void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out) {
                   "Time a command waited in the ready queue before a "
                   "worker picked it up.",
                   metrics.queue_wait);
+  AppendHistogram(out, "kbrepair_base_fork_latency_seconds",
+                  "Time to fork a session from a shared base (KB fork + "
+                  "census adoption).",
+                  metrics.base_fork_latency);
 
   // Per-strategy / per-engine breakdown. HELP/TYPE once per metric
   // name, then one labeled series per touched label pair.

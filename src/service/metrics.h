@@ -149,6 +149,15 @@ struct ServiceMetrics {
   std::atomic<uint64_t> engine_fallbacks{0};     // incremental -> scratch
   std::atomic<uint64_t> worker_stalls{0};        // watchdog flags
 
+  // Shared-base registry (service/base_registry.h). The gauges are kept
+  // current by the one registry attached to this metrics instance
+  // (shard 0 in a sharded daemon — MergeFrom sums, so only one shard
+  // may carry them); base_forks counts the sessions each manager forked
+  // from a shared base and merges like any counter.
+  std::atomic<int64_t> bases_registered{0};   // gauge: live bases
+  std::atomic<int64_t> base_rss_bytes{0};     // gauge: shared-segment bytes
+  std::atomic<uint64_t> base_forks{0};        // counter: forked creates
+
   // Readiness signals: monotonic-clock nanoseconds of the most recent
   // event (0 = never happened). The HTTP exporter's /readyz degrades
   // for a hold-down window after each (see SessionManager's readiness).
@@ -163,6 +172,9 @@ struct ServiceMetrics {
   // Time a command waited in the ready queue before a worker picked it
   // up (request_latency minus queue_wait ≈ execution time).
   LatencyHistogram queue_wait;
+  // Time to fork a session from a shared base (KB fork + BeginShared +
+  // registration) — the latency the copy-on-write split keeps O(delta).
+  LatencyHistogram base_fork_latency;
 
   // The per-strategy / per-engine breakdown, indexed by the label
   // helpers above. Untouched label pairs are skipped in ToJson().

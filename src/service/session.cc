@@ -212,6 +212,28 @@ StatusOr<std::unique_ptr<RepairSession>> RepairSession::Create(
   return session;
 }
 
+StatusOr<std::unique_ptr<RepairSession>> RepairSession::CreateFromBase(
+    std::string id, const JsonValue& params, BaseRegistry::Handle base,
+    int64_t deadline_ms) {
+  KBREPAIR_CHECK(static_cast<bool>(base));
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryOptions options,
+                            InquiryOptionsFromParams(params));
+  const std::shared_ptr<const SharedKbSnapshot>& snapshot = base.snapshot();
+  std::unique_ptr<RepairSession> session(
+      new RepairSession(std::move(id), snapshot->label, snapshot->Fork(),
+                        options, params));
+  session->base_ = std::move(base);
+  session->ArmDeadline(deadline_ms);
+  // Adopts the snapshot's precomputed verdict/censuses and arms the
+  // frozen engine prototypes; the seed stays valid because base_ pins
+  // the snapshot for the session's lifetime.
+  const Status begun =
+      session->engine_->BeginShared(session->base_.snapshot()->Seed());
+  session->DisarmDeadline();
+  KBREPAIR_RETURN_IF_ERROR(begun);
+  return session;
+}
+
 StatusOr<std::unique_ptr<RepairSession>> RepairSession::Recover(
     std::string id, const JsonValue& create_params,
     const std::vector<JsonValue>& entries) {
@@ -223,7 +245,29 @@ StatusOr<std::unique_ptr<RepairSession>> RepairSession::Recover(
   std::unique_ptr<RepairSession> session(new RepairSession(
       std::move(id), std::move(label), std::move(kb), options, create_params));
   KBREPAIR_RETURN_IF_ERROR(session->engine_->Begin());
+  KBREPAIR_RETURN_IF_ERROR(ReplayWalEntries(session.get(), entries));
+  return session;
+}
 
+StatusOr<std::unique_ptr<RepairSession>> RepairSession::RecoverFromBase(
+    std::string id, const JsonValue& create_params,
+    BaseRegistry::Handle base, const std::vector<JsonValue>& entries) {
+  KBREPAIR_CHECK(static_cast<bool>(base));
+  KBREPAIR_ASSIGN_OR_RETURN(InquiryOptions options,
+                            InquiryOptionsFromParams(create_params));
+  const std::shared_ptr<const SharedKbSnapshot>& snapshot = base.snapshot();
+  std::unique_ptr<RepairSession> session(
+      new RepairSession(std::move(id), snapshot->label, snapshot->Fork(),
+                        options, create_params));
+  session->base_ = std::move(base);
+  KBREPAIR_RETURN_IF_ERROR(
+      session->engine_->BeginShared(session->base_.snapshot()->Seed()));
+  KBREPAIR_RETURN_IF_ERROR(ReplayWalEntries(session.get(), entries));
+  return session;
+}
+
+Status RepairSession::ReplayWalEntries(RepairSession* session,
+                                       const std::vector<JsonValue>& entries) {
   // Replay the WAL's answer records through the restarted engine,
   // validating each recorded fix against the question the engine
   // regenerates. The match is done on the wire JSON directly (see
@@ -261,7 +305,7 @@ StatusOr<std::unique_ptr<RepairSession>> RepairSession::Recover(
     KBREPAIR_RETURN_IF_ERROR(session->engine_->Answer(*choice));
     session->transcript_.Record(regenerated, *choice);
   }
-  return session;
+  return Status::Ok();
 }
 
 void RepairSession::AttachWal(std::unique_ptr<SessionWal> wal,
@@ -450,6 +494,7 @@ JsonValue RepairSession::StatusInfo() const {
   JsonValue out = JsonValue::Object();
   out.Set("session", JsonValue::String(id_));
   out.Set("kb", JsonValue::String(kb_label_));
+  if (base_) out.Set("base", JsonValue::String(base_.name()));
   out.Set("strategy", JsonValue::String(StrategyName(options_.strategy)));
   out.Set("engine",
           JsonValue::String(ConflictEngineName(options_.conflict_engine)));

@@ -16,6 +16,7 @@
 #include "repair/inquiry.h"
 #include "repair/session_log.h"
 #include "rules/knowledge_base.h"
+#include "service/base_registry.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
 #include "service/wal.h"
@@ -47,6 +48,16 @@ class RepairSession {
   static StatusOr<std::unique_ptr<RepairSession>> Create(
       std::string id, const JsonValue& params, int64_t deadline_ms = 0);
 
+  // `create` with params["base"]: forks the KB from the registered
+  // snapshot in O(delta) — shared symbol/fact segments, adopted
+  // repairability verdict and conflict censuses — instead of building
+  // and re-chasing a private copy. The handle's refcount keeps the base
+  // alive for the session's lifetime. Fails without side effects when
+  // the snapshot is not Π-repairable.
+  static StatusOr<std::unique_ptr<RepairSession>> CreateFromBase(
+      std::string id, const JsonValue& params, BaseRegistry::Handle base,
+      int64_t deadline_ms = 0);
+
   // Crash recovery: rebuilds a session from its WAL — the recorded
   // create params plus the answer history as transcript-entry records —
   // by replaying every answer through the restarted engine via
@@ -58,6 +69,15 @@ class RepairSession {
   static StatusOr<std::unique_ptr<RepairSession>> Recover(
       std::string id, const JsonValue& create_params,
       const std::vector<JsonValue>& entries);
+
+  // Recovery of a base-forked session: the WAL's create record carries
+  // "base":<name>, so instead of rebuilding a private KB the session is
+  // re-forked from the (already recovered) registry snapshot and the
+  // answer history is replayed on top — same replay contract as
+  // Recover().
+  static StatusOr<std::unique_ptr<RepairSession>> RecoverFromBase(
+      std::string id, const JsonValue& create_params,
+      BaseRegistry::Handle base, const std::vector<JsonValue>& entries);
 
   // Hands the session its WAL. From now on every accepted answer/close
   // is appended (and fsync'd) before execution, and the log is compacted
@@ -71,6 +91,9 @@ class RepairSession {
 
   const std::string& id() const { return id_; }
   const std::string& kb_label() const { return kb_label_; }
+  // Name of the shared base this session was forked from ("" for a
+  // private-KB session).
+  const std::string& base_name() const { return base_.name(); }
 
   // `ask`: the pending question (generating it if necessary), or
   // {"done":true} once consistent. Idempotent between answers.
@@ -121,8 +144,16 @@ class RepairSession {
   // Folds any new engine demotions into the metrics (idempotent).
   void ReportEngineFallbacks(size_t total_fallbacks, ServiceMetrics* metrics);
 
+  // Shared WAL-replay loop behind Recover()/RecoverFromBase().
+  static Status ReplayWalEntries(RepairSession* session,
+                                 const std::vector<JsonValue>& entries);
+
   std::string id_;
   std::string kb_label_;
+  // Refcount on the shared base this session forked from (empty for
+  // private-KB sessions). Declared before kb_ so it outlives the fork —
+  // kb_ shares segments the snapshot owns.
+  BaseRegistry::Handle base_;
   KnowledgeBase kb_;
   InquiryOptions options_;
   // The create request params, kept verbatim for WAL records (recovery

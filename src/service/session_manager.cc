@@ -21,7 +21,9 @@ constexpr char kComponent[] = "session_manager";
 
 // Commands that do not address an existing session.
 bool IsIndependentCommand(const std::string& command) {
-  return command == "create" || command == "metrics" || command == "trace";
+  return command == "create" || command == "metrics" ||
+         command == "trace" || command == "register-base" ||
+         command == "list-bases";
 }
 
 // Root span names must be string literals (ScopedSpan stores the
@@ -30,6 +32,8 @@ const char* RpcSpanName(const std::string& command) {
   if (command == "create") return "rpc.create";
   if (command == "metrics") return "rpc.metrics";
   if (command == "trace") return "rpc.trace";
+  if (command == "register-base") return "rpc.register-base";
+  if (command == "list-bases") return "rpc.list-bases";
   if (command == "ask") return "rpc.ask";
   if (command == "answer") return "rpc.answer";
   if (command == "status") return "rpc.status";
@@ -70,6 +74,19 @@ SessionManager::SessionManager(ServiceConfig config)
   reaper_ = std::thread([this] { ReaperLoop(); });
   if (!config_.trace_dir.empty()) {
     trace::Recorder::Instance().Enable(config_.trace_dir);
+  }
+  // Shared-base registry: adopt the (cross-shard) instance from the
+  // config, or own a private one whose bases.jsonl lives next to the
+  // WALs. An owned registry recovers its log here — before session
+  // recovery, which may need to re-fork base-backed sessions — and this
+  // manager's metrics carry its gauges.
+  registry_ = config_.base_registry;
+  if (registry_ == nullptr) {
+    registry_ = std::make_shared<BaseRegistry>(config_.wal_dir);
+    if (config_.recover && !config_.wal_dir.empty()) {
+      (void)registry_->RecoverFromLog();
+    }
+    registry_->AttachMetrics(&metrics_);
   }
   // Recovery runs on the constructing thread, before the caller can
   // submit anything; workers and reaper are already live but see each
@@ -254,6 +271,22 @@ void SessionManager::RunIndependent(Task task) {
     TaskDone();
     return;
   }
+  if (task.request.command == "register-base") {
+    StatusOr<JsonValue> registered =
+        registry_->Register(task.request.params);
+    if (registered.ok()) {
+      Complete(task, Status::Ok(), std::move(registered).value());
+    } else {
+      Complete(task, registered.status(), JsonValue::Null());
+    }
+    TaskDone();
+    return;
+  }
+  if (task.request.command == "list-bases") {
+    Complete(task, Status::Ok(), registry_->ListJson());
+    TaskDone();
+    return;
+  }
   // metrics
   Complete(task, Status::Ok(), MetricsJson());
   TaskDone();
@@ -313,8 +346,28 @@ void SessionManager::RunCreate(Task task) {
     metrics_.wal_appends.fetch_add(1, std::memory_order_relaxed);
   }
   const trace::PhaseTotals phases_before = trace::ThreadPhaseTotals();
-  StatusOr<std::unique_ptr<RepairSession>> created =
-      RepairSession::Create(id, task.request.params, config_.deadline_ms);
+  // A create naming a registered base forks the shared snapshot in
+  // O(delta); everything else builds a private KB the pre-registry way.
+  const std::string base_name = task.request.params.Get("base").AsString();
+  StatusOr<std::unique_ptr<RepairSession>> created = Status::Ok();
+  if (!base_name.empty()) {
+    StatusOr<BaseRegistry::Handle> base = registry_->Acquire(base_name);
+    if (!base.ok()) {
+      created = base.status();
+    } else {
+      WallTimer fork_timer;
+      created = RepairSession::CreateFromBase(id, task.request.params,
+                                              std::move(base).value(),
+                                              config_.deadline_ms);
+      if (created.ok()) {
+        metrics_.base_forks.fetch_add(1, std::memory_order_relaxed);
+        metrics_.base_fork_latency.Observe(fork_timer.ElapsedSeconds());
+      }
+    }
+  } else {
+    created =
+        RepairSession::Create(id, task.request.params, config_.deadline_ms);
+  }
   if (!created.ok()) {
     // Never-registered sessions must not resurrect on recovery.
     if (wal != nullptr) (void)wal->Remove();
@@ -636,6 +689,10 @@ void SessionManager::ReaperLoop() {
       }
     }
     for (const auto& [id, dump] : flushes) WriteTranscriptFile(id, dump);
+    // Orphaned shared bases age out on the same cadence. Refcounts keep
+    // any base with live sessions (on any shard) safe; the sweep is
+    // mutex-serialized, so shards sharing one registry may all drive it.
+    registry_->SweepExpired(config_.idle_ttl_seconds);
   }
 }
 
@@ -688,8 +745,29 @@ void SessionManager::RecoverSessions() {
             .With("session", id)
             .With("path", path);
       }
-      StatusOr<std::unique_ptr<RepairSession>> recovered =
-          RepairSession::Recover(id, read->create_params, read->entries);
+      // A create record carrying "base" re-forks from the registry
+      // (recovered before sessions — see the constructor) instead of
+      // rebuilding a private KB; the replayed dialogue is identical
+      // either way.
+      const std::string base_name =
+          read->create_params.Get("base").AsString();
+      StatusOr<std::unique_ptr<RepairSession>> recovered = Status::Ok();
+      if (!base_name.empty()) {
+        StatusOr<BaseRegistry::Handle> base = registry_->Acquire(base_name);
+        if (base.ok()) {
+          recovered = RepairSession::RecoverFromBase(
+              id, read->create_params, std::move(base).value(),
+              read->entries);
+          if (recovered.ok()) {
+            metrics_.base_forks.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          recovered = base.status();
+        }
+      } else {
+        recovered =
+            RepairSession::Recover(id, read->create_params, read->entries);
+      }
       if (recovered.ok()) {
         session = std::move(recovered).value();
       } else {

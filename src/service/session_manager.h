@@ -34,6 +34,7 @@
 #include <variant>
 #include <vector>
 
+#include "service/base_registry.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
 #include "service/session.h"
@@ -70,6 +71,12 @@ struct ServiceConfig {
   // Shutdown() flushes whatever is still buffered. Empty = spans off
   // (phase accounting stays on either way).
   std::string trace_dir;
+  // Shared-base registry. The sharded front-end installs one instance
+  // here for every shard (bases are shared across shards). When null,
+  // the manager creates its own — with bases.jsonl durability in
+  // wal_dir, recovered before session recovery and with this manager's
+  // metrics carrying the registry gauges.
+  std::shared_ptr<BaseRegistry> base_registry;
 };
 
 class SessionManager {
@@ -102,6 +109,9 @@ class SessionManager {
 
   ServiceMetrics& metrics() { return metrics_; }
   size_t num_workers() const { return config_.num_workers; }
+  const std::shared_ptr<BaseRegistry>& base_registry() const {
+    return registry_;
+  }
 
   // Highest "s-N" session number this manager has seen (assigned,
   // recovered, or externally routed). The sharded front-end seeds its
@@ -166,6 +176,9 @@ class SessionManager {
 
   ServiceConfig config_;
   ServiceMetrics metrics_;
+  // Destroyed after sessions_ is cleared by Shutdown(), so session
+  // base handles always release into a live registry.
+  std::shared_ptr<BaseRegistry> registry_;
   const int64_t start_ns_ = MonotonicNowNs();  // for /statusz uptime
 
   std::mutex mu_;

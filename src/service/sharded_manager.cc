@@ -99,6 +99,18 @@ ShardedSessionManager::ShardedSessionManager(ShardedConfig config)
   if (config_.shard.recover && !wal_root.empty()) {
     RebalanceWalFiles(wal_root, num_shards);
   }
+  // One base registry serves every shard: a base registered through any
+  // connection is forkable by sessions on all shards, and its refcount
+  // sees them all. Its bases.jsonl lives at the WAL root (not a shard
+  // dir) and is replayed before any shard recovers sessions — a
+  // recovered session whose create params carry "base" re-forks from it.
+  if (config_.shard.base_registry == nullptr) {
+    auto registry = std::make_shared<BaseRegistry>(wal_root);
+    if (config_.shard.recover && !wal_root.empty()) {
+      (void)registry->RecoverFromLog();
+    }
+    config_.shard.base_registry = std::move(registry);
+  }
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     ServiceConfig shard_config = config_.shard;
@@ -110,6 +122,9 @@ ShardedSessionManager::ShardedSessionManager(ShardedConfig config)
     if (i != 0) shard_config.trace_dir.clear();
     shards_.push_back(std::make_unique<SessionManager>(shard_config));
   }
+  // The registry gauges (bases_registered, base_rss_bytes) live on
+  // shard 0's metrics only, so MergeFrom aggregation counts them once.
+  config_.shard.base_registry->AttachMetrics(&shards_[0]->metrics());
   uint64_t max_seen = 0;
   for (const auto& shard : shards_) {
     max_seen = std::max(max_seen, shard->LastSessionNumber());
@@ -155,7 +170,10 @@ void ShardedSessionManager::Submit(ServiceRequest request,
     done(Status::Ok(), MetricsJson());
     return;
   }
-  if (command == "trace") {
+  if (command == "trace" || command == "register-base" ||
+      command == "list-bases") {
+    // The registry is shared, so any shard could serve these; shard 0
+    // keeps the request accounting in one place.
     shards_[0]->Submit(std::move(request), std::move(done));
     return;
   }

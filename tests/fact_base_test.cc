@@ -1,8 +1,13 @@
 #include "kb/fact_base.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/rng.h"
 
 namespace kbrepair {
 namespace {
@@ -137,6 +142,250 @@ TEST_F(FactBaseTest, ToStringListsAtoms) {
   facts_.Add(Atom(p_, {a_, b_}));
   EXPECT_EQ(facts_.ToString(symbols_), "p(a,b)\n");
 }
+
+// --- Randomized index invariants vs. a naive rescan model ---------------
+//
+// The secondary indexes (predicate scan lists, (pred,pos,term) probe
+// lists, term use counts) must stay exactly consistent with a brute
+// rescan of the live atoms under arbitrary Add/SetArg/Remove sequences —
+// on a plain FactBase and, critically, on a delta overlay over a frozen
+// shared base, where every mutation shadows shared posting lists.
+
+struct IndexModel {
+  std::vector<Atom> atoms;   // last value per id, dead or alive
+  std::vector<bool> alive;
+};
+
+// Asserts every index answer equals the naive model rescan and that no
+// tombstoned id ever escapes an index.
+void CheckIndexesAgainstModel(const FactBase& facts, const IndexModel& model,
+                              const std::vector<PredicateId>& predicates,
+                              const std::vector<TermId>& terms,
+                              const SymbolTable& symbols) {
+  ASSERT_EQ(facts.size(), model.atoms.size());
+  size_t live = 0;
+  for (bool a : model.alive) live += a ? 1 : 0;
+  ASSERT_EQ(facts.num_alive(), live);
+
+  for (AtomId id = 0; id < model.atoms.size(); ++id) {
+    ASSERT_EQ(facts.alive(id), static_cast<bool>(model.alive[id]))
+        << "atom " << id;
+    // Dead or alive, atom(id) returns the last value (provenance).
+    ASSERT_EQ(facts.atom(id), model.atoms[id]) << "atom " << id;
+  }
+
+  for (const PredicateId pred : predicates) {
+    std::vector<AtomId> expected;
+    for (AtomId id = 0; id < model.atoms.size(); ++id) {
+      if (model.alive[id] && model.atoms[id].predicate == pred) {
+        expected.push_back(id);
+      }
+    }
+    std::vector<AtomId> got = facts.AtomsWithPredicate(pred);
+    for (const AtomId id : got) {
+      ASSERT_TRUE(model.alive[id])
+          << "tombstoned atom " << id << " leaked from the predicate index";
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected) << "predicate scan list diverged for "
+                             << symbols.predicate_name(pred);
+
+    // Probe lists for every (pos, term) against this predicate,
+    // including terms that never appear there (must be empty).
+    for (int pos = 0; pos < symbols.predicate_arity(pred); ++pos) {
+      for (const TermId term : terms) {
+        std::vector<AtomId> probe_expected;
+        for (AtomId id = 0; id < model.atoms.size(); ++id) {
+          if (model.alive[id] && model.atoms[id].predicate == pred &&
+              model.atoms[id].args[static_cast<size_t>(pos)] == term) {
+            probe_expected.push_back(id);
+          }
+        }
+        std::vector<AtomId> probe = facts.AtomsWithTermAt(pred, pos, term);
+        for (const AtomId id : probe) {
+          ASSERT_TRUE(model.alive[id])
+              << "tombstoned atom " << id << " leaked from the probe index";
+        }
+        std::sort(probe.begin(), probe.end());
+        std::sort(probe_expected.begin(), probe_expected.end());
+        ASSERT_EQ(probe, probe_expected)
+            << "probe list diverged at (" << symbols.predicate_name(pred)
+            << "," << pos << "," << symbols.term_name(term) << ")";
+      }
+    }
+
+    // Active domains are the distinct sorted live values.
+    for (int pos = 0; pos < symbols.predicate_arity(pred); ++pos) {
+      std::set<TermId> domain_expected;
+      for (AtomId id = 0; id < model.atoms.size(); ++id) {
+        if (model.alive[id] && model.atoms[id].predicate == pred) {
+          domain_expected.insert(
+              model.atoms[id].args[static_cast<size_t>(pos)]);
+        }
+      }
+      const std::vector<TermId> domain = facts.ActiveDomain(pred, pos);
+      ASSERT_EQ(std::vector<TermId>(domain_expected.begin(),
+                                    domain_expected.end()),
+                domain);
+    }
+  }
+
+  for (const TermId term : terms) {
+    size_t expected = 0;
+    for (AtomId id = 0; id < model.atoms.size(); ++id) {
+      if (!model.alive[id]) continue;
+      for (const TermId arg : model.atoms[id].args) {
+        if (arg == term) ++expected;
+      }
+    }
+    ASSERT_EQ(facts.TermUseCount(term), expected)
+        << "use count diverged for " << symbols.term_name(term);
+  }
+}
+
+struct RandomOpsFixture {
+  SymbolTable symbols;
+  std::vector<PredicateId> predicates;
+  std::vector<TermId> terms;
+
+  RandomOpsFixture() {
+    for (int p = 0; p < 4; ++p) {
+      predicates.push_back(
+          symbols.InternPredicate("p" + std::to_string(p), 1 + p % 3));
+    }
+    for (int c = 0; c < 6; ++c) {
+      terms.push_back(symbols.InternConstant("c" + std::to_string(c)));
+    }
+  }
+
+  Atom RandomAtom(Rng& rng) const {
+    const PredicateId pred = rng.Choose(predicates);
+    std::vector<TermId> args;
+    for (int a = 0; a < symbols.predicate_arity(pred); ++a) {
+      args.push_back(rng.Choose(terms));
+    }
+    return Atom(pred, std::move(args));
+  }
+
+  // One random mutation applied to both the fact base and the model.
+  void Step(FactBase& facts, IndexModel& model, Rng& rng) {
+    std::vector<AtomId> live;
+    for (AtomId id = 0; id < model.atoms.size(); ++id) {
+      if (model.alive[id]) live.push_back(id);
+    }
+    const size_t op = rng.UniformIndex(4);
+    if (op == 0 || live.empty()) {
+      const Atom atom = RandomAtom(rng);
+      const AtomId id = facts.Add(atom);
+      ASSERT_EQ(id, model.atoms.size());
+      model.atoms.push_back(atom);
+      model.alive.push_back(true);
+    } else if (op == 1 || op == 2) {  // rewrites dominate, like repairs
+      const AtomId id = live[rng.UniformIndex(live.size())];
+      const int pos = static_cast<int>(
+          rng.UniformIndex(model.atoms[id].args.size()));
+      const TermId value = rng.Choose(terms);
+      facts.SetArg(id, pos, value);
+      model.atoms[id].args[static_cast<size_t>(pos)] = value;
+    } else {
+      const AtomId id = live[rng.UniformIndex(live.size())];
+      facts.Remove(id);
+      model.alive[id] = false;
+    }
+  }
+};
+
+class FactBaseIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FactBaseIndexProperty, PlainBaseMatchesNaiveRescan) {
+  RandomOpsFixture fixture;
+  Rng rng(GetParam() * 977 + 11);
+  FactBase facts;
+  IndexModel model;
+  for (int op = 0; op < 120; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    fixture.Step(facts, model, rng);
+    if (op % 10 == 9) {
+      CheckIndexesAgainstModel(facts, model, fixture.predicates,
+                               fixture.terms, fixture.symbols);
+    }
+  }
+  CheckIndexesAgainstModel(facts, model, fixture.predicates, fixture.terms,
+                           fixture.symbols);
+}
+
+TEST_P(FactBaseIndexProperty, ForkedOverlayMatchesNaiveRescan) {
+  RandomOpsFixture fixture;
+  Rng rng(GetParam() * 1009 + 3);
+
+  // Build a shared base, freeze it, then mutate a fork: every index
+  // answer must shadow the frozen posting lists correctly.
+  FactBase base;
+  IndexModel model;
+  for (int i = 0; i < 40; ++i) {
+    const Atom atom = fixture.RandomAtom(rng);
+    base.Add(atom);
+    model.atoms.push_back(atom);
+    model.alive.push_back(true);
+  }
+  base.FreezeSharedBase();
+  ASSERT_TRUE(base.has_shared_base());
+
+  FactBase fork = base;  // O(delta) copy sharing the frozen segment
+  IndexModel fork_model = model;
+  for (int op = 0; op < 120; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    fixture.Step(fork, fork_model, rng);
+    if (op % 10 == 9) {
+      CheckIndexesAgainstModel(fork, fork_model, fixture.predicates,
+                               fixture.terms, fixture.symbols);
+    }
+  }
+  CheckIndexesAgainstModel(fork, fork_model, fixture.predicates,
+                           fixture.terms, fixture.symbols);
+
+  // The frozen base never saw any of it.
+  CheckIndexesAgainstModel(base, model, fixture.predicates, fixture.terms,
+                           fixture.symbols);
+}
+
+TEST_P(FactBaseIndexProperty, SiblingForksAreIndependent) {
+  RandomOpsFixture fixture;
+  Rng rng(GetParam() * 31 + 7);
+
+  FactBase base;
+  IndexModel model;
+  for (int i = 0; i < 30; ++i) {
+    const Atom atom = fixture.RandomAtom(rng);
+    base.Add(atom);
+    model.atoms.push_back(atom);
+    model.alive.push_back(true);
+  }
+  base.FreezeSharedBase();
+
+  FactBase fork_a = base;
+  FactBase fork_b = base;
+  IndexModel model_a = model;
+  IndexModel model_b = model;
+  // Interleave divergent mutations; neither fork may observe the other.
+  Rng rng_a(GetParam() * 53 + 1);
+  Rng rng_b(GetParam() * 71 + 2);
+  for (int op = 0; op < 60; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    fixture.Step(fork_a, model_a, rng_a);
+    fixture.Step(fork_b, model_b, rng_b);
+  }
+  CheckIndexesAgainstModel(fork_a, model_a, fixture.predicates,
+                           fixture.terms, fixture.symbols);
+  CheckIndexesAgainstModel(fork_b, model_b, fixture.predicates,
+                           fixture.terms, fixture.symbols);
+  CheckIndexesAgainstModel(base, model, fixture.predicates, fixture.terms,
+                           fixture.symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactBaseIndexProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
 
 TEST(AtomTest, EqualityAndHash) {
   SymbolTable symbols;
