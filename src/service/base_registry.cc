@@ -343,15 +343,24 @@ void BaseRegistry::AttachMetrics(ServiceMetrics* metrics) {
   UpdateGaugesLocked();
 }
 
+void BaseRegistry::AttachGovernor(std::shared_ptr<ResourceGovernor> governor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  governor_ = std::move(governor);
+  UpdateGaugesLocked();
+}
+
 void BaseRegistry::UpdateGaugesLocked() {
-  if (metrics_ == nullptr) return;
+  if (metrics_ == nullptr && governor_ == nullptr) return;
   int64_t bytes = 0;
   for (const auto& [name, entry] : bases_) {
     bytes += static_cast<int64_t>(entry.snapshot->approx_bytes);
   }
-  metrics_->bases_registered.store(static_cast<int64_t>(bases_.size()),
-                                   std::memory_order_relaxed);
-  metrics_->base_rss_bytes.store(bytes, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->bases_registered.store(static_cast<int64_t>(bases_.size()),
+                                     std::memory_order_relaxed);
+    metrics_->base_rss_bytes.store(bytes, std::memory_order_relaxed);
+  }
+  if (governor_ != nullptr) governor_->SetBaseBytes(bytes);
 }
 
 size_t BaseRegistry::NumBases() {

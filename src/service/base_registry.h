@@ -40,6 +40,7 @@
 
 #include "repair/kb_snapshot.h"
 #include "service/metrics.h"
+#include "service/resource_governor.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -109,6 +110,10 @@ class BaseRegistry : public std::enable_shared_from_this<BaseRegistry> {
   // double-count.
   void AttachMetrics(ServiceMetrics* metrics);
 
+  // Reports the registry's resident-byte total to the memory governor
+  // whenever it changes, so shared bases count against --mem-budget.
+  void AttachGovernor(std::shared_ptr<ResourceGovernor> governor);
+
   // Introspection for tests.
   size_t NumBases();
   uint64_t RefCount(const std::string& name);
@@ -141,6 +146,7 @@ class BaseRegistry : public std::enable_shared_from_this<BaseRegistry> {
   // Ordered so ListJson and the compacted log are deterministic.
   std::map<std::string, Entry> bases_;
   ServiceMetrics* metrics_ = nullptr;
+  std::shared_ptr<ResourceGovernor> governor_;
 };
 
 }  // namespace kbrepair

@@ -59,6 +59,7 @@
 #include "repair/inquiry.h"
 #include "service/protocol.h"
 #include "service/session.h"
+#include "util/errno_text.h"
 #include "util/json.h"
 #include "util/net.h"
 #include "util/rng.h"
@@ -96,7 +97,7 @@ class ServerConnection {
       }
       argv.push_back(nullptr);
       execv(argv[0], argv.data());
-      std::cerr << "exec " << args[0] << " failed: " << std::strerror(errno)
+      std::cerr << "exec " << args[0] << " failed: " << ErrnoText(errno)
                 << "\n";
       _exit(127);
     }
@@ -118,13 +119,15 @@ class ServerConnection {
   }
 
   // Sends `request` (stamping a fresh "id") and blocks for its response
-  // envelope. Unavailable and DeadlineExceeded mean the server never
-  // executed the command, so those are retried with the SAME correlation
-  // id under full-jitter exponential backoff — sleep uniform in
-  // [0, base << attempt] rather than the cap itself, so the many
-  // sessions that hit a momentarily saturated daemon together do not
-  // come back as one synchronized thundering herd; everything else is
-  // final.
+  // envelope. Unavailable, DeadlineExceeded and ResourceExhausted mean
+  // the server never executed the command, so those are retried with
+  // the SAME correlation id under full-jitter exponential backoff —
+  // sleep uniform in [0, base << attempt] rather than the cap itself,
+  // so the many sessions that hit a momentarily saturated daemon
+  // together do not come back as one synchronized thundering herd;
+  // everything else is final. ResourceExhausted (degraded disk, memory
+  // pressure) backs off 4x harder: the server is waiting on resources,
+  // not a scheduling blip.
   StatusOr<JsonValue> Call(JsonValue request) {
     const std::string id = "r-" + std::to_string(next_id_.fetch_add(1));
     request.Set("id", JsonValue::String(id));
@@ -135,7 +138,8 @@ class ServerConnection {
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
       if (attempt > 0) {
         retries_.fetch_add(1, std::memory_order_relaxed);
-        const int64_t cap_ms = kBackoffBaseMs << (attempt - 1);
+        int64_t cap_ms = kBackoffBaseMs << (attempt - 1);
+        if (last.code() == StatusCode::kResourceExhausted) cap_ms *= 4;
         int64_t sleep_ms;
         {
           // Drawing under a lock is fine here: retries are rare and
@@ -149,7 +153,8 @@ class ServerConnection {
       if (outcome.ok()) return outcome;
       last = outcome.status();
       if (last.code() != StatusCode::kUnavailable &&
-          last.code() != StatusCode::kDeadlineExceeded) {
+          last.code() != StatusCode::kDeadlineExceeded &&
+          last.code() != StatusCode::kResourceExhausted) {
         return last;
       }
       // A hung-up server will not come back (we spawned it): stop
@@ -157,6 +162,14 @@ class ServerConnection {
       if (closed()) break;
     }
     return last;
+  }
+
+  // Reseeds the retry-backoff jitter (--retry-seed / KBREPAIR_RETRY_SEED)
+  // so fault drills replay identical sleep sequences. Call before
+  // issuing requests.
+  void SeedBackoff(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(backoff_mu_);
+    backoff_rng_ = Rng(seed);
   }
 
   // Correlation ids written to the server but never answered — the
@@ -234,7 +247,7 @@ class ServerConnection {
           return err == EPIPE
                      ? Status::Unavailable("server pipe closed (EPIPE)")
                      : Status::Internal("write to server failed: " +
-                                        std::string(std::strerror(err)));
+                                        ErrnoText(err));
         }
         off += static_cast<size_t>(n);
       }
@@ -260,6 +273,9 @@ class ServerConnection {
       }
       if (code == "DeadlineExceeded") {
         return Status::DeadlineExceeded("server error: " + message);
+      }
+      if (code == "ResourceExhausted") {
+        return Status::ResourceExhausted("server error: " + message);
       }
       return Status::Internal("server error [" + code + "] " + message);
     }
@@ -344,7 +360,7 @@ StatusOr<HttpResponse> HttpGet(const std::string& host, int port,
     ::close(fd);
     return Status::Unavailable("connect to " + host + ":" +
                                std::to_string(port) + " failed: " +
-                               std::strerror(errno));
+                               ErrnoText(errno));
   }
   const std::string request =
       "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\n"
@@ -506,6 +522,11 @@ struct ClientOptions {
   // Extra flags forwarded to the spawned daemon (repeatable
   // --server-arg), e.g. --wal-dir or --failpoints for fault drills.
   std::vector<std::string> server_args;
+  // When set (--retry-seed / KBREPAIR_RETRY_SEED): seed the retry
+  // backoff jitter deterministically, decorrelated per connection, so
+  // chaos drills replay the same sleep schedule. Default: entropy.
+  bool retry_seed_set = false;
+  uint64_t retry_seed = 0;
 };
 
 JsonValue CreateParams(const ClientOptions& options, uint64_t seed_i) {
@@ -923,7 +944,7 @@ pid_t SpawnDetachedDaemon(const std::vector<std::string>& args) {
   }
   argv.push_back(nullptr);
   execv(argv[0], argv.data());
-  std::cerr << "exec " << args[0] << " failed: " << std::strerror(errno)
+  std::cerr << "exec " << args[0] << " failed: " << ErrnoText(errno)
             << "\n";
   _exit(127);
 }
@@ -990,7 +1011,7 @@ int Usage(const char* argv0) {
                " [--workers N] [--kb NAME] [--strategy NAME] [--engine NAME]"
                " [--base NAME] [--seed S] [--trace-dir DIR] [--http-port N]"
                " [--transport stdio|unix|tcp] [--connections N]"
-               " [--connect TARGET] [--shards N] [--quiet]\n"
+               " [--connect TARGET] [--shards N] [--retry-seed S] [--quiet]\n"
                "       "
             << argv0
             << " --scrape [http://]HOST:PORT[/path]   fetch one"
@@ -1045,6 +1066,9 @@ int Main(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--shards" && (v = next_value())) {
       options.shards = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--retry-seed" && (v = next_value())) {
+      options.retry_seed = std::strtoull(v, nullptr, 10);
+      options.retry_seed_set = true;
     } else if (arg == "--scrape" && (v = next_value())) {
       return ScrapeMain(v);
     } else if (arg == "--quiet") {
@@ -1193,6 +1217,19 @@ int Main(int argc, char** argv) {
       conns.push_back(std::move(conn));
     }
     if (!listen_port_file.empty()) ::unlink(listen_port_file.c_str());
+  }
+  if (!options.retry_seed_set) {
+    if (const char* env = std::getenv("KBREPAIR_RETRY_SEED")) {
+      options.retry_seed = std::strtoull(env, nullptr, 10);
+      options.retry_seed_set = true;
+    }
+  }
+  if (options.retry_seed_set) {
+    // Decorrelate per connection so parallel links do not jitter in
+    // lockstep, while each still replays deterministically.
+    for (size_t i = 0; i < conns.size(); ++i) {
+      conns[i]->SeedBackoff(options.retry_seed + i);
+    }
   }
   ServerConnection& server = *conns.front();
 
@@ -1394,7 +1431,7 @@ int Main(int argc, char** argv) {
   }
   if (!options.quiet && retries != 0) {
     std::cout << "retried " << retries
-              << " command(s) after Unavailable/DeadlineExceeded\n";
+              << " command(s) after retryable errors\n";
   }
 
   if (!failures.empty()) {

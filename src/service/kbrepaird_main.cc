@@ -24,6 +24,7 @@
 //   kbrepaird [--workers N] [--max-queue N] [--ttl-seconds S]
 //             [--transcript-dir DIR] [--wal-dir DIR] [--recover-dir DIR]
 //             [--deadline-ms N] [--wal-compact-every N]
+//             [--mem-budget BYTES[K|M|G]]
 //             [--trace-dir DIR] [--failpoints SPEC]
 //             [--shards N] [--listen-unix PATH]
 //             [--listen-tcp PORT] [--listen-tcp-port-file PATH]
@@ -65,6 +66,26 @@ extern "C" void HandleTermSignal(int) {
   }
 }
 
+// "262144", "256K", "64M", "2G" -> bytes; negative on parse failure.
+int64_t ParseByteSize(const std::string& text) {
+  if (text.empty()) return -1;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || value < 0) return -1;
+  int64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': multiplier = 1024; break;
+      case 'm': case 'M': multiplier = 1024 * 1024; break;
+      case 'g': case 'G': multiplier = 1024 * 1024 * 1024; break;
+      default: return -1;
+    }
+    if (end[1] != '\0') return -1;
+  }
+  return value * multiplier;
+}
+
 int Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
@@ -77,6 +98,9 @@ int Usage(const char* argv0) {
          "  [--deadline-ms N]        per-command deadline (0 = none)\n"
          "  [--wal-compact-every N]  snapshot-compact a session WAL every"
          " N appends\n"
+         "  [--mem-budget BYTES]     soft memory ceiling (K/M/G suffix ok;"
+         " 0 = unlimited): at the budget new creates are shed and idle"
+         " sessions evicted\n"
          "  [--trace-dir DIR]        record per-phase tracing spans; the"
          " `trace` command drains them to DIR/trace-NNNNN.jsonl\n"
          "  [--failpoints SPEC]      arm failpoints, e.g."
@@ -194,6 +218,16 @@ int Main(int argc, char** argv) {
       if (v == nullptr) return Usage(argv[0]);
       config.wal_compact_every =
           static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--mem-budget") {
+      const char* v = next_value("--mem-budget");
+      if (v == nullptr) return Usage(argv[0]);
+      const int64_t bytes = ParseByteSize(v);
+      if (bytes < 0) {
+        std::cerr << "--mem-budget: expected BYTES with optional K/M/G"
+                     " suffix, got '" << v << "'\n";
+        return Usage(argv[0]);
+      }
+      config.mem_budget_bytes = bytes;
     } else if (arg == "--trace-dir") {
       const char* v = next_value("--trace-dir");
       if (v == nullptr) return Usage(argv[0]);
@@ -288,6 +322,7 @@ int Main(int argc, char** argv) {
       .With("shards", static_cast<int64_t>(shards))
       .With("transport", socket_mode ? "socket" : "stdio")
       .With("wal", !config.wal_dir.empty())
+      .With("mem_budget_bytes", config.mem_budget_bytes)
       .With("tracing", !config.trace_dir.empty());
 
   // The exporter starts after recovery (the manager constructor), so a

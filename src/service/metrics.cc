@@ -277,6 +277,27 @@ JsonValue ServiceMetrics::ToJson() const {
                  JsonValue::Number(engine_fallbacks.load(std::memory_order_relaxed)));
   durability.Set("worker_stalls",
                  JsonValue::Number(worker_stalls.load(std::memory_order_relaxed)));
+  durability.Set("wal_disk_full_failures",
+                 JsonValue::Number(
+                     wal_disk_full_failures.load(std::memory_order_relaxed)));
+  durability.Set("rejected_degraded",
+                 JsonValue::Number(rejected_degraded.load(std::memory_order_relaxed)));
+  durability.Set("wal_degraded",
+                 JsonValue::Number(wal_degraded.load(std::memory_order_relaxed)));
+
+  JsonValue resources = JsonValue::Object();
+  resources.Set("mem_estimated_bytes",
+                JsonValue::Number(
+                    mem_estimated_bytes.load(std::memory_order_relaxed)));
+  resources.Set("mem_budget_bytes",
+                JsonValue::Number(mem_budget_bytes.load(std::memory_order_relaxed)));
+  resources.Set("mem_pressure",
+                JsonValue::Number(mem_pressure.load(std::memory_order_relaxed)));
+  resources.Set("rejected_pressure",
+                JsonValue::Number(rejected_pressure.load(std::memory_order_relaxed)));
+  resources.Set("pressure_evictions",
+                JsonValue::Number(
+                    pressure_evictions.load(std::memory_order_relaxed)));
 
   JsonValue bases = JsonValue::Object();
   bases.Set("registered",
@@ -302,6 +323,7 @@ JsonValue ServiceMetrics::ToJson() const {
   out.Set("sessions", std::move(sessions));
   out.Set("traffic", std::move(traffic));
   out.Set("durability", std::move(durability));
+  out.Set("resources", std::move(resources));
   out.Set("bases", std::move(bases));
   out.Set("turn_delay", turn_delay.ToJson());
   out.Set("request_latency", request_latency.ToJson());
@@ -337,6 +359,23 @@ void ServiceMetrics::MergeFrom(const ServiceMetrics& other) {
   add(sessions_recovered, other.sessions_recovered);
   add(engine_fallbacks, other.engine_fallbacks);
   add(worker_stalls, other.worker_stalls);
+  add(wal_disk_full_failures, other.wal_disk_full_failures);
+  add(rejected_degraded, other.rejected_degraded);
+  add(rejected_pressure, other.rejected_pressure);
+  add(pressure_evictions, other.pressure_evictions);
+  // Per-shard 0/1 flag: the aggregate counts degraded shards.
+  wal_degraded.fetch_add(other.wal_degraded.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  // Governor gauges live on exactly one shard's metrics (like the
+  // registry gauges below), so summing is the correct aggregation.
+  mem_estimated_bytes.fetch_add(
+      other.mem_estimated_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  mem_budget_bytes.fetch_add(
+      other.mem_budget_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  mem_pressure.fetch_add(other.mem_pressure.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   add(base_forks, other.base_forks);
   // Registry gauges live on exactly one shard's metrics, so summing is
   // the correct aggregation.
@@ -358,6 +397,7 @@ void ServiceMetrics::MergeFrom(const ServiceMetrics& other) {
   };
   take_latest(last_wal_fsync_failure_ns, other.last_wal_fsync_failure_ns);
   take_latest(last_engine_demotion_ns, other.last_engine_demotion_ns);
+  take_latest(last_wal_disk_full_ns, other.last_wal_disk_full_ns);
   turn_delay.MergeFrom(other.turn_delay);
   request_latency.MergeFrom(other.request_latency);
   queue_wait.MergeFrom(other.queue_wait);
@@ -542,6 +582,32 @@ void AppendPrometheusText(const ServiceMetrics& metrics, std::string* out) {
   AppendCounter(out, "kbrepair_worker_stalls_total",
                 "Commands the watchdog flagged as stalling a worker.",
                 load(metrics.worker_stalls));
+  AppendCounter(out, "kbrepair_wal_disk_full_failures_total",
+                "WAL appends that hit ENOSPC/EIO (shard entered degraded "
+                "mode).",
+                load(metrics.wal_disk_full_failures));
+  AppendCounter(out, "kbrepair_rejected_degraded_total",
+                "Commands rejected ResourceExhausted while the owning shard "
+                "was disk-degraded.",
+                load(metrics.rejected_degraded));
+  AppendGauge(out, "kbrepair_wal_degraded",
+              "Shards currently in disk-degraded read-only mode.",
+              metrics.wal_degraded.load(std::memory_order_relaxed));
+  AppendGauge(out, "kbrepair_mem_estimated_bytes",
+              "Governor estimate of session + base memory in use.",
+              metrics.mem_estimated_bytes.load(std::memory_order_relaxed));
+  AppendGauge(out, "kbrepair_mem_budget_bytes",
+              "Configured memory budget (--mem-budget; 0 = unlimited).",
+              metrics.mem_budget_bytes.load(std::memory_order_relaxed));
+  AppendGauge(out, "kbrepair_mem_pressure",
+              "1 while the governor is shedding new sessions.",
+              metrics.mem_pressure.load(std::memory_order_relaxed));
+  AppendCounter(out, "kbrepair_rejected_pressure_total",
+                "Creates shed by the memory governor.",
+                load(metrics.rejected_pressure));
+  AppendCounter(out, "kbrepair_pressure_evictions_total",
+                "Idle sessions evicted early to relieve memory pressure.",
+                load(metrics.pressure_evictions));
   AppendGauge(out, "kbrepair_bases_registered",
               "Shared base KBs currently registered.",
               metrics.bases_registered.load(std::memory_order_relaxed));
@@ -670,6 +736,16 @@ void AppendShardPrometheusText(
             LabelSet({{"shard", std::to_string(i)}}) + " " +
             std::to_string(
                 shards[i]->sessions_active.load(std::memory_order_relaxed)) +
+            "\n";
+  }
+  AppendHelpType(out, "kbrepair_shard_wal_degraded",
+                 "1 while this shard is in disk-degraded read-only mode.",
+                 "gauge");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    *out += "kbrepair_shard_wal_degraded" +
+            LabelSet({{"shard", std::to_string(i)}}) + " " +
+            std::to_string(
+                shards[i]->wal_degraded.load(std::memory_order_relaxed)) +
             "\n";
   }
   AppendHelpType(out, "kbrepair_shard_turn_delay_seconds",

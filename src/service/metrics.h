@@ -158,11 +158,30 @@ struct ServiceMetrics {
   std::atomic<int64_t> base_rss_bytes{0};     // gauge: shared-segment bytes
   std::atomic<uint64_t> base_forks{0};        // counter: forked creates
 
+  // Disk-degraded mode (service/wal.h): appends that hit ENOSPC/EIO,
+  // commands rejected ResourceExhausted while the owning shard was
+  // degraded, and a 0/1 gauge raised while the shard is degraded (the
+  // sharded aggregate therefore counts degraded shards).
+  std::atomic<uint64_t> wal_disk_full_failures{0};
+  std::atomic<uint64_t> rejected_degraded{0};
+  std::atomic<int64_t> wal_degraded{0};
+
+  // Memory governance (service/resource_governor.h). The gauges are
+  // kept current by the one governor attached to this metrics instance
+  // (shard 0 in a sharded daemon, like the registry gauges); the
+  // counters are per-shard and merge by summing.
+  std::atomic<int64_t> mem_estimated_bytes{0};  // gauge: sessions + bases
+  std::atomic<int64_t> mem_budget_bytes{0};     // gauge: --mem-budget
+  std::atomic<int64_t> mem_pressure{0};         // gauge: 1 while shedding
+  std::atomic<uint64_t> rejected_pressure{0};   // creates shed under pressure
+  std::atomic<uint64_t> pressure_evictions{0};  // idle sessions evicted early
+
   // Readiness signals: monotonic-clock nanoseconds of the most recent
   // event (0 = never happened). The HTTP exporter's /readyz degrades
   // for a hold-down window after each (see SessionManager's readiness).
   std::atomic<int64_t> last_wal_fsync_failure_ns{0};
   std::atomic<int64_t> last_engine_demotion_ns{0};
+  std::atomic<int64_t> last_wal_disk_full_ns{0};
 
   // Per-turn question-production delay (Prop. 4.10's service-latency
   // bound, measured as engine compute time — parked wall time between

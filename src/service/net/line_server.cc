@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/errno_text.h"
 #include "util/log.h"
 #include "util/net.h"
 
@@ -40,13 +41,12 @@ Status LineServer::Start() {
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
-    return Status::Unavailable("net: epoll_create1 failed: " +
-                               std::string(std::strerror(errno)));
+    return Status::Unavailable("net: epoll_create1 failed: " + ErrnoText());
   }
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wake_fd_ < 0) {
     const Status status = Status::Unavailable(
-        "net: eventfd failed: " + std::string(std::strerror(errno)));
+        "net: eventfd failed: " + ErrnoText());
     Stop();
     return status;
   }
@@ -56,8 +56,7 @@ Status LineServer::Start() {
     ev.events = EPOLLIN;
     ev.data.u64 = tag;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      return Status::Unavailable("net: epoll_ctl(ADD) failed: " +
-                                 std::string(std::strerror(errno)));
+      return Status::Unavailable("net: epoll_ctl(ADD) failed: " + ErrnoText());
     }
     return Status::Ok();
   };
@@ -366,7 +365,7 @@ void LineServer::Loop() {
     if (n < 0) {
       if (errno == EINTR) continue;
       logging::Error(kComponent, "epoll_wait failed")
-          .With("error", std::strerror(errno));
+          .With("error", ErrnoText());
       break;
     }
     std::vector<ConnId> closed;

@@ -1,0 +1,59 @@
+#include "service/resource_governor.h"
+
+#include "service/metrics.h"
+
+namespace kbrepair {
+
+ResourceGovernor::ResourceGovernor(int64_t budget_bytes)
+    : budget_bytes_(budget_bytes > 0 ? budget_bytes : 0) {}
+
+void ResourceGovernor::AttachMetrics(ServiceMetrics* metrics) {
+  metrics->mem_budget_bytes.store(budget_bytes_, std::memory_order_relaxed);
+  metrics_.store(metrics, std::memory_order_release);
+  PublishGauges();
+}
+
+void ResourceGovernor::AdjustSessionBytes(int64_t delta) {
+  if (delta == 0) return;
+  session_bytes_.fetch_add(delta, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+void ResourceGovernor::SetBaseBytes(int64_t bytes) {
+  base_bytes_.store(bytes, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+int64_t ResourceGovernor::estimated_bytes() const {
+  return session_bytes_.load(std::memory_order_relaxed) +
+         base_bytes_.load(std::memory_order_relaxed);
+}
+
+bool ResourceGovernor::UnderPressure() const {
+  return budget_bytes_ > 0 && estimated_bytes() >= budget_bytes_;
+}
+
+int64_t ResourceGovernor::BytesOverEvictTarget() const {
+  if (budget_bytes_ <= 0) return 0;
+  // Low watermark at 90%: once shedding starts, eviction aims below
+  // budget so admission does not flap at the boundary.
+  const int64_t target = budget_bytes_ - budget_bytes_ / 10;
+  return estimated_bytes() - target;
+}
+
+std::string ResourceGovernor::ShedMessage() const {
+  return "memory pressure: ~" + std::to_string(estimated_bytes()) +
+         " bytes estimated against a " + std::to_string(budget_bytes_) +
+         " byte budget; retry after idle sessions are evicted";
+}
+
+void ResourceGovernor::PublishGauges() {
+  ServiceMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics == nullptr) return;
+  metrics->mem_estimated_bytes.store(estimated_bytes(),
+                                     std::memory_order_relaxed);
+  metrics->mem_pressure.store(UnderPressure() ? 1 : 0,
+                              std::memory_order_relaxed);
+}
+
+}  // namespace kbrepair

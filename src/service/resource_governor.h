@@ -1,0 +1,82 @@
+// Memory governance for the repair daemon.
+//
+// The daemon's working set is dominated by per-session engine state
+// (overlay atoms, provenance nodes, transcripts, WAL backlog) plus the
+// shared base segments. None of that is visible to the allocator-level
+// limits operators actually configure (cgroup memory.max), and by the
+// time the kernel notices the daemon is over, the OOM killer takes out
+// every session at once. The ResourceGovernor keeps a cheap running
+// byte *estimate* against a configured `--mem-budget` and lets the
+// service degrade before the cliff:
+//
+//  - at/over budget, new `create`s are shed with Unavailable +
+//    retry-after (clients already retry with backoff);
+//  - the shard reapers evict idle sessions (oldest first) and sweep
+//    orphaned bases until the estimate is back under the low watermark
+//    (90% of budget — hysteresis so shedding stops promptly);
+//  - `pressure` is surfaced as a /metrics gauge and a /readyz cause so
+//    load balancers drain the instance instead of piling on.
+//
+// One governor is shared by every shard of a daemon (the budget is a
+// process-wide limit), exactly like the shared BaseRegistry: the
+// sharded manager constructs it once and hands the same instance to
+// each shard's ServiceConfig. All methods are thread-safe; accounting
+// is relaxed atomics, so the estimate is advisory, not linearizable —
+// which is fine, it guards a soft limit.
+
+#ifndef KBREPAIR_SERVICE_RESOURCE_GOVERNOR_H_
+#define KBREPAIR_SERVICE_RESOURCE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace kbrepair {
+
+struct ServiceMetrics;
+
+class ResourceGovernor {
+ public:
+  // budget_bytes <= 0 means unlimited: nothing is ever shed or evicted.
+  explicit ResourceGovernor(int64_t budget_bytes);
+
+  // Attach exactly one metrics sink (shard 0 in a sharded daemon) or
+  // aggregation would double-count the gauges. Call before traffic.
+  void AttachMetrics(ServiceMetrics* metrics);
+
+  // Session accounting: shard managers report estimate deltas as
+  // sessions are created, advance, and are closed/evicted.
+  void AdjustSessionBytes(int64_t delta);
+
+  // Base accounting: the registry reports its current resident total
+  // whenever it changes (absolute, not a delta — the registry already
+  // maintains the total for its own gauge).
+  void SetBaseBytes(int64_t bytes);
+
+  int64_t budget_bytes() const { return budget_bytes_; }
+  int64_t estimated_bytes() const;
+
+  // True when the estimate is at/over budget: creates are shed and
+  // /readyz reports memory-pressure.
+  bool UnderPressure() const;
+
+  // Bytes the reapers should free to get back under the low watermark
+  // (90% of budget); <= 0 when no eviction is needed.
+  int64_t BytesOverEvictTarget() const;
+
+  // Human-readable rejection text for a shed create, including a
+  // retry-after hint sized to the reaper cadence.
+  std::string ShedMessage() const;
+
+ private:
+  void PublishGauges();
+
+  const int64_t budget_bytes_;
+  std::atomic<int64_t> session_bytes_{0};
+  std::atomic<int64_t> base_bytes_{0};
+  std::atomic<ServiceMetrics*> metrics_{nullptr};
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_SERVICE_RESOURCE_GOVERNOR_H_

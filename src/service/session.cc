@@ -286,9 +286,19 @@ Status RepairSession::ReplayWalEntries(RepairSession* session,
           "WAL answer record " + std::to_string(n) +
           " chose a fix index out of range");
     }
+    // An append whose write landed but whose fsync failed leaves a
+    // *ghost* record: the command was rejected (never executed), the
+    // client retried it verbatim, and the retry appended the identical
+    // line again. A ghost is therefore an exact duplicate of its
+    // predecessor that the regenerated dialogue has no question for —
+    // skip it. A legitimately repeated identical answer still matches
+    // the next regenerated question and replays normally.
+    const bool duplicate_of_previous =
+        n > 0 && record.Dump() == entries[n - 1].Dump();
     KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
                               session->engine_->NextQuestion());
     if (question == nullptr) {
+      if (duplicate_of_previous) continue;
       return Status::Internal(
           "WAL replay diverged: dialogue reached consistency with " +
           std::to_string(entries.size() - n) + " recorded answer(s) left");
@@ -297,6 +307,7 @@ Status RepairSession::ReplayWalEntries(RepairSession* session,
         MatchRecordedFix(fixes_json.at(chosen), *question,
                          session->engine_->View(), session->kb_.symbols());
     if (!choice.has_value()) {
+      if (duplicate_of_previous) continue;
       return Status::Internal(
           "WAL replay diverged at answer " + std::to_string(n) +
           ": recorded fix not offered by the regenerated question");
@@ -423,7 +434,8 @@ StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
         SessionTranscript::EntryToJson(TranscriptEntry{recorded, choice},
                                        kb_.symbols()));
     bool fsync_failed = false;
-    const Status appended = wal_->Append(record, &fsync_failed);
+    bool disk_full = false;
+    const Status appended = wal_->Append(record, &fsync_failed, &disk_full);
     if (!appended.ok()) {
       if (metrics != nullptr) {
         if (fsync_failed) {
@@ -431,11 +443,24 @@ StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
           metrics->last_wal_fsync_failure_ns.store(MonotonicNowNs(),
                                                    std::memory_order_relaxed);
         }
+        if (disk_full) {
+          metrics->wal_disk_full_failures.fetch_add(1,
+                                                    std::memory_order_relaxed);
+          metrics->last_wal_disk_full_ns.store(MonotonicNowNs(),
+                                               std::memory_order_relaxed);
+        }
         metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
       }
       logging::Warn("session", "answer rejected: WAL append failed")
           .With("session", id_)
           .With("error", appended.message());
+      // Disk-full is a resource condition, not transient flakiness: the
+      // owning shard is about to flip degraded, so hand the client the
+      // code that tells it to back off harder.
+      if (disk_full) {
+        return Status::ResourceExhausted("WAL disk full: " +
+                                         appended.message());
+      }
       return appended;
     }
     if (metrics != nullptr) {
@@ -544,7 +569,8 @@ StatusOr<JsonValue> RepairSession::Snapshot() const {
 }
 
 StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
-                                         ServiceMetrics* metrics) {
+                                         ServiceMetrics* metrics,
+                                         bool wal_degraded) {
   trace::ScopedSpan span("session.close");
   if (span.recording()) span.Annotate("session=" + id_);
   ScopedPhaseAttribution attribution(*this, metrics);
@@ -553,11 +579,15 @@ StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
   }
   // Log the close before executing it; if the daemon dies in between,
   // recovery sees the close record and discards the WAL instead of
-  // resurrecting a session the client was told nothing about.
-  if (wal_ != nullptr) {
+  // resurrecting a session the client was told nothing about. In
+  // disk-degraded mode the append is skipped outright: close must keep
+  // working on a full disk (Remove() below is what frees space), at the
+  // cost of the resurrection window documented on Close() in the header.
+  if (wal_ != nullptr && !wal_degraded) {
     bool fsync_failed = false;
+    bool disk_full = false;
     const Status appended = wal_->Append(SessionWal::CloseRecord(),
-                                         &fsync_failed);
+                                         &fsync_failed, &disk_full);
     if (!appended.ok()) {
       if (metrics != nullptr) {
         if (fsync_failed) {
@@ -565,15 +595,34 @@ StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
           metrics->last_wal_fsync_failure_ns.store(MonotonicNowNs(),
                                                    std::memory_order_relaxed);
         }
-        metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
+        if (disk_full) {
+          metrics->wal_disk_full_failures.fetch_add(1,
+                                                    std::memory_order_relaxed);
+          metrics->last_wal_disk_full_ns.store(MonotonicNowNs(),
+                                               std::memory_order_relaxed);
+        }
       }
-      logging::Warn("session", "close rejected: WAL append failed")
-          .With("session", id_)
-          .With("error", appended.message());
-      return appended;
-    }
-    if (metrics != nullptr) {
-      metrics->wal_appends.fetch_add(1, std::memory_order_relaxed);
+      if (disk_full) {
+        // First sign of a full disk on a close: fall through and serve
+        // it degraded-style anyway. Rejecting would wedge the client —
+        // closing sessions is exactly how disk space comes back.
+        logging::Warn("session",
+                      "close record hit a full disk; closing without it")
+            .With("session", id_)
+            .With("error", appended.message());
+      } else {
+        if (metrics != nullptr) {
+          metrics->rejected_commands.fetch_add(1, std::memory_order_relaxed);
+        }
+        logging::Warn("session", "close rejected: WAL append failed")
+            .With("session", id_)
+            .With("error", appended.message());
+        return appended;
+      }
+    } else {
+      if (metrics != nullptr) {
+        metrics->wal_appends.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   const bool consistent = engine_->finished();
@@ -605,6 +654,31 @@ StatusOr<JsonValue> RepairSession::Close(const JsonValue& params,
     out.Set("facts", FactsToJson(result.facts, kb_.symbols()));
   }
   return out;
+}
+
+int64_t RepairSession::EstimateMemoryBytes() const {
+  // Calibrated against heap profiles of synthetic sessions: an overlay
+  // atom plus its provenance node lands near 128 bytes, a transcript
+  // entry (question copy + fix strings) near 512, and each un-compacted
+  // WAL record keeps a framed JSON line (~256 bytes) alive in the page
+  // cache and replay cost. The fixed overhead covers the engine, symbol
+  // table delta, and bookkeeping of an idle session.
+  constexpr int64_t kSessionOverheadBytes = 16 * 1024;
+  constexpr int64_t kBytesPerFact = 128;
+  constexpr int64_t kBytesPerTranscriptEntry = 512;
+  constexpr int64_t kBytesPerWalRecord = 256;
+  int64_t estimate = kSessionOverheadBytes;
+  if (engine_ != nullptr && engine_->started()) {
+    estimate += static_cast<int64_t>(engine_->working_facts().size()) *
+                kBytesPerFact;
+  }
+  estimate +=
+      static_cast<int64_t>(transcript_.size()) * kBytesPerTranscriptEntry;
+  if (wal_ != nullptr) {
+    estimate += static_cast<int64_t>(wal_->appends_since_compaction()) *
+                kBytesPerWalRecord;
+  }
+  return estimate;
 }
 
 JsonValue RepairSession::TranscriptJson() const {

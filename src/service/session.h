@@ -110,9 +110,14 @@ class RepairSession {
   StatusOr<JsonValue> Snapshot() const;
 
   // `close`: finalizes the inquiry and reports totals; with
-  // params["include_facts"] the repaired fact base rides along.
-  StatusOr<JsonValue> Close(const JsonValue& params,
-                            ServiceMetrics* metrics);
+  // params["include_facts"] the repaired fact base rides along. With
+  // `wal_degraded` (the owning shard is in disk-degraded mode) the
+  // close record is not appended — unlink still works on a full disk,
+  // so closing is how clients free space. A crash between execute and
+  // Remove() can then resurrect a session whose close was never acked;
+  // the retry contract covers that (the client re-issues the close).
+  StatusOr<JsonValue> Close(const JsonValue& params, ServiceMetrics* metrics,
+                            bool wal_degraded = false);
 
   // Transcript + identity, written to disk by the manager on close or
   // shutdown (when a transcript directory is configured).
@@ -136,6 +141,12 @@ class RepairSession {
                      const trace::PhaseTotals& delta) const;
 
   bool closed() const { return closed_; }
+
+  // Rough resident-byte estimate for the memory governor: working
+  // overlay atoms + provenance, transcript entries, and un-compacted
+  // WAL backlog, plus a fixed per-session overhead. Deliberately cheap
+  // (a few size() reads) — it runs after every session command.
+  int64_t EstimateMemoryBytes() const;
 
  private:
   RepairSession(std::string id, std::string kb_label, KnowledgeBase kb,

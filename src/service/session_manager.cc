@@ -23,7 +23,7 @@ constexpr char kComponent[] = "session_manager";
 bool IsIndependentCommand(const std::string& command) {
   return command == "create" || command == "metrics" ||
          command == "trace" || command == "register-base" ||
-         command == "list-bases";
+         command == "list-bases" || command == "failpoint";
 }
 
 // Root span names must be string literals (ScopedSpan stores the
@@ -34,6 +34,7 @@ const char* RpcSpanName(const std::string& command) {
   if (command == "trace") return "rpc.trace";
   if (command == "register-base") return "rpc.register-base";
   if (command == "list-bases") return "rpc.list-bases";
+  if (command == "failpoint") return "rpc.failpoint";
   if (command == "ask") return "rpc.ask";
   if (command == "answer") return "rpc.answer";
   if (command == "status") return "rpc.status";
@@ -67,13 +68,12 @@ SessionManager::SessionManager(ServiceConfig config)
     worker_busy_since_[i].store(0, std::memory_order_relaxed);
   }
   stall_flagged_.assign(config_.num_workers, 0);
-  workers_.reserve(config_.num_workers);
-  for (size_t i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
-  }
-  reaper_ = std::thread([this] { ReaperLoop(); });
-  if (!config_.trace_dir.empty()) {
-    trace::Recorder::Instance().Enable(config_.trace_dir);
+  // Memory governor: adopt the (cross-shard) instance from the config,
+  // or own a private one whose gauges land in this manager's metrics.
+  governor_ = config_.governor;
+  if (governor_ == nullptr) {
+    governor_ = std::make_shared<ResourceGovernor>(config_.mem_budget_bytes);
+    governor_->AttachMetrics(&metrics_);
   }
   // Shared-base registry: adopt the (cross-shard) instance from the
   // config, or own a private one whose bases.jsonl lives next to the
@@ -87,6 +87,18 @@ SessionManager::SessionManager(ServiceConfig config)
       (void)registry_->RecoverFromLog();
     }
     registry_->AttachMetrics(&metrics_);
+    registry_->AttachGovernor(governor_);
+  }
+  // Threads spawn only after every member they read (governor_,
+  // registry_) is in place: the reaper's first sweep can beat the rest
+  // of this constructor on a loaded machine.
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  reaper_ = std::thread([this] { ReaperLoop(); });
+  if (!config_.trace_dir.empty()) {
+    trace::Recorder::Instance().Enable(config_.trace_dir);
   }
   // Recovery runs on the constructing thread, before the caller can
   // submit anything; workers and reaper are already live but see each
@@ -117,6 +129,27 @@ void SessionManager::Submit(ServiceRequest request, Completion done) {
           "service overloaded (" + std::to_string(tasks_in_flight_) +
           " commands in flight, max " + std::to_string(config_.max_queue) +
           ")");
+    } else if ((task.request.command == "create" ||
+                task.request.command == "answer") &&
+               WalDegraded()) {
+      // Disk-degraded read-only mode: the commands that must append to
+      // the WAL are shed at admission. status/snapshot/close still run —
+      // closing sessions (WAL unlink) is how disk space comes back.
+      metrics_.rejected_degraded.fetch_add(1, std::memory_order_relaxed);
+      metrics_.rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      metrics_.wal_degraded.store(1, std::memory_order_relaxed);
+      rejection = Status::ResourceExhausted(
+          "WAL disk degraded (read-only): '" + task.request.command +
+          "' needs a durable log append; retry with backoff once the log "
+          "directory is writable again");
+    } else if (task.request.command == "create" &&
+               governor_->UnderPressure()) {
+      metrics_.rejected_pressure.fetch_add(1, std::memory_order_relaxed);
+      metrics_.rejected_commands.fetch_add(1, std::memory_order_relaxed);
+      rejection = Status::ResourceExhausted(governor_->ShedMessage());
+      // Start evicting right away instead of on the next reaper tick.
+      reaper_kick_ = true;
+      reaper_cv_.notify_all();
     } else if (IsIndependentCommand(task.request.command)) {
       ++tasks_in_flight_;
       ready_.push_back(std::move(task));
@@ -228,10 +261,13 @@ void SessionManager::Shutdown() {
   // then drop them.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, entry] : sessions_) {
+    for (auto& [id, entry] : sessions_) {
       if (!config_.transcript_dir.empty() && entry.session != nullptr) {
         WriteTranscriptFile(id, entry.session->TranscriptJson().Dump());
       }
+      // The governor may outlive this shard (it is shared); hand the
+      // bytes back so surviving shards see an accurate estimate.
+      ReleaseChargeLocked(entry);
     }
     sessions_.clear();
   }
@@ -287,6 +323,34 @@ void SessionManager::RunIndependent(Task task) {
     TaskDone();
     return;
   }
+  if (task.request.command == "failpoint") {
+    // Runtime fault-injection control for chaos harnesses driving a
+    // live daemon: arm specs, disarm one point, or reset everything.
+    // Failpoints are process-global, so any shard serves this.
+    const JsonValue& params = task.request.params;
+    Status applied = Status::Ok();
+    if (params.Get("reset").AsBool(false)) failpoint::Reset();
+    if (params.Get("disarm").is_string()) {
+      failpoint::Disarm(params.Get("disarm").AsString());
+    }
+    if (params.Get("spec").is_string()) {
+      applied = failpoint::Configure(params.Get("spec").AsString());
+    }
+    if (!applied.ok()) {
+      Complete(task, applied, JsonValue::Null());
+      TaskDone();
+      return;
+    }
+    JsonValue out = JsonValue::Object();
+    JsonValue armed = JsonValue::Array();
+    for (const std::string& name : failpoint::ArmedNames()) {
+      armed.Append(JsonValue::String(name));
+    }
+    out.Set("armed", std::move(armed));
+    Complete(task, Status::Ok(), std::move(out));
+    TaskDone();
+    return;
+  }
   // metrics
   Complete(task, Status::Ok(), MetricsJson());
   TaskDone();
@@ -324,16 +388,29 @@ void SessionManager::RunCreate(Task task) {
         SessionWal::Open(config_.wal_dir, id);
     Status logged = opened.status();
     bool fsync_failed = false;
+    bool disk_full = false;
     if (opened.ok()) {
       wal = std::move(opened).value();
       logged = wal->Append(SessionWal::CreateRecord(task.request.params),
-                           &fsync_failed);
+                           &fsync_failed, &disk_full);
     }
     if (!logged.ok()) {
       if (fsync_failed) {
         metrics_.wal_fsync_failures.fetch_add(1, std::memory_order_relaxed);
         metrics_.last_wal_fsync_failure_ns.store(MonotonicNowNs(),
                                                  std::memory_order_relaxed);
+      }
+      if (disk_full) {
+        // Flip the shard into disk-degraded mode: further create/answer
+        // traffic is shed at admission until the reaper's write probe
+        // sees the directory writable again.
+        metrics_.wal_disk_full_failures.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        metrics_.last_wal_disk_full_ns.store(MonotonicNowNs(),
+                                             std::memory_order_relaxed);
+        metrics_.wal_degraded.store(1, std::memory_order_relaxed);
+        logged = Status::ResourceExhausted("WAL disk full: " +
+                                           logged.message());
       }
       logging::Warn(kComponent, "create rejected: WAL append failed")
           .With("error", logged.message());
@@ -393,7 +470,8 @@ void SessionManager::RunCreate(Task task) {
     SessionEntry entry;
     entry.session = std::move(session);
     entry.last_activity = std::chrono::steady_clock::now();
-    sessions_.emplace(id, std::move(entry));
+    auto emplaced = sessions_.emplace(id, std::move(entry));
+    ChargeSessionLocked(emplaced.first->second);
     metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
     metrics_.sessions_active.fetch_add(1, std::memory_order_relaxed);
   }
@@ -453,6 +531,7 @@ void SessionManager::RunSessionCommand(const std::string& key) {
     KBREPAIR_DCHECK(it != sessions_.end());
     it->second.last_activity = std::chrono::steady_clock::now();
     if (closing) {
+      ReleaseChargeLocked(it->second);
       metrics_.sessions_completed.fetch_add(1, std::memory_order_relaxed);
       metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
       while (!it->second.waiting.empty()) {
@@ -466,6 +545,7 @@ void SessionManager::RunSessionCommand(const std::string& key) {
     } else {
       it->second.busy = false;
     }
+    if (!closing) ChargeSessionLocked(it->second);
   }
 
   if (!transcript_dump.empty()) WriteTranscriptFile(key, transcript_dump);
@@ -491,7 +571,9 @@ StatusOr<JsonValue> SessionManager::DispatchToSession(
   if (request.command == "status") return session->StatusInfo();
   if (request.command == "snapshot") return session->Snapshot();
   if (request.command == "close") {
-    return session->Close(request.params, &metrics_);
+    // While the shard is disk-degraded the close record is skipped: the
+    // append would fail anyway, and the WAL unlink is what frees space.
+    return session->Close(request.params, &metrics_, WalDegraded());
   }
   return Status::InvalidArgument("unknown command '" + request.command + "'");
 }
@@ -550,7 +632,64 @@ std::vector<std::string> SessionManager::ReadinessCauses() {
   if (last_demotion != 0 && mono_now - last_demotion < hold_ns) {
     causes.push_back("recent-engine-demotion");
   }
+  // Level-based (no hold-down): these clear the instant the condition
+  // does, because the reaper probe / evictions are what resolve them.
+  if (WalDegraded()) causes.push_back("wal-disk-degraded");
+  if (governor_->UnderPressure()) causes.push_back("memory-pressure");
   return causes;
+}
+
+bool SessionManager::WalDegraded() const {
+  const int64_t last_full =
+      metrics_.last_wal_disk_full_ns.load(std::memory_order_relaxed);
+  return last_full != 0 &&
+         last_full > disk_recovered_ns_.load(std::memory_order_relaxed);
+}
+
+void SessionManager::ChargeSessionLocked(SessionEntry& entry) {
+  if (entry.session == nullptr) return;
+  const int64_t now = entry.session->EstimateMemoryBytes();
+  governor_->AdjustSessionBytes(now - entry.charged_bytes);
+  entry.charged_bytes = now;
+}
+
+void SessionManager::ReleaseChargeLocked(SessionEntry& entry) {
+  governor_->AdjustSessionBytes(-entry.charged_bytes);
+  entry.charged_bytes = 0;
+}
+
+void SessionManager::EvictForPressureLocked(
+    std::vector<std::pair<std::string, std::string>>* flushes) {
+  if (governor_->BytesOverEvictTarget() <= 0) return;
+  // Oldest first: the session idle the longest is the least likely to
+  // come back, and recovery (its WAL survives the eviction) makes the
+  // eviction loss-free for clients that do.
+  std::vector<std::pair<std::chrono::steady_clock::time_point, std::string>>
+      idle;
+  for (const auto& [id, entry] : sessions_) {
+    if (!entry.busy && entry.waiting.empty()) {
+      idle.emplace_back(entry.last_activity, id);
+    }
+  }
+  std::sort(idle.begin(), idle.end());
+  for (const auto& [when, id] : idle) {
+    if (governor_->BytesOverEvictTarget() <= 0) break;
+    (void)when;
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    if (!config_.transcript_dir.empty()) {
+      flushes->emplace_back(id, it->second.session->TranscriptJson().Dump());
+    }
+    const int64_t freed = it->second.charged_bytes;
+    ReleaseChargeLocked(it->second);
+    metrics_.pressure_evictions.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+    logging::Info(kComponent, "evicted session under memory pressure")
+        .With("session", id)
+        .With("freed_bytes", freed);
+    sessions_.erase(it);
+  }
 }
 
 JsonValue SessionManager::StatuszJson() {
@@ -565,6 +704,11 @@ JsonValue SessionManager::StatuszJson() {
   out.Set("deadline_ms", JsonValue::Number(config_.deadline_ms));
   out.Set("idle_ttl_s", JsonValue::Number(config_.idle_ttl_seconds));
   out.Set("wal", JsonValue::Bool(!config_.wal_dir.empty()));
+  out.Set("wal_degraded", JsonValue::Bool(WalDegraded()));
+  out.Set("mem_budget_bytes", JsonValue::Number(governor_->budget_bytes()));
+  out.Set("mem_estimated_bytes",
+          JsonValue::Number(governor_->estimated_bytes()));
+  out.Set("mem_pressure", JsonValue::Bool(governor_->UnderPressure()));
   out.Set("tracing", JsonValue::Bool(!config_.trace_dir.empty()));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -655,6 +799,8 @@ void SessionManager::TaskDone() {
 void SessionManager::ReaperLoop() {
   for (;;) {
     std::vector<std::pair<std::string, std::string>> flushes;
+    bool probe_disk = false;
+    bool pressure = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       auto interval = std::chrono::milliseconds(
@@ -662,37 +808,69 @@ void SessionManager::ReaperLoop() {
               ? std::max<int64_t>(
                     10, static_cast<int64_t>(config_.idle_ttl_seconds * 250))
               : 500);
-      reaper_cv_.wait_for(lock, interval, [this] { return exiting_; });
+      // React fast while unhealthy: disk-recovery probes and pressure
+      // eviction should land within tens of milliseconds, not half a
+      // second — clients are being shed the whole time.
+      if (WalDegraded() || governor_->BytesOverEvictTarget() > 0) {
+        interval = std::min<std::chrono::milliseconds>(
+            interval, std::chrono::milliseconds(50));
+      }
+      reaper_cv_.wait_for(lock, interval,
+                          [this] { return exiting_ || reaper_kick_; });
+      reaper_kick_ = false;
       if (exiting_) return;
       CheckWorkerStalls(std::chrono::steady_clock::now());
-      if (config_.idle_ttl_seconds <= 0) continue;
-      const auto now = std::chrono::steady_clock::now();
-      for (auto it = sessions_.begin(); it != sessions_.end();) {
-        SessionEntry& entry = it->second;
-        const double idle =
-            std::chrono::duration<double>(now - entry.last_activity).count();
-        if (!entry.busy && entry.waiting.empty() &&
-            idle > config_.idle_ttl_seconds) {
-          if (!config_.transcript_dir.empty()) {
-            flushes.emplace_back(it->first,
-                                 entry.session->TranscriptJson().Dump());
+      metrics_.wal_degraded.store(WalDegraded() ? 1 : 0,
+                                  std::memory_order_relaxed);
+      probe_disk = WalDegraded() && !config_.wal_dir.empty();
+      if (config_.idle_ttl_seconds > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+          SessionEntry& entry = it->second;
+          const double idle =
+              std::chrono::duration<double>(now - entry.last_activity)
+                  .count();
+          if (!entry.busy && entry.waiting.empty() &&
+              idle > config_.idle_ttl_seconds) {
+            if (!config_.transcript_dir.empty()) {
+              flushes.emplace_back(it->first,
+                                   entry.session->TranscriptJson().Dump());
+            }
+            ReleaseChargeLocked(entry);
+            metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+            metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+            logging::Info(kComponent, "evicted idle session")
+                .With("session", it->first)
+                .With("idle_s", idle);
+            it = sessions_.erase(it);
+          } else {
+            ++it;
           }
-          metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
-          metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
-          logging::Info(kComponent, "evicted idle session")
-              .With("session", it->first)
-              .With("idle_s", idle);
-          it = sessions_.erase(it);
-        } else {
-          ++it;
         }
       }
+      EvictForPressureLocked(&flushes);
+      pressure = governor_->UnderPressure();
     }
     for (const auto& [id, dump] : flushes) WriteTranscriptFile(id, dump);
+    if (probe_disk) {
+      // File I/O outside the lock. A successful probe timestamps past
+      // every failure seen so far, so WalDegraded() flips healthy; a
+      // failure that lands after the probe re-degrades, as it should.
+      const Status probed = ProbeWalDirWritable(config_.wal_dir);
+      if (probed.ok()) {
+        disk_recovered_ns_.store(MonotonicNowNs(), std::memory_order_relaxed);
+        metrics_.wal_degraded.store(0, std::memory_order_relaxed);
+        logging::Info(kComponent,
+                      "WAL directory writable again; leaving disk-degraded "
+                      "mode");
+      }
+    }
     // Orphaned shared bases age out on the same cadence. Refcounts keep
     // any base with live sessions (on any shard) safe; the sweep is
     // mutex-serialized, so shards sharing one registry may all drive it.
-    registry_->SweepExpired(config_.idle_ttl_seconds);
+    // Under memory pressure every orphaned base goes immediately — they
+    // are pure cache and re-registerable.
+    registry_->SweepExpired(pressure ? 1e-9 : config_.idle_ttl_seconds);
   }
 }
 
@@ -805,7 +983,8 @@ void SessionManager::RecoverSessions() {
       SessionEntry entry;
       entry.session = std::move(session);
       entry.last_activity = std::chrono::steady_clock::now();
-      sessions_.emplace(id, std::move(entry));
+      auto emplaced = sessions_.emplace(id, std::move(entry));
+      ChargeSessionLocked(emplaced.first->second);
     }
     metrics_.sessions_recovered.fetch_add(1, std::memory_order_relaxed);
     metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);

@@ -22,6 +22,7 @@
 #ifndef KBREPAIR_SERVICE_SESSION_MANAGER_H_
 #define KBREPAIR_SERVICE_SESSION_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -37,6 +38,7 @@
 #include "service/base_registry.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
+#include "service/resource_governor.h"
 #include "service/session.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -77,6 +79,15 @@ struct ServiceConfig {
   // wal_dir, recovered before session recovery and with this manager's
   // metrics carrying the registry gauges.
   std::shared_ptr<BaseRegistry> base_registry;
+  // Soft memory ceiling for --mem-budget; <= 0 = unlimited. Only
+  // consulted when `governor` is null (a provided governor carries its
+  // own budget).
+  int64_t mem_budget_bytes = 0;
+  // Shared memory governor. Like base_registry: the sharded front-end
+  // installs one instance for every shard (the budget is process-wide);
+  // when null the manager creates its own from mem_budget_bytes with
+  // this manager's metrics carrying the gauges.
+  std::shared_ptr<ResourceGovernor> governor;
 };
 
 class SessionManager {
@@ -112,6 +123,17 @@ class SessionManager {
   const std::shared_ptr<BaseRegistry>& base_registry() const {
     return registry_;
   }
+  const std::shared_ptr<ResourceGovernor>& governor() const {
+    return governor_;
+  }
+
+  // True while this manager's WAL directory is in disk-degraded
+  // read-only mode: a WAL append hit ENOSPC/EDQUOT/EIO and the reaper's
+  // write probe has not succeeded since. While degraded, `create` and
+  // `answer` are rejected with ResourceExhausted (status/snapshot/close
+  // keep working — closing sessions is how disk space comes back).
+  // Thread-safe; lock-free.
+  bool WalDegraded() const;
 
   // Highest "s-N" session number this manager has seen (assigned,
   // recovered, or externally routed). The sharded front-end seeds its
@@ -146,6 +168,10 @@ class SessionManager {
     std::deque<Task> waiting;
     bool busy = false;  // a worker owns this session right now
     std::chrono::steady_clock::time_point last_activity;
+    // Bytes currently charged to the memory governor for this session;
+    // adjusted by delta after every command so the global estimate
+    // tracks the session as it grows.
+    int64_t charged_bytes = 0;
   };
   // An independent task, or the key of a session with queued commands.
   using ReadyItem = std::variant<Task, std::string>;
@@ -173,13 +199,29 @@ class SessionManager {
   // Watchdog sweep (runs on the reaper cadence): flags workers that
   // have owned one command longer than the stall threshold.
   void CheckWorkerStalls(std::chrono::steady_clock::time_point now);
+  // Re-estimates `entry`'s bytes and reports the delta to the governor
+  // (call with mu_ held and the session not owned by another worker).
+  void ChargeSessionLocked(SessionEntry& entry);
+  // Returns the session's charge to the governor before the entry is
+  // dropped (close, eviction, shutdown).
+  void ReleaseChargeLocked(SessionEntry& entry);
+  // Evicts idle sessions oldest-first until the estimate is back under
+  // the governor's low watermark. Appends transcript flushes for the
+  // caller to write outside the lock. Call with mu_ held.
+  void EvictForPressureLocked(
+      std::vector<std::pair<std::string, std::string>>* flushes);
 
   ServiceConfig config_;
   ServiceMetrics metrics_;
   // Destroyed after sessions_ is cleared by Shutdown(), so session
   // base handles always release into a live registry.
   std::shared_ptr<BaseRegistry> registry_;
+  std::shared_ptr<ResourceGovernor> governor_;
   const int64_t start_ns_ = MonotonicNowNs();  // for /statusz uptime
+  // Monotonic ns of the last successful WAL-dir write probe. Degraded
+  // mode is level-derived: metrics_.last_wal_disk_full_ns (stamped by
+  // the failing append) newer than this means the disk is still bad.
+  std::atomic<int64_t> disk_recovered_ns_{0};
 
   std::mutex mu_;
   std::condition_variable work_cv_;    // workers wait for ready items
@@ -192,6 +234,10 @@ class SessionManager {
   bool stopping_ = false;  // intake closed
   bool exiting_ = false;   // drain finished; threads may return
   bool shut_down_ = false;
+  // Set (with reaper_cv_ notified) to pull the reaper out of its timed
+  // wait early — e.g. when a create is shed under memory pressure, so
+  // eviction starts now instead of on the next tick.
+  bool reaper_kick_ = false;
 
   // Watchdog state: per-worker steady-clock ns since the worker took its
   // current item (0 = idle). Written by the owning worker, read by the

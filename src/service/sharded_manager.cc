@@ -99,6 +99,13 @@ ShardedSessionManager::ShardedSessionManager(ShardedConfig config)
   if (config_.shard.recover && !wal_root.empty()) {
     RebalanceWalFiles(wal_root, num_shards);
   }
+  // One memory governor serves every shard: --mem-budget bounds the
+  // whole process, so per-shard budgets would mis-account shared bases
+  // and let N shards each grow to the full limit.
+  if (config_.shard.governor == nullptr) {
+    config_.shard.governor =
+        std::make_shared<ResourceGovernor>(config_.shard.mem_budget_bytes);
+  }
   // One base registry serves every shard: a base registered through any
   // connection is forkable by sessions on all shards, and its refcount
   // sees them all. Its bases.jsonl lives at the WAL root (not a shard
@@ -111,6 +118,10 @@ ShardedSessionManager::ShardedSessionManager(ShardedConfig config)
     }
     config_.shard.base_registry = std::move(registry);
   }
+  // The registry's bytes count against the budget (shared bases are
+  // real memory); attach before shard construction so recovery-time
+  // registrations are already accounted.
+  config_.shard.base_registry->AttachGovernor(config_.shard.governor);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     ServiceConfig shard_config = config_.shard;
@@ -123,8 +134,10 @@ ShardedSessionManager::ShardedSessionManager(ShardedConfig config)
     shards_.push_back(std::make_unique<SessionManager>(shard_config));
   }
   // The registry gauges (bases_registered, base_rss_bytes) live on
-  // shard 0's metrics only, so MergeFrom aggregation counts them once.
+  // shard 0's metrics only, so MergeFrom aggregation counts them once;
+  // same for the governor's memory gauges.
   config_.shard.base_registry->AttachMetrics(&shards_[0]->metrics());
+  config_.shard.governor->AttachMetrics(&shards_[0]->metrics());
   uint64_t max_seen = 0;
   for (const auto& shard : shards_) {
     max_seen = std::max(max_seen, shard->LastSessionNumber());
@@ -171,7 +184,7 @@ void ShardedSessionManager::Submit(ServiceRequest request,
     return;
   }
   if (command == "trace" || command == "register-base" ||
-      command == "list-bases") {
+      command == "list-bases" || command == "failpoint") {
     // The registry is shared, so any shard could serve these; shard 0
     // keeps the request accounting in one place.
     shards_[0]->Submit(std::move(request), std::move(done));

@@ -1,11 +1,14 @@
 #include "service/wal.h"
 
 #include <fcntl.h>
-#include <string.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 
+#include "util/crc32c.h"
+#include "util/errno_text.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/trace.h"
@@ -14,15 +17,33 @@ namespace kbrepair {
 namespace {
 
 constexpr char kWalSuffix[] = ".wal";
+constexpr char kWalHeaderV2[] = "#kbrepair-wal v2";
+constexpr char kWalHeaderPrefix[] = "#kbrepair-wal";
 
-std::string ErrnoText() { return std::string(strerror(errno)); }
+std::string Crc32cHex(const std::string& payload) {
+  static const char kHex[] = "0123456789abcdef";
+  const uint32_t crc = Crc32c(payload);
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<size_t>(i)] = kHex[(crc >> (28 - 4 * i)) & 0xFu];
+  }
+  return out;
+}
 
-Status WriteFully(int fd, const std::string& data, const std::string& path) {
+// "<payload-bytes> <crc32c-hex8> <payload>".
+std::string FrameRecordLine(const std::string& payload) {
+  return std::to_string(payload.size()) + " " + Crc32cHex(payload) + " " +
+         payload + "\n";
+}
+
+Status WriteFully(int fd, const std::string& data, const std::string& path,
+                  bool* disk_full) {
   size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (disk_full != nullptr && IsDiskFullErrno(errno)) *disk_full = true;
       return Status::Unavailable("WAL write " + path + ": " + ErrnoText());
     }
     written += static_cast<size_t>(n);
@@ -30,7 +51,71 @@ Status WriteFully(int fd, const std::string& data, const std::string& path) {
   return Status::Ok();
 }
 
+// Outcome of interpreting one line as a v2 framed record.
+enum class FrameParse {
+  kNotFramed,  // no leading length digits: a header or bare v1 record
+  kOk,         // payload extracted, length and CRC32C verified
+  kTorn,       // fewer payload bytes than declared — a write torn by a crash
+  kCorrupt,    // structurally framed but fails verification — bit-rot
+};
+
+FrameParse ParseFramedLine(const std::string& line, bool is_final_torn_line,
+                           std::string* payload, std::string* error) {
+  size_t pos = 0;
+  while (pos < line.size() && std::isdigit(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  if (pos == 0) return FrameParse::kNotFramed;
+  // The prefix parses incrementally; any structural shortfall on the
+  // final unterminated line is indistinguishable from a torn write.
+  const auto shortfall = [&](const char* what) {
+    if (is_final_torn_line) return FrameParse::kTorn;
+    *error = what;
+    return FrameParse::kCorrupt;
+  };
+  if (pos > 9) {
+    *error = "implausible record length";
+    return FrameParse::kCorrupt;
+  }
+  const size_t declared = std::stoul(line.substr(0, pos));
+  if (pos >= line.size() || line[pos] != ' ') {
+    return shortfall("malformed frame after length");
+  }
+  ++pos;
+  const size_t crc_start = pos;
+  while (pos < line.size() && pos < crc_start + 8 &&
+         std::isxdigit(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  if (pos != crc_start + 8) return shortfall("malformed frame checksum");
+  const uint32_t declared_crc =
+      static_cast<uint32_t>(std::stoul(line.substr(crc_start, 8), nullptr, 16));
+  if (pos >= line.size() || line[pos] != ' ') {
+    return shortfall("malformed frame after checksum");
+  }
+  ++pos;
+  *payload = line.substr(pos);
+  if (payload->size() < declared) {
+    return shortfall("record shorter than declared length");
+  }
+  if (payload->size() > declared) {
+    *error = "record longer than declared length";
+    return FrameParse::kCorrupt;
+  }
+  // Full declared length is present, so this is not a tear: a tear only
+  // truncates. A checksum mismatch here is bit-rot even at end of file.
+  if (Crc32c(*payload) != declared_crc) {
+    *error = "CRC32C mismatch (bit-rot)";
+    return FrameParse::kCorrupt;
+  }
+  return FrameParse::kOk;
+}
+
 }  // namespace
+
+bool IsDiskFullErrno(int err) {
+  return err == ENOSPC || err == EDQUOT || err == EIO;
+}
 
 StatusOr<std::unique_ptr<SessionWal>> SessionWal::Open(
     const std::string& dir, const std::string& session_id) {
@@ -39,26 +124,48 @@ StatusOr<std::unique_ptr<SessionWal>> SessionWal::Open(
   if (fd < 0) {
     return Status::Unavailable("WAL open " + path + ": " + ErrnoText());
   }
-  return std::unique_ptr<SessionWal>(new SessionWal(path, fd));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status =
+        Status::Unavailable("WAL stat " + path + ": " + ErrnoText());
+    ::close(fd);
+    return status;
+  }
+  // Only a fresh (empty) file gets the v2 header; appending framed
+  // records to an existing v1 file is fine, the reader discriminates
+  // per line.
+  return std::unique_ptr<SessionWal>(
+      new SessionWal(path, fd, /*needs_header=*/st.st_size == 0));
 }
 
 SessionWal::~SessionWal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status SessionWal::Append(const JsonValue& record, bool* fsync_failed) {
+Status SessionWal::Append(const JsonValue& record, bool* fsync_failed,
+                          bool* disk_full) {
   trace::ScopedSpan span("wal.append", trace::Phase::kWalAppend);
   if (fsync_failed != nullptr) *fsync_failed = false;
+  if (disk_full != nullptr) *disk_full = false;
   if (fd_ < 0) {
     return Status::Unavailable("WAL " + path_ + " is closed");
   }
+  if (failpoint::ShouldFail("fs.enospc")) {
+    if (disk_full != nullptr) *disk_full = true;
+    return Status::Unavailable("WAL write " + path_ +
+                               ": injected ENOSPC (no space left on device)");
+  }
   KBREPAIR_FAILPOINT("wal.append",
                      Status::Unavailable("injected WAL append failure"));
-  KBREPAIR_RETURN_IF_ERROR(WriteFully(fd_, record.Dump() + "\n", path_));
+  std::string data = FrameRecordLine(record.Dump());
+  if (needs_header_) data = std::string(kWalHeaderV2) + "\n" + data;
+  KBREPAIR_RETURN_IF_ERROR(WriteFully(fd_, data, path_, disk_full));
   if (::fsync(fd_) != 0 || failpoint::ShouldFail("wal.fsync")) {
     if (fsync_failed != nullptr) *fsync_failed = true;
+    if (disk_full != nullptr && IsDiskFullErrno(errno)) *disk_full = true;
     return Status::Unavailable("WAL fsync " + path_ + ": " + ErrnoText());
   }
+  needs_header_ = false;
   ++appends_since_compaction_;
   return Status::Ok();
 }
@@ -72,7 +179,9 @@ Status SessionWal::Compact(const JsonValue& create_params,
   for (const JsonValue& entry : entries) entry_array.Append(entry);
   snapshot.Set("entries", std::move(entry_array));
 
-  KBREPAIR_RETURN_IF_ERROR(AtomicWriteFile(path_, snapshot.Dump() + "\n"));
+  KBREPAIR_RETURN_IF_ERROR(
+      AtomicWriteFile(path_, std::string(kWalHeaderV2) + "\n" +
+                                 FrameRecordLine(snapshot.Dump())));
 
   // The rename orphaned the inode behind the old fd: close it *before*
   // checking the reopen, so a reopen failure leaves the WAL closed
@@ -83,6 +192,7 @@ Status SessionWal::Compact(const JsonValue& create_params,
   if (fd_ < 0) {
     return Status::Unavailable("WAL reopen " + path_ + ": " + ErrnoText());
   }
+  needs_header_ = false;
   appends_since_compaction_ = 0;
   return Status::Ok();
 }
@@ -144,32 +254,79 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
   WalRecovery recovery;
   recovery.session_id = session_id;
   bool saw_create = false;
+  bool v2_header = false;
+  size_t record_index = 0;
 
   size_t start = 0;
   while (start < contents.size()) {
     size_t newline = contents.find('\n', start);
-    const bool torn = newline == std::string::npos;
-    if (torn) newline = contents.size();
+    const bool unterminated = newline == std::string::npos;
+    if (unterminated) newline = contents.size();
     const std::string line = contents.substr(start, newline - start);
     start = newline + 1;
     if (line.empty()) continue;
+    ++record_index;
+    const std::string where =
+        "WAL " + path + " record " + std::to_string(record_index);
 
-    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
-    if (!parsed.ok() || !parsed->is_object()) {
-      if (torn || start >= contents.size()) {
-        // Crash mid-append: the guarded command was never acknowledged,
-        // so dropping the line loses nothing that was promised durable.
+    if (line[0] == '#') {
+      if (line == kWalHeaderV2) {
+        v2_header = true;
+        continue;
+      }
+      if (unterminated) {
+        // Crash while writing the very first append (header included):
+        // nothing was acknowledged, so dropping it loses nothing.
         recovery.dropped_torn_tail = true;
         break;
       }
-      return Status::InvalidArgument("WAL " + path +
-                                     ": unparseable interior record");
+      if (line.compare(0, sizeof(kWalHeaderPrefix) - 1, kWalHeaderPrefix) ==
+          0) {
+        return Status::InvalidArgument(where + ": unsupported WAL version '" +
+                                       line + "'");
+      }
+      return Status::InvalidArgument(where + ": corrupt header line");
+    }
+
+    std::string payload;
+    std::string frame_error;
+    std::string record_text;
+    switch (ParseFramedLine(line, unterminated, &payload, &frame_error)) {
+      case FrameParse::kOk:
+        record_text = std::move(payload);
+        break;
+      case FrameParse::kTorn:
+        recovery.dropped_torn_tail = true;
+        break;
+      case FrameParse::kCorrupt:
+        return Status::InvalidArgument(where + ": " + frame_error);
+      case FrameParse::kNotFramed:
+        // Bare v1 record: no checksum to verify, fall back to the
+        // legacy policy (a garbled final line is a tear, anything
+        // earlier is corruption).
+        record_text = line;
+        break;
+    }
+    if (recovery.dropped_torn_tail) break;
+
+    StatusOr<JsonValue> parsed = JsonValue::Parse(record_text);
+    if (!parsed.ok() || !parsed->is_object()) {
+      // Crash mid-append: the guarded command was never acknowledged,
+      // so dropping the line loses nothing that was promised durable.
+      // That leniency only extends to a *terminated* final line in
+      // legacy v1 files — a v2 writer frames every record, and a torn
+      // frame always keeps its leading length digits, so terminated
+      // garbage under a v2 header is corruption, not a tear.
+      if (unterminated || (start >= contents.size() && !v2_header)) {
+        recovery.dropped_torn_tail = true;
+        break;
+      }
+      return Status::InvalidArgument(where + ": unparseable record");
     }
     const std::string op = parsed->Get("op").AsString();
     if (op == "create") {
       if (saw_create) {
-        return Status::InvalidArgument("WAL " + path +
-                                       ": duplicate create record");
+        return Status::InvalidArgument(where + ": duplicate create record");
       }
       saw_create = true;
       recovery.create_params = parsed->Get("params");
@@ -177,14 +334,13 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
       // A snapshot restates the whole history; it can only legally be
       // the first record (compaction rewrites the file).
       if (saw_create || !recovery.entries.empty()) {
-        return Status::InvalidArgument("WAL " + path +
-                                       ": snapshot after other records");
+        return Status::InvalidArgument(where + ": snapshot after other records");
       }
       saw_create = true;
       recovery.create_params = parsed->Get("params");
       const JsonValue& entries = parsed->Get("entries");
       if (!entries.is_array()) {
-        return Status::InvalidArgument("WAL " + path +
+        return Status::InvalidArgument(where +
                                        ": snapshot without entries array");
       }
       for (size_t i = 0; i < entries.size(); ++i) {
@@ -192,8 +348,7 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
       }
     } else if (op == "answer") {
       if (!saw_create) {
-        return Status::InvalidArgument("WAL " + path +
-                                       ": answer before create");
+        return Status::InvalidArgument(where + ": answer before create");
       }
       JsonValue entry = JsonValue::Object();
       entry.Set("chosen", parsed->Get("chosen"));
@@ -202,8 +357,7 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
     } else if (op == "close") {
       recovery.closed = true;
     } else {
-      return Status::InvalidArgument("WAL " + path + ": unknown op '" + op +
-                                     "'");
+      return Status::InvalidArgument(where + ": unknown op '" + op + "'");
     }
   }
   if (!saw_create) {
@@ -222,6 +376,27 @@ std::vector<std::string> ListWalSessionIds(const std::string& dir) {
     ids.push_back(name.substr(0, name.size() - (sizeof(kWalSuffix) - 1)));
   }
   return ids;
+}
+
+Status ProbeWalDirWritable(const std::string& dir) {
+  if (failpoint::ShouldFail("fs.enospc")) {
+    return Status::Unavailable("WAL probe " + dir +
+                               ": injected ENOSPC (no space left on device)");
+  }
+  const std::string path = dir + "/.disk-probe";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("WAL probe open " + path + ": " + ErrnoText());
+  }
+  static const std::string kProbe = "kbrepair disk probe\n";
+  bool disk_full = false;
+  Status status = WriteFully(fd, kProbe, path, &disk_full);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Unavailable("WAL probe fsync " + path + ": " + ErrnoText());
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  return status;
 }
 
 }  // namespace kbrepair

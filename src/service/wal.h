@@ -1,15 +1,30 @@
 // Per-session write-ahead logging for the repair service.
 //
 // Every accepted state-changing command (create / answer / close) is
-// appended to `<dir>/<session-id>.wal` as one fsync'd JSON line *before*
-// it executes, so a crash at any point loses at most the command that
-// had not yet been acknowledged. Because the inquiry engine is
+// appended to `<dir>/<session-id>.wal` as one fsync'd line *before* it
+// executes, so a crash at any point loses at most the command that had
+// not yet been acknowledged. Because the inquiry engine is
 // deterministic given the create parameters and the sequence of chosen
 // fixes, the WAL is also a complete recovery recipe: replaying the
 // create record and the answer records through ReplayUser rebuilds the
 // session byte-identically (see SessionManager recovery).
 //
-// Record shapes (one JSON object per line):
+// On-disk format (v2): the file opens with a `#kbrepair-wal v2` header
+// line; every record line is framed as
+//
+//   <payload-bytes> <crc32c-hex8> <payload-json>\n
+//
+// so the reader can tell a *torn tail* (crash mid-append: fewer payload
+// bytes than declared, at end of file, no trailing newline — tolerated,
+// the guarded command was never acknowledged) from *bit-rot* (declared
+// length present but CRC32C mismatch, or corruption anywhere before the
+// final line — the file is rejected and recovery quarantines it rather
+// than silently replaying a garbled history). v1 files (bare JSON
+// lines, no header, no checksums) are still readable: record lines are
+// self-discriminating, so logs written by older builds — including v1
+// files that later builds appended framed records to — recover fine.
+//
+// Record payload shapes (one JSON object per line):
 //   {"op":"create","params":{...}}          the create request params
 //   {"op":"answer","chosen":N,"question":{...}}
 //                                           one transcript entry, exactly
@@ -22,9 +37,7 @@
 // Compaction (every `compact_every` appends) rewrites the log as a
 // single snapshot record via tmp + fsync + rename, so the file never
 // holds more than compact_every + 1 meaningful lines and readers never
-// observe a partial rewrite. A torn final line (crash mid-append) is
-// detected and dropped on recovery; everything before it is intact by
-// construction.
+// observe a partial rewrite.
 
 #ifndef KBREPAIR_SERVICE_WAL_H_
 #define KBREPAIR_SERVICE_WAL_H_
@@ -49,11 +62,16 @@ class SessionWal {
   SessionWal(const SessionWal&) = delete;
   SessionWal& operator=(const SessionWal&) = delete;
 
-  // Appends `record` as one line and fsyncs. Unavailable on failure —
-  // the caller must then *reject* the guarded command (log-before-
-  // execute). `fsync_failed` (optional) is set when the failure was at
-  // the durability step rather than the write, for metrics.
-  Status Append(const JsonValue& record, bool* fsync_failed = nullptr);
+  // Appends `record` as one framed line and fsyncs. Unavailable on
+  // failure — the caller must then *reject* the guarded command
+  // (log-before-execute). `fsync_failed` (optional) is set when the
+  // failure was at the durability step rather than the write, for
+  // metrics. `disk_full` (optional) is set when the failure was
+  // ENOSPC/EDQUOT/EIO (or the `fs.enospc` failpoint): the disk itself
+  // is out of space or failing, so the owning shard should enter
+  // degraded mode rather than hope the next append fares better.
+  Status Append(const JsonValue& record, bool* fsync_failed = nullptr,
+                bool* disk_full = nullptr);
 
   // Atomically replaces the log with a single snapshot record holding
   // the create params and the full answer history. Resets the append
@@ -62,6 +80,7 @@ class SessionWal {
                  const std::vector<JsonValue>& entries);
 
   // Closes and deletes the log (session completed; nothing to recover).
+  // Works on a full disk — unlink frees space, never needs it.
   Status Remove();
 
   const std::string& path() const { return path_; }
@@ -73,10 +92,15 @@ class SessionWal {
   static JsonValue CloseRecord();
 
  private:
-  SessionWal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  SessionWal(std::string path, int fd, bool needs_header)
+      : path_(std::move(path)), fd_(fd), needs_header_(needs_header) {}
 
   std::string path_;
   int fd_ = -1;
+  // True until the v2 header line has been written (new/empty file);
+  // the first append carries it so an empty create never costs an
+  // extra fsync.
+  bool needs_header_ = false;
   size_t appends_since_compaction_ = 0;
 };
 
@@ -86,18 +110,29 @@ struct WalRecovery {
   JsonValue create_params = JsonValue::Null();
   // Transcript-entry records ({"chosen":N,"question":{...}}), in order.
   std::vector<JsonValue> entries;
-  bool closed = false;          // a close record was logged
+  bool closed = false;             // a close record was logged
   bool dropped_torn_tail = false;  // final partial line discarded
 };
 
 // Parses one WAL file. InvalidArgument when the file is unusable
-// (missing/garbled create record, non-JSON interior line); a torn
-// *final* line is tolerated and reported via dropped_torn_tail.
+// (missing/garbled create record, framing/CRC corruption, non-JSON
+// interior line); a torn *final* line is tolerated and reported via
+// dropped_torn_tail.
 StatusOr<WalRecovery> ReadWalFile(const std::string& path,
                                   const std::string& session_id);
 
 // Session ids with a `<id>.wal` file in `dir`, sorted.
 std::vector<std::string> ListWalSessionIds(const std::string& dir);
+
+// Probes whether `dir` can take durable writes again: creates, syncs
+// and unlinks a small scratch file (gated by the `fs.enospc` failpoint
+// like real appends). Used by degraded shards to detect that the disk
+// has freed up.
+Status ProbeWalDirWritable(const std::string& dir);
+
+// True when `err` (an errno value) means the disk is full or failing
+// (ENOSPC, EDQUOT, EIO) rather than a transient hiccup.
+bool IsDiskFullErrno(int err);
 
 }  // namespace kbrepair
 

@@ -1,0 +1,35 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace kbrepair {
+namespace {
+
+// Reflected CRC-32C polynomial (0x1EDC6F41 bit-reversed).
+constexpr uint32_t kPolynomial = 0x82F63B42u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : (crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace kbrepair

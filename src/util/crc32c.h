@@ -1,0 +1,34 @@
+// CRC-32C (Castagnoli) checksums, as used by the WAL record framing.
+//
+// CRC-32C is the variant used by iSCSI, ext4 and most storage-engine
+// WALs (LevelDB, RocksDB): its polynomial (0x1EDC6F41) has better
+// error-detection properties for typical storage bit-flip patterns than
+// the zlib CRC-32. This is a portable table-driven software
+// implementation — WAL records are small (hundreds of bytes), so the
+// checksum is nowhere near the fsync-dominated append path's cost.
+
+#ifndef KBREPAIR_UTIL_CRC32C_H_
+#define KBREPAIR_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kbrepair {
+
+// Extends `crc` (the running checksum of some prefix) with `n` more
+// bytes. Pass 0 to start a fresh checksum.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// Checksum of a whole buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(const std::string& s) {
+  return Crc32c(s.data(), s.size());
+}
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_CRC32C_H_

@@ -1,0 +1,51 @@
+// Thread-safe errno-to-text conversion.
+//
+// strerror(3) may return a pointer to a shared static buffer, so two
+// threads formatting different errors can race and garble each other's
+// messages. strerror_r(3) is the fix, but it comes in two incompatible
+// flavors: the XSI variant returns int and fills the caller's buffer,
+// while the GNU variant returns char* (possibly pointing at a static
+// immutable string, ignoring the buffer). Which one <string.h> declares
+// depends on feature-test macros, so this header dispatches on the
+// return type via overload resolution instead of #ifdef guesswork.
+
+#ifndef KBREPAIR_UTIL_ERRNO_TEXT_H_
+#define KBREPAIR_UTIL_ERRNO_TEXT_H_
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace kbrepair {
+namespace internal {
+
+// XSI strerror_r: int return, message written into `buffer`.
+inline std::string StrerrorResult(int rc, const char* buffer, int err) {
+  if (rc == 0) return std::string(buffer);
+  return "errno " + std::to_string(err);
+}
+
+// GNU strerror_r: char* return, `buffer` only used as scratch space.
+inline std::string StrerrorResult(const char* result, const char* /*buffer*/,
+                                  int err) {
+  if (result != nullptr) return std::string(result);
+  return "errno " + std::to_string(err);
+}
+
+}  // namespace internal
+
+// Returns the message for `err` (an errno value), never touching shared
+// static state.
+inline std::string ErrnoText(int err) {
+  char buffer[256];
+  buffer[0] = '\0';
+  return internal::StrerrorResult(::strerror_r(err, buffer, sizeof(buffer)),
+                                  buffer, err);
+}
+
+// Returns the message for the calling thread's current errno.
+inline std::string ErrnoText() { return ErrnoText(errno); }
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_ERRNO_TEXT_H_

@@ -1,5 +1,6 @@
 #include "util/failpoint.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
@@ -136,6 +137,16 @@ uint64_t Hits(const std::string& name) {
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& entry : r.points) names.push_back(entry.first);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 }  // namespace failpoint

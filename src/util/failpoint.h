@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -54,6 +55,10 @@ bool ShouldFail(const char* name);
 
 // Total hits observed for an armed point (0 when never armed).
 uint64_t Hits(const std::string& name);
+
+// Names of the currently armed points, sorted. Used by the `failpoint`
+// admin command so chaos harnesses can verify what is in force.
+std::vector<std::string> ArmedNames();
 
 }  // namespace failpoint
 

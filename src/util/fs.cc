@@ -8,12 +8,11 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "util/errno_text.h"
 #include "util/failpoint.h"
 
 namespace kbrepair {
 namespace {
-
-std::string ErrnoText() { return std::string(strerror(errno)); }
 
 std::string ParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
@@ -78,7 +77,7 @@ Status FsyncParentDir(const std::string& path) {
   ::close(fd);
   if (rc != 0 && saved_errno != EINVAL && saved_errno != EBADF) {
     return Status::Unavailable("fsync dir " + dir + ": " +
-                               std::string(strerror(saved_errno)));
+                               ErrnoText(saved_errno));
   }
   return Status::Ok();
 }

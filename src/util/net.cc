@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/errno_text.h"
 #include "util/fs.h"
 
 namespace kbrepair {
@@ -17,7 +18,7 @@ namespace net {
 
 namespace {
 
-std::string Errno() { return std::strerror(errno); }
+std::string Errno() { return ErrnoText(errno); }
 
 }  // namespace
 

@@ -32,6 +32,12 @@ enum class StatusCode {
   // The service cannot take the command right now (overload, shutdown,
   // WAL write failure). The command was not executed; retry with backoff.
   kUnavailable,
+  // A resource limit is in force: the owning shard is in disk-degraded
+  // read-only mode, or the memory governor is shedding load. Like
+  // kUnavailable the command was not executed and retrying with backoff
+  // is safe, but recovery depends on resources freeing up, so clients
+  // should back off harder.
+  kResourceExhausted,
 };
 
 // Returns a short human-readable name ("OK", "InvalidArgument", ...).
@@ -64,6 +70,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   Status(StatusCode code, std::string message)

@@ -8,15 +8,26 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "util/crc32c.h"
 #include "util/json.h"
 
 namespace kbrepair {
 namespace {
+
+constexpr char kHeaderV2[] = "#kbrepair-wal v2\n";
+
+// Mirrors the writer's framing: "<len> <crc32c-hex8> <payload>\n".
+std::string Framed(const std::string& payload) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32c(payload));
+  return std::to_string(payload.size()) + " " + crc + " " + payload + "\n";
+}
 
 class WalTest : public ::testing::Test {
  protected:
@@ -103,12 +114,13 @@ TEST_F(WalTest, CompactionCollapsesLogToOneSnapshotRecord) {
   ASSERT_TRUE((*wal)->Compact(Params(9), entries).ok());
   EXPECT_EQ((*wal)->appends_since_compaction(), 0u);
 
-  // The compacted file holds exactly one line and recovers identically.
+  // The compacted file holds exactly the header plus one snapshot line
+  // and recovers identically.
   std::ifstream in(WalPath("s-3"));
   std::string line;
   size_t lines = 0;
   while (std::getline(in, line)) ++lines;
-  EXPECT_EQ(lines, 1u);
+  EXPECT_EQ(lines, 2u);
   StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("s-3"), "s-3");
   ASSERT_TRUE(recovered.ok()) << recovered.status();
   EXPECT_EQ(recovered->create_params.Dump(), Params(9).Dump());
@@ -174,6 +186,193 @@ TEST_F(WalTest, ListWalSessionIdsFindsOnlyWalFiles) {
   EXPECT_EQ(ids[0], "alpha");
   EXPECT_EQ(ids[1], "beta");
   ::unlink((dir_ + "/notes.txt").c_str());
+}
+
+TEST_F(WalTest, V2FilesOpenWithHeaderAndFramedRecords) {
+  auto wal = SessionWal::Open(dir_, "v2-1");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::CreateRecord(Params(4))).ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::AnswerRecord(Entry(1))).ok());
+
+  std::ifstream in(WalPath("v2-1"), std::ios::binary);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line + "\n", kHeaderV2);
+  const std::string expect_create =
+      Framed(SessionWal::CreateRecord(Params(4)).Dump());
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line + "\n", expect_create);
+}
+
+TEST_F(WalTest, V1LogsWithoutHeaderStillRecover) {
+  // A log written by an older build: bare JSON lines, no header, no
+  // checksums.
+  WriteRaw("v1-1", SessionWal::CreateRecord(Params(5)).Dump() + "\n" +
+                       SessionWal::AnswerRecord(Entry(2)).Dump() + "\n");
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("v1-1"), "v1-1");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->create_params.Dump(), Params(5).Dump());
+  ASSERT_EQ(recovered->entries.size(), 1u);
+  EXPECT_EQ(recovered->entries[0].Get("chosen").AsInt(-1), 2);
+}
+
+TEST_F(WalTest, V2AppendsOntoV1LogRecoverTogether) {
+  // An upgraded daemon continuing a pre-upgrade session: the old bare
+  // lines stay, new appends arrive framed (and headerless — only a
+  // fresh file earns the header).
+  WriteRaw("mix-1", SessionWal::CreateRecord(Params(6)).Dump() + "\n");
+  auto wal = SessionWal::Open(dir_, "mix-1");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(SessionWal::AnswerRecord(Entry(3))).ok());
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("mix-1"), "mix-1");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->create_params.Dump(), Params(6).Dump());
+  ASSERT_EQ(recovered->entries.size(), 1u);
+  EXPECT_EQ(recovered->entries[0].Get("chosen").AsInt(-1), 3);
+}
+
+// Builds a known-good v2 log (create + 3 answers) and returns its raw
+// bytes plus the expected recovered entries.
+struct GoldenLog {
+  std::string bytes;
+  std::vector<std::string> entry_dumps;  // expected entries, in order
+};
+
+GoldenLog MakeGoldenLog() {
+  GoldenLog log;
+  JsonValue params = JsonValue::Object();
+  params.Set("kb", JsonValue::String("synthetic"));
+  params.Set("seed", JsonValue::Number(int64_t{11}));
+  log.bytes = kHeaderV2;
+  JsonValue create = JsonValue::Object();
+  create.Set("op", JsonValue::String("create"));
+  create.Set("params", params);
+  log.bytes += Framed(create.Dump());
+  for (int64_t i = 0; i < 3; ++i) {
+    JsonValue question = JsonValue::Object();
+    question.Set("source_cdd", JsonValue::Number(int64_t{0}));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("chosen", JsonValue::Number(i));
+    entry.Set("question", question);
+    JsonValue record = JsonValue::Object();
+    record.Set("op", JsonValue::String("answer"));
+    record.Set("chosen", entry.Get("chosen"));
+    record.Set("question", entry.Get("question"));
+    log.bytes += Framed(record.Dump());
+    log.entry_dumps.push_back(entry.Dump());
+  }
+  return log;
+}
+
+TEST_F(WalTest, SingleByteCorruptionIsNeverReplayed) {
+  // The acceptance bar for checksummed framing: flip any single byte of
+  // a valid log and recovery must either reject the file (quarantine)
+  // or — when the flip masquerades as a torn tail on the final line —
+  // recover an exact *prefix* of the original history. It must never
+  // hand back a garbled or reordered record.
+  const GoldenLog golden = MakeGoldenLog();
+  for (size_t offset = 0; offset < golden.bytes.size(); ++offset) {
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string bytes = golden.bytes;
+      bytes[offset] = static_cast<char>(bytes[offset] ^ mask);
+      const std::string id =
+          "flip-" + std::to_string(offset) + "-" + std::to_string(mask);
+      WriteRaw(id, bytes);
+      StatusOr<WalRecovery> recovered = ReadWalFile(WalPath(id), id);
+      if (!recovered.ok()) continue;  // quarantined: safe
+      ASSERT_LE(recovered->entries.size(), golden.entry_dumps.size())
+          << "offset " << offset << " mask " << int(mask);
+      for (size_t i = 0; i < recovered->entries.size(); ++i) {
+        EXPECT_EQ(recovered->entries[i].Dump(), golden.entry_dumps[i])
+            << "offset " << offset << " mask " << int(mask);
+      }
+    }
+  }
+}
+
+TEST_F(WalTest, TruncationAtEveryLengthIsTornTailOrQuarantine) {
+  // A crash can cut the file at any byte. Every truncation length must
+  // recover a prefix (dropping the torn final record) or be rejected —
+  // losing the unacknowledged tail is fine, inventing records is not.
+  const GoldenLog golden = MakeGoldenLog();
+  for (size_t keep = 0; keep <= golden.bytes.size(); ++keep) {
+    const std::string id = "trunc-" + std::to_string(keep);
+    WriteRaw(id, golden.bytes.substr(0, keep));
+    StatusOr<WalRecovery> recovered = ReadWalFile(WalPath(id), id);
+    if (!recovered.ok()) continue;  // e.g. create record itself torn
+    ASSERT_LE(recovered->entries.size(), golden.entry_dumps.size());
+    for (size_t i = 0; i < recovered->entries.size(); ++i) {
+      EXPECT_EQ(recovered->entries[i].Dump(), golden.entry_dumps[i])
+          << "keep " << keep;
+    }
+    // A cut that lands mid-line must be visible as a torn tail; a cut
+    // on a record boundary just looks like a shorter (valid) log. A cut
+    // that removes only a record's trailing newline leaves a complete,
+    // CRC-verified frame, so recovery keeps it whole and drops nothing.
+    if (keep > 0 && golden.bytes[keep - 1] != '\n' &&
+        golden.bytes[keep] != '\n') {
+      EXPECT_TRUE(recovered->dropped_torn_tail) << "keep " << keep;
+    }
+  }
+}
+
+TEST_F(WalTest, InteriorSpliceIsQuarantined) {
+  // Bytes dropped from the *middle* of the file (bad sector, editor
+  // mishap) garble an interior frame; that is corruption, never a tear.
+  const GoldenLog golden = MakeGoldenLog();
+  const size_t mid = golden.bytes.size() / 2;
+  const std::string spliced =
+      golden.bytes.substr(0, mid - 8) + golden.bytes.substr(mid);
+  WriteRaw("splice-1", spliced);
+  EXPECT_FALSE(ReadWalFile(WalPath("splice-1"), "splice-1").ok());
+}
+
+TEST_F(WalTest, TerminatedGarbageAfterV2RecordsIsQuarantined) {
+  // A v2 writer frames every record and a torn frame keeps its leading
+  // length digits, so a complete line of unframed garbage under the v2
+  // header cannot be a tear — reject it.
+  const GoldenLog golden = MakeGoldenLog();
+  WriteRaw("junk-1", golden.bytes + "not a frame at all\n");
+  EXPECT_FALSE(ReadWalFile(WalPath("junk-1"), "junk-1").ok());
+}
+
+TEST_F(WalTest, UnterminatedGarbageTailIsTolerated) {
+  // No newline means the final write never completed; whatever the
+  // bytes look like, the guarded command was never acknowledged.
+  const GoldenLog golden = MakeGoldenLog();
+  WriteRaw("junk-2", golden.bytes + "zzzz");
+  StatusOr<WalRecovery> recovered = ReadWalFile(WalPath("junk-2"), "junk-2");
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->dropped_torn_tail);
+  EXPECT_EQ(recovered->entries.size(), 3u);
+}
+
+TEST_F(WalTest, CrcMismatchOnFinalCompleteLineIsBitRotNotTear) {
+  // The declared payload length is fully present, so this cannot be a
+  // truncated write — only flipped bits. Quarantine even at EOF.
+  const GoldenLog golden = MakeGoldenLog();
+  std::string bytes = golden.bytes;
+  // Corrupt one payload byte of the last record (line is terminated and
+  // structurally complete).
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x04);
+  WriteRaw("rot-1", bytes);
+  EXPECT_FALSE(ReadWalFile(WalPath("rot-1"), "rot-1").ok());
+}
+
+TEST_F(WalTest, DiskFullErrnoClassification) {
+  EXPECT_TRUE(IsDiskFullErrno(ENOSPC));
+  EXPECT_TRUE(IsDiskFullErrno(EDQUOT));
+  EXPECT_TRUE(IsDiskFullErrno(EIO));
+  EXPECT_FALSE(IsDiskFullErrno(EINTR));
+  EXPECT_FALSE(IsDiskFullErrno(EBADF));
+}
+
+TEST_F(WalTest, ProbeWalDirWritableRoundtrips) {
+  EXPECT_TRUE(ProbeWalDirWritable(dir_).ok());
+  // The probe cleans up after itself.
+  struct stat st;
+  EXPECT_NE(::stat((dir_ + "/.disk-probe").c_str(), &st), 0);
+  EXPECT_FALSE(ProbeWalDirWritable(dir_ + "/no-such-subdir").ok());
 }
 
 }  // namespace
