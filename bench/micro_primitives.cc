@@ -9,9 +9,30 @@
 //  * sound-question generation delay as the KB grows — the observable
 //    side of the polynomial-delay result (Corollary 4.11).
 
+// `--quick [--out FILE]` bypasses google-benchmark and emits a reduced
+// join + saturation ladder in the BENCH_*.json schema bench_diff
+// understands (baseline: bench/baselines/BENCH_micro_primitives_quick
+// .json). The schema's two engine columns are reused per ladder:
+//   size_ladder  "join ..."        scratch = full naive-conflict rescan,
+//                                  incremental = UPDATECONFLICTS probe;
+//   depth_ladder "saturation ..."  scratch = chase at --chase-threads 1,
+//                                  incremental = chase at 2 threads.
+// Each row therefore gates one hot primitive of the cache-dense chase
+// path (columnar candidate scan / arena-backed wave saturation).
+
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
 #include "gen/synthetic.h"
+#include "kb/homomorphism.h"
 #include "repair/conflict.h"
 #include "repair/consistency.h"
 #include "repair/question.h"
@@ -58,6 +79,25 @@ void BM_ChaseSaturation(benchmark::State& state) {
   state.counters["derived_atoms"] = static_cast<double>(derived);
 }
 BENCHMARK(BM_ChaseSaturation)->Arg(500)->Arg(1000)->Arg(2000);
+
+// The raw backtracking join: enumerate every homomorphism of every CDD
+// body, no conflict materialization — the candidate scan the columnar
+// posting index feeds.
+void BM_CddBodyJoin(benchmark::State& state) {
+  SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.3);
+  KnowledgeBase& kb = generated.kb;
+  HomomorphismFinder finder(&kb.symbols(), &kb.facts());
+  size_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (const Cdd& cdd : kb.cdds()) {
+      total += finder.Count(cdd.body());
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["matches"] = static_cast<double>(total);
+}
+BENCHMARK(BM_CddBodyJoin)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
 
 void BM_AllConflicts(benchmark::State& state) {
   SyntheticKb generated = MakeKb(static_cast<size_t>(state.range(0)), 0.3);
@@ -216,7 +256,146 @@ BENCHMARK(BM_SoundQuestionGeneration)
     ->Arg(2000)
     ->Arg(4000);
 
+// ---------------------------------------------------------------------
+// --quick gate mode (bench_diff schema; see file comment).
+
+struct QuickStats {
+  double mean_ms = 0;
+  double median_ms = 0;
+  double max_ms = 0;
+};
+
+// Times `reps` calls of `fn` (after one untimed warmup call, so cold
+// caches and lazy pool spin-up don't skew the gated mean) and
+// summarizes per-call wall time.
+template <typename Fn>
+QuickStats MeasureMs(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  QuickStats out;
+  for (double s : samples) out.mean_ms += s;
+  out.mean_ms /= samples.size();
+  out.median_ms = samples[samples.size() / 2];
+  out.max_ms = samples.back();
+  return out;
+}
+
+std::string StatsJson(const QuickStats& stats) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"mean_delay_ms\": %.3f, \"median_delay_ms\": %.3f, "
+                "\"max_delay_ms\": %.3f}",
+                stats.mean_ms, stats.median_ms, stats.max_ms);
+  return buffer;
+}
+
+std::string RowJson(const std::string& config, const QuickStats& scratch,
+                    const QuickStats& incremental) {
+  return "    {\"config\": \"" + config + "\",\n     \"scratch\": " +
+         StatsJson(scratch) + ",\n     \"incremental\": " +
+         StatsJson(incremental) + "}";
+}
+
+// One join row: full naive rescan vs the incremental UPDATECONFLICTS
+// probe, both dominated by the columnar candidate scan.
+std::string JoinRow(size_t num_facts) {
+  SyntheticKb generated = MakeKb(num_facts, 0.3);
+  KnowledgeBase& kb = generated.kb;
+  ConflictFinder finder(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  FactBase working = kb.facts();
+  const TermId fresh = kb.symbols().MakeFreshNull();
+  const TermId original = working.atom(0).args[0];
+  bool flip = false;
+  const QuickStats scratch = MeasureMs(12, [&] {
+    working.SetArg(0, 0, flip ? original : fresh);
+    flip = !flip;
+    const std::vector<Conflict> conflicts = finder.NaiveConflicts(working);
+    KBREPAIR_CHECK(!conflicts.empty());
+  });
+  ConflictTracker tracker(&finder);
+  tracker.Initialize(working);
+  const QuickStats incremental = MeasureMs(12, [&] {
+    working.SetArg(0, 0, flip ? original : fresh);
+    flip = !flip;
+    tracker.OnFixApplied(working, 0);
+  });
+  return RowJson("join " + std::to_string(num_facts) + " facts", scratch,
+                 incremental);
+}
+
+// One saturation row: the wave chase at 1 thread (scratch column) and
+// 2 threads (incremental column) over a TGD-heavy workload. Workloads
+// are sized so each run is a few milliseconds — on an oversubscribed
+// runner a scheduler preemption then shifts the 16-sample mean by a
+// few percent instead of doubling it.
+std::string SaturationRow(size_t num_facts) {
+  SyntheticKb generated =
+      MakeKb(num_facts, 0.1, /*num_tgds=*/20, /*depth=*/2);
+  KnowledgeBase& kb = generated.kb;
+  const auto run_at = [&kb](size_t threads) {
+    ChaseOptions options;
+    options.stop_on_violation = false;
+    options.num_threads = threads;
+    ChaseEngine engine(&kb.symbols(), &kb.tgds(), nullptr, options);
+    return MeasureMs(16, [&] {
+      StatusOr<ChaseResult> chased = engine.Run(kb.facts());
+      KBREPAIR_CHECK(chased.ok()) << chased.status();
+      benchmark::DoNotOptimize(chased->num_derived());
+    });
+  };
+  return RowJson("saturation " + std::to_string(num_facts) + " facts d2",
+                 run_at(1), run_at(2));
+}
+
+int RunQuickGate(const std::string& out_path) {
+  std::string json = "{\n  \"bench\": \"micro_primitives\",\n";
+  json += "  \"size_ladder\": [\n";
+  json += JoinRow(1000) + ",\n";
+  json += JoinRow(2000) + "\n";
+  json += "  ],\n  \"depth_ladder\": [\n";
+  json += SaturationRow(2000) + ",\n";
+  json += SaturationRow(4000) + "\n";
+  json += "  ]\n}\n";
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace kbrepair
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (quick) return kbrepair::RunQuickGate(out_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include "kb/symbol_table.h"
 #include "rules/cdd.h"
 #include "rules/tgd.h"
+#include "util/arena.h"
 #include "util/cancel.h"
 #include "util/status.h"
 
@@ -45,10 +46,12 @@ struct ChaseViolation {
   std::vector<AtomId> matched;
 };
 
-// Trigger that produced a derived atom.
+// Trigger that produced a derived atom. The parent list lives in the
+// arena of the chase generation that minted the derivation (ChaseResult
+// or IncrementalChase), not in a per-derivation heap node.
 struct Derivation {
   size_t tgd_index = 0;
-  std::vector<AtomId> parents;  // body-matched atoms, in body order
+  ArenaSpan<AtomId> parents;  // body-matched atoms, in body order
 };
 
 // The chased base Cl(F). Original atoms keep their ids [0, num_original);
@@ -65,7 +68,10 @@ class ChaseResult {
   const Derivation& derivation(AtomId id) const;
 
   // The original atoms transitively supporting `id` (the atom itself when
-  // original). Deduplicated, ascending.
+  // original). Deduplicated, ascending. Reuses an epoch-stamped visited
+  // bitmap across calls, so repeated support projections allocate
+  // nothing; as a consequence concurrent calls on the same ChaseResult
+  // are not safe (results are consumed single-threaded per session).
   std::vector<AtomId> OriginalSupport(AtomId id) const;
 
   // Union of OriginalSupport over several atoms. Deduplicated, ascending.
@@ -85,6 +91,16 @@ class ChaseResult {
   size_t num_original_ = 0;
   std::vector<Derivation> derivations_;  // index: id - num_original_
   std::optional<ChaseViolation> violation_;
+  // Owns every derivation's parent span. Shared so copies of the result
+  // stay cheap and keep the spans alive.
+  std::shared_ptr<Arena> arena_;
+
+  // Scratch for OriginalSupport: atoms stamped with the current epoch
+  // have been visited this traversal, so clearing between calls is a
+  // counter bump instead of a fill.
+  mutable std::vector<uint32_t> support_epoch_;
+  mutable uint32_t support_epoch_counter_ = 0;
+  mutable std::vector<AtomId> support_frontier_;
 };
 
 struct ChaseOptions {
@@ -103,6 +119,12 @@ struct ChaseOptions {
   // component built from the same options (finder, repairability checker,
   // delta engines), so one armed deadline bounds a whole engine command.
   std::shared_ptr<CancelToken> cancel;
+
+  // Worker threads for the wave-parallel trigger enumeration (Phase A of
+  // each saturation wave); 1 = fully sequential. The wave algorithm is
+  // identical for every value, so atom ids, fresh-null names, provenance
+  // and transcripts are byte-identical across thread counts.
+  size_t num_threads = 1;
 };
 
 // Runs the chase over `facts`. The symbol table is mutated (fresh nulls).

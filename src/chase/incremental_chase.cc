@@ -1,10 +1,11 @@
 #include "chase/incremental_chase.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
-#include <unordered_set>
 #include <utility>
 
+#include "chase/wave.h"
 #include "kb/homomorphism.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -29,6 +30,8 @@ Status IncrementalChase::Initialize(const FactBase& facts) {
   children_.Clear();
   suppressed_.Clear();
   suppressed_by_witness_.Clear();
+  derivation_arena_ = std::make_shared<Arena>();
+  retained_arenas_.clear();
 
   auto anchors = std::make_shared<AnchorIndex>();
   for (size_t r = 0; r < tgds_->size(); ++r) {
@@ -39,7 +42,8 @@ Status IncrementalChase::Initialize(const FactBase& facts) {
   }
   anchor_index_ = std::move(anchors);
 
-  std::deque<AtomId> work;
+  std::vector<AtomId> work;
+  work.reserve(chased_.size());
   for (AtomId id = 0; id < chased_.size(); ++id) work.push_back(id);
   KBREPAIR_RETURN_IF_ERROR(Saturate(std::move(work)));
   initialized_ = true;
@@ -65,6 +69,12 @@ void IncrementalChase::AdoptShared(const IncrementalChase& frozen) {
   anchor_index_ = frozen.anchor_index_;
   suppressed_ = frozen.suppressed_;
   suppressed_by_witness_ = frozen.suppressed_by_witness_;
+  // The prototype's derivation spans stay alive through the retained
+  // arena chain; this fork's own derivations go into a fresh arena the
+  // prototype never sees.
+  retained_arenas_ = frozen.retained_arenas_;
+  retained_arenas_.push_back(frozen.derivation_arena_);
+  derivation_arena_ = std::make_shared<Arena>();
   // A cold Initialize() never resets the lifetime counters, and a fresh
   // chase starts them at zero — so adopting the prototype's values is
   // exactly what Initialize() on the same facts would leave behind.
@@ -75,7 +85,7 @@ void IncrementalChase::AdoptShared(const IncrementalChase& frozen) {
 }
 
 AtomId IncrementalChase::FindAtom(const Atom& atom) const {
-  const std::vector<AtomId>& candidates =
+  AtomSpan candidates =
       atom.args.empty()
           ? chased_.AtomsWithPredicate(atom.predicate)
           : chased_.AtomsWithTermAt(atom.predicate, 0, atom.args[0]);
@@ -87,8 +97,7 @@ AtomId IncrementalChase::FindAtom(const Atom& atom) const {
 
 void IncrementalChase::RecordSuppressed(
     size_t tgd_index, std::vector<AtomId> matched,
-    std::unordered_map<TermId, TermId> bindings,
-    const std::vector<AtomId>& witnesses) {
+    std::vector<Binding> bindings, const std::vector<AtomId>& witnesses) {
   const size_t entry = suppressed_.size();
   suppressed_.PushBack(SuppressedTrigger{tgd_index, std::move(matched),
                                          std::move(bindings)});
@@ -97,21 +106,24 @@ void IncrementalChase::RecordSuppressed(
   }
 }
 
-Status IncrementalChase::FireTrigger(
-    size_t tgd_index, const std::vector<AtomId>& matched,
-    const std::unordered_map<TermId, TermId>& bindings,
-    std::deque<AtomId>* work) {
+Status IncrementalChase::FireTrigger(size_t tgd_index, const AtomId* matched,
+                                     size_t num_matched,
+                                     const Binding* bindings,
+                                     size_t num_bindings,
+                                     std::vector<AtomId>* work) {
   const Tgd& tgd = (*tgds_)[tgd_index];
-  std::unordered_map<TermId, TermId> head_bindings = bindings;
+  head_scratch_.assign(bindings, bindings + num_bindings);
+  const size_t num_frontier = head_scratch_.size();
   for (TermId var : tgd.existential_variables()) {
-    head_bindings[var] = symbols_->MakeFreshNull();
+    head_scratch_.push_back(Binding{var, symbols_->MakeFreshNull()});
   }
   for (const Atom& head_atom : tgd.head()) {
-    const Atom instance = SubstituteTerms(head_atom, head_bindings);
+    const Atom instance = SubstituteTerms(head_atom, head_scratch_.data(),
+                                          head_scratch_.size());
     bool has_fresh_null = false;
     for (TermId arg : instance.args) {
-      for (TermId var : tgd.existential_variables()) {
-        has_fresh_null = has_fresh_null || head_bindings[var] == arg;
+      for (size_t k = num_frontier; k < head_scratch_.size(); ++k) {
+        has_fresh_null = has_fresh_null || head_scratch_[k].term == arg;
       }
     }
     if (!has_fresh_null) {
@@ -119,7 +131,11 @@ Status IncrementalChase::FireTrigger(
       // atom so retraction can revive it.
       const AtomId duplicate = FindAtom(instance);
       if (duplicate != kInvalidAtom) {
-        RecordSuppressed(tgd_index, matched, bindings, {duplicate});
+        RecordSuppressed(tgd_index,
+                         std::vector<AtomId>(matched, matched + num_matched),
+                         std::vector<Binding>(bindings,
+                                              bindings + num_bindings),
+                         {duplicate});
         continue;
       }
     }
@@ -132,16 +148,18 @@ Status IncrementalChase::FireTrigger(
     KBREPAIR_CHECK_EQ(new_id - num_original_, derivations_.size());
     Derivation derivation;
     derivation.tgd_index = tgd_index;
-    derivation.parents = matched;
+    derivation.parents = derivation_arena_->Copy(matched, num_matched);
     derivations_.PushBack(std::move(derivation));
-    for (AtomId parent : matched) children_.Mutable(parent).push_back(new_id);
+    for (size_t j = 0; j < num_matched; ++j) {
+      children_.Mutable(matched[j]).push_back(new_id);
+    }
     work->push_back(new_id);
     ++total_added_;
   }
   return Status::Ok();
 }
 
-Status IncrementalChase::Saturate(std::deque<AtomId> work) {
+Status IncrementalChase::Saturate(std::vector<AtomId> wave) {
   trace::ScopedSpan span("chase.delta_saturate", trace::Phase::kDeltaChase);
   KBREPAIR_FAILPOINT("chase.saturate",
                      Status::Internal("injected chase saturation fault"));
@@ -149,40 +167,79 @@ Status IncrementalChase::Saturate(std::deque<AtomId> work) {
     KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("delta chase"));
   }
   HomomorphismFinder finder(symbols_, &chased_);
+  WaveExecutor exec(options_.num_threads);
+  // Per-slot Phase A findings; written by one worker each, merged in
+  // slot order by Phase B.
+  std::vector<std::vector<PendingTrigger>> slots;
+  std::vector<AtomId> next;
+  std::vector<Atom> head_query;
   size_t steps = 0;
-  while (!work.empty()) {
-    if (options_.cancel != nullptr && (++steps & 63) == 0) {
+
+  while (!wave.empty()) {
+    if (options_.cancel != nullptr) {
       KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("delta chase"));
     }
-    const AtomId current = work.front();
-    work.pop_front();
-    if (!chased_.alive(current)) continue;
-    const PredicateId pred = chased_.atom(current).predicate;
-    auto it = anchor_index_->find(pred);
-    if (it == anchor_index_->end()) continue;
-    for (const auto& [tgd_index, body_pos] : it->second) {
-      const Tgd& tgd = (*tgds_)[tgd_index];
-      // Materialize triggers before firing: firing mutates the base the
-      // enumeration reads.
-      std::vector<Homomorphism> triggers;
-      finder.FindAllPinned(tgd.body(), body_pos, current,
-                           [&](const Homomorphism& hom) {
-                             triggers.push_back(hom);
-                             return true;
-                           });
-      for (const Homomorphism& trigger : triggers) {
-        const std::vector<Atom> head_query =
-            SubstituteTerms(tgd.head(), trigger.bindings);
+    if (slots.size() < wave.size()) slots.resize(wave.size());
+
+    // --- Phase A: enumerate triggers anchored at each wave atom against
+    // the wave-start snapshot (read-only; same discipline as the scratch
+    // engine, so both reach competing triggers in the same order).
+    exec.ForEachSlot(wave.size(), [&](size_t s, Arena& arena) {
+      std::vector<PendingTrigger>& triggers = slots[s];
+      triggers.clear();
+      const AtomId current = wave[s];
+      if (!chased_.alive(current)) return;
+      const PredicateId pred = chased_.atom(current).predicate;
+      auto it = anchor_index_->find(pred);
+      if (it == anchor_index_->end()) return;
+      for (const auto& [tgd_index, body_pos] : it->second) {
+        finder.FindAllPinnedViews(
+            (*tgds_)[tgd_index].body(), body_pos, current,
+            [&, tgd_index = tgd_index](const HomomorphismView& view) {
+              PendingTrigger trigger;
+              trigger.tgd_index = tgd_index;
+              trigger.matched = arena.Copy(view.matched, view.num_matched);
+              trigger.bindings =
+                  arena.Copy(view.bindings, view.num_bindings);
+              triggers.push_back(trigger);
+              return true;
+            });
+      }
+    });
+
+    // --- Phase B: deterministic sequential fire/suppress in slot order
+    // against the live base.
+    next.clear();
+    for (size_t s = 0; s < wave.size(); ++s) {
+      if (options_.cancel != nullptr && (++steps & 63) == 0) {
+        KBREPAIR_RETURN_IF_ERROR(options_.cancel->Check("delta chase"));
+      }
+      for (const PendingTrigger& trigger : slots[s]) {
+        const Tgd& tgd = (*tgds_)[trigger.tgd_index];
+        head_query.clear();
+        for (const Atom& head_atom : tgd.head()) {
+          head_query.push_back(SubstituteTerms(
+              head_atom, trigger.bindings.ptr, trigger.bindings.len));
+        }
         std::optional<Homomorphism> witness = finder.FindFirst(head_query);
         if (witness.has_value()) {
-          RecordSuppressed(tgd_index, trigger.matched, trigger.bindings,
-                           witness->matched);
+          RecordSuppressed(
+              trigger.tgd_index,
+              std::vector<AtomId>(trigger.matched.begin(),
+                                  trigger.matched.end()),
+              std::vector<Binding>(trigger.bindings.begin(),
+                                   trigger.bindings.end()),
+              witness->matched);
           continue;
         }
-        KBREPAIR_RETURN_IF_ERROR(FireTrigger(tgd_index, trigger.matched,
-                                             trigger.bindings, &work));
+        KBREPAIR_RETURN_IF_ERROR(FireTrigger(
+            trigger.tgd_index, trigger.matched.ptr, trigger.matched.len,
+            trigger.bindings.ptr, trigger.bindings.len, &next));
       }
     }
+
+    exec.ResetArenas();
+    wave.swap(next);
   }
   return Status::Ok();
 }
@@ -268,10 +325,11 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
   });
 
   const size_t size_before = chased_.size();
-  std::deque<AtomId> work;
+  std::vector<AtomId> work;
   work.push_back(atom);
 
   HomomorphismFinder finder(symbols_, &chased_);
+  std::vector<Atom> head_query;
   for (size_t entry_index : revive) {
     if (suppressed_[entry_index].matched.empty()) continue;  // killed
     SuppressedTrigger& entry = suppressed_.Mutable(entry_index);
@@ -288,8 +346,10 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
       entry.matched.clear();
       continue;
     }
-    const std::vector<Atom> head_query =
-        SubstituteTerms(tgd.head(), entry.bindings);
+    head_query.clear();
+    for (const Atom& head_atom : tgd.head()) {
+      head_query.push_back(SubstituteTerms(head_atom, entry.bindings));
+    }
     std::optional<Homomorphism> witness = finder.FindFirst(head_query);
     if (witness.has_value()) {
       // Still blocked; re-register under the current witness.
@@ -303,8 +363,9 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
     SuppressedTrigger fired = std::move(entry);
     entry.matched.clear();
     ++total_refired_;
-    KBREPAIR_RETURN_IF_ERROR(
-        FireTrigger(fired.tgd_index, fired.matched, fired.bindings, &work));
+    KBREPAIR_RETURN_IF_ERROR(FireTrigger(
+        fired.tgd_index, fired.matched.data(), fired.matched.size(),
+        fired.bindings.data(), fired.bindings.size(), &work));
   }
 
   KBREPAIR_RETURN_IF_ERROR(Saturate(std::move(work)));
@@ -318,13 +379,22 @@ StatusOr<IncrementalChase::Delta> IncrementalChase::ApplyFix(AtomId atom,
 
 std::vector<AtomId> IncrementalChase::OriginalSupport(
     const std::vector<AtomId>& ids) const {
+  if (support_epoch_.size() < chased_.size()) {
+    support_epoch_.resize(chased_.size(), 0);
+  }
+  if (support_epoch_counter_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(support_epoch_.begin(), support_epoch_.end(), 0);
+    support_epoch_counter_ = 0;
+  }
+  const uint32_t epoch = ++support_epoch_counter_;
+  std::vector<AtomId>& frontier = support_frontier_;
+  frontier.assign(ids.begin(), ids.end());
   std::vector<AtomId> support;
-  std::unordered_set<AtomId> visited;
-  std::vector<AtomId> frontier(ids.begin(), ids.end());
   while (!frontier.empty()) {
     const AtomId id = frontier.back();
     frontier.pop_back();
-    if (!visited.insert(id).second) continue;
+    if (support_epoch_[id] == epoch) continue;
+    support_epoch_[id] = epoch;
     if (IsOriginal(id)) {
       support.push_back(id);
     } else {

@@ -48,7 +48,7 @@
 #define KBREPAIR_CHASE_INCREMENTAL_CHASE_H_
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -114,7 +114,9 @@ class IncrementalChase {
   const std::vector<Tgd>* tgds() const { return tgds_; }
 
   // Original atoms transitively supporting `ids` through provenance.
-  // Deduplicated, ascending. All ids must be alive.
+  // Deduplicated, ascending. All ids must be alive. Reuses an
+  // epoch-stamped visited bitmap across calls (allocation-free in steady
+  // state), so concurrent calls on the same instance are not safe.
   std::vector<AtomId> OriginalSupport(const std::vector<AtomId>& ids) const;
 
   // Lifetime instrumentation (for the delta-chase microbench).
@@ -126,29 +128,33 @@ class IncrementalChase {
  private:
   // A trigger that was blocked — by head satisfaction or by a ground
   // duplicate — remembered so retraction of its witness can revive it.
+  // Bindings are flat (ledger entries are revalidated with the same
+  // linear-scan substitution the hot path uses).
   struct SuppressedTrigger {
     size_t tgd_index = 0;
     std::vector<AtomId> matched;  // body-matched atoms, body order;
                                   // empty marks a dead ledger entry
-    std::unordered_map<TermId, TermId> bindings;
+    std::vector<Binding> bindings;
   };
 
-  // Fires `trigger` (bindings complete for the frontier): instantiates
+  // Fires a trigger (bindings complete for the frontier): instantiates
   // existentials with fresh nulls, adds non-duplicate head atoms with
   // provenance, enqueues them on `work`, and records suppressions for
   // duplicate head atoms. Returns non-OK only on the atom cap.
-  Status FireTrigger(size_t tgd_index, const std::vector<AtomId>& matched,
-                     const std::unordered_map<TermId, TermId>& bindings,
-                     std::deque<AtomId>* work);
+  Status FireTrigger(size_t tgd_index, const AtomId* matched,
+                     size_t num_matched, const Binding* bindings,
+                     size_t num_bindings, std::vector<AtomId>* work);
 
   // Records a suppressed trigger keyed under the given witness atoms.
   void RecordSuppressed(size_t tgd_index, std::vector<AtomId> matched,
-                        std::unordered_map<TermId, TermId> bindings,
+                        std::vector<Binding> bindings,
                         const std::vector<AtomId>& witnesses);
 
-  // Runs the chase loop until `work` is empty, evaluating TGD triggers
-  // anchored at each popped atom.
-  Status Saturate(std::deque<AtomId> work);
+  // Runs the wave-based chase loop until the work frontier empties,
+  // evaluating TGD triggers anchored at each wave atom. Same wave
+  // discipline as ChaseEngine::Run, so the maintained base and a
+  // from-scratch run reach competing triggers in the same order.
+  Status Saturate(std::vector<AtomId> work);
 
   // First alive atom equal to `atom`, or kInvalidAtom.
   AtomId FindAtom(const Atom& atom) const;
@@ -178,6 +184,20 @@ class IncrementalChase {
 
   CowVector<SuppressedTrigger> suppressed_;
   CowMap<AtomId, std::vector<size_t>> suppressed_by_witness_;
+
+  // Owns every Derivation's parent span minted by THIS chase.
+  // Adopted/forked instances never mutate an ancestor's arena; they
+  // retain the ancestors' arenas so shared derivation spans stay alive.
+  std::shared_ptr<Arena> derivation_arena_;
+  std::vector<std::shared_ptr<Arena>> retained_arenas_;
+
+  // FireTrigger scratch (frontier bindings + fresh-null tail).
+  std::vector<Binding> head_scratch_;
+
+  // OriginalSupport scratch: epoch-stamped visited marks.
+  mutable std::vector<uint32_t> support_epoch_;
+  mutable uint32_t support_epoch_counter_ = 0;
+  mutable std::vector<AtomId> support_frontier_;
 
   size_t total_retracted_ = 0;
   size_t total_added_ = 0;

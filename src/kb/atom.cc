@@ -45,4 +45,17 @@ std::vector<Atom> SubstituteTerms(
   return result;
 }
 
+Atom SubstituteTerms(const Atom& atom, const Binding* bindings, size_t n) {
+  Atom result = atom;
+  for (TermId& arg : result.args) {
+    for (size_t i = 0; i < n; ++i) {
+      if (bindings[i].var == arg) {
+        arg = bindings[i].term;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace kbrepair

@@ -47,6 +47,16 @@ struct AtomHash {
   }
 };
 
+// One variable binding. The homomorphism hot path keeps bindings in a
+// small flat vector (append to bind, truncate to undo, linear scan to
+// look up) instead of an unordered_map — conjunction bodies bind a
+// handful of variables, where a linear scan of a contiguous array beats
+// hashing.
+struct Binding {
+  TermId var = kInvalidTerm;
+  TermId term = kInvalidTerm;
+};
+
 // Renders a conjunction "p(a,b), q(b,c)".
 std::string AtomsToString(const std::vector<Atom>& atoms,
                           const SymbolTable& symbols);
@@ -60,6 +70,14 @@ Atom SubstituteTerms(
 std::vector<Atom> SubstituteTerms(
     const std::vector<Atom>& atoms,
     const std::unordered_map<TermId, TermId>& substitution);
+
+// Flat-binding variants used on the chase hot path.
+Atom SubstituteTerms(const Atom& atom, const Binding* bindings, size_t n);
+
+inline Atom SubstituteTerms(const Atom& atom,
+                            const std::vector<Binding>& bindings) {
+  return SubstituteTerms(atom, bindings.data(), bindings.size());
+}
 
 }  // namespace kbrepair
 

@@ -4,10 +4,6 @@
 
 namespace kbrepair {
 
-namespace {
-const std::vector<AtomId> kEmptyPostings;
-}  // namespace
-
 AtomId FactBase::Add(const Atom& atom) {
   const AtomId id = static_cast<AtomId>(atoms_.size());
   atoms_.PushBack(atom);
@@ -50,18 +46,13 @@ void FactBase::Remove(AtomId id) {
   ++num_dead_;
 }
 
-const std::vector<AtomId>& FactBase::AtomsWithPredicate(
-    PredicateId pred) const {
-  const std::vector<AtomId>* postings = by_predicate_.Find(pred);
-  return postings == nullptr ? kEmptyPostings : *postings;
+AtomSpan FactBase::AtomsWithPredicate(PredicateId pred) const {
+  return by_predicate_.Find(pred);
 }
 
-const std::vector<AtomId>& FactBase::AtomsWithTermAt(PredicateId pred,
-                                                     int pos,
-                                                     TermId term) const {
-  const std::vector<AtomId>* postings =
-      by_probe_.Find(ProbeKey(pred, pos, term));
-  return postings == nullptr ? kEmptyPostings : *postings;
+AtomSpan FactBase::AtomsWithTermAt(PredicateId pred, int pos,
+                                   TermId term) const {
+  return by_probe_.Find(ProbeKey(pred, pos, term));
 }
 
 bool FactBase::Contains(const Atom& atom) const {
@@ -69,8 +60,7 @@ bool FactBase::Contains(const Atom& atom) const {
     return !AtomsWithPredicate(atom.predicate).empty();
   }
   // Probe the most selective first-argument posting list, then compare.
-  const std::vector<AtomId>& candidates =
-      AtomsWithTermAt(atom.predicate, 0, atom.args[0]);
+  AtomSpan candidates = AtomsWithTermAt(atom.predicate, 0, atom.args[0]);
   for (AtomId id : candidates) {
     if (atoms_[id] == atom) return true;
   }

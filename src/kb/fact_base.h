@@ -29,13 +29,13 @@
 #include <vector>
 
 #include "kb/atom.h"
+#include "kb/posting_index.h"
 #include "kb/symbol_table.h"
 #include "util/cow.h"
 
 namespace kbrepair {
 
-// Stable handle of an atom within a FactBase.
-using AtomId = uint32_t;
+// AtomId and AtomSpan are defined in kb/posting_index.h.
 
 class FactBase {
  public:
@@ -79,12 +79,13 @@ class FactBase {
   // Number of atoms minus tombstones.
   size_t num_alive() const { return atoms_.size() - num_dead_; }
 
-  // All atom ids sharing a predicate (insertion order).
-  const std::vector<AtomId>& AtomsWithPredicate(PredicateId pred) const;
+  // All atom ids sharing a predicate (insertion order). The span is valid
+  // until the next mutation of this FactBase.
+  AtomSpan AtomsWithPredicate(PredicateId pred) const;
 
-  // All atom ids with `term` at argument `pos` of `pred`.
-  const std::vector<AtomId>& AtomsWithTermAt(PredicateId pred, int pos,
-                                             TermId term) const;
+  // All atom ids with `term` at argument `pos` of `pred`. Same validity
+  // contract as AtomsWithPredicate.
+  AtomSpan AtomsWithTermAt(PredicateId pred, int pos, TermId term) const;
 
   // True if some fact equals `atom` (used by the restricted chase).
   bool Contains(const Atom& atom) const;
@@ -134,8 +135,8 @@ class FactBase {
   void UnindexArg(AtomId id, int pos, TermId term);
 
   CowVector<Atom> atoms_;
-  CowMap<int32_t, std::vector<AtomId>> by_predicate_;
-  CowMap<uint64_t, std::vector<AtomId>> by_probe_;
+  PostingIndex<int32_t> by_predicate_;
+  PostingIndex<uint64_t> by_probe_;
   CowMap<int32_t, size_t> term_use_count_;
   size_t num_positions_ = 0;
   // Tombstone flags; lazily sized on the first Remove() so bases that

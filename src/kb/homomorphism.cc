@@ -4,10 +4,33 @@
 
 namespace kbrepair {
 
+namespace {
+
+// Flat-binding lookup: conjunction bodies bind a handful of variables,
+// so a linear scan of a contiguous array beats hashing.
+const TermId* FindBinding(const std::vector<Binding>& bindings, TermId var) {
+  for (const Binding& binding : bindings) {
+    if (binding.var == var) return &binding.term;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 Atom Homomorphism::MapAtom(const Atom& atom) const {
   Atom mapped = atom;
   for (TermId& arg : mapped.args) arg = Map(arg);
   return mapped;
+}
+
+Homomorphism HomomorphismView::Materialize() const {
+  Homomorphism hom;
+  hom.bindings.reserve(num_bindings);
+  for (size_t i = 0; i < num_bindings; ++i) {
+    hom.bindings.emplace(bindings[i].var, bindings[i].term);
+  }
+  hom.matched.assign(matched, matched + num_matched);
+  return hom;
 }
 
 HomomorphismFinder::HomomorphismFinder(const SymbolTable* symbols,
@@ -17,13 +40,14 @@ HomomorphismFinder::HomomorphismFinder(const SymbolTable* symbols,
   KBREPAIR_CHECK(facts != nullptr);
 }
 
-// Mutable search bookkeeping shared across recursion levels.
+// Mutable search bookkeeping shared across recursion levels. Bindings
+// are appended in bind order, so undo is a truncation — no separate
+// trail.
 struct HomomorphismFinder::SearchState {
   const std::vector<Atom>* query = nullptr;
-  const std::function<bool(const Homomorphism&)>* visitor = nullptr;
+  const FunctionRef<bool(const HomomorphismView&)>* visitor = nullptr;
 
-  std::unordered_map<TermId, TermId> bindings;
-  std::vector<TermId> trail;            // variables to unbind on backtrack
+  std::vector<Binding> bindings;
   std::vector<AtomId> matched;          // per query atom; valid if done[i]
   std::vector<bool> done;               // which query atoms are matched
   size_t num_done = 0;
@@ -31,13 +55,12 @@ struct HomomorphismFinder::SearchState {
   bool stopped = false;                 // visitor requested early stop
 };
 
-size_t HomomorphismFinder::FindAll(
+size_t HomomorphismFinder::FindAllViews(
     const std::vector<Atom>& query,
-    const std::function<bool(const Homomorphism&)>& visitor) const {
+    FunctionRef<bool(const HomomorphismView&)> visitor) const {
   if (query.empty()) {
     // The empty conjunction has exactly the empty homomorphism.
-    Homomorphism trivial;
-    visitor(trivial);
+    visitor(HomomorphismView{});
     return 1;
   }
   SearchState state;
@@ -49,9 +72,17 @@ size_t HomomorphismFinder::FindAll(
   return state.visited;
 }
 
+size_t HomomorphismFinder::FindAll(
+    const std::vector<Atom>& query,
+    FunctionRef<bool(const Homomorphism&)> visitor) const {
+  return FindAllViews(query, [&visitor](const HomomorphismView& view) {
+    return visitor(view.Materialize());
+  });
+}
+
 bool HomomorphismFinder::Exists(const std::vector<Atom>& query) const {
   bool found = false;
-  FindAll(query, [&found](const Homomorphism&) {
+  FindAllViews(query, [&found](const HomomorphismView&) {
     found = true;
     return false;  // stop at the first one
   });
@@ -61,8 +92,8 @@ bool HomomorphismFinder::Exists(const std::vector<Atom>& query) const {
 std::optional<Homomorphism> HomomorphismFinder::FindFirst(
     const std::vector<Atom>& query) const {
   std::optional<Homomorphism> result;
-  FindAll(query, [&result](const Homomorphism& hom) {
-    result = hom;
+  FindAllViews(query, [&result](const HomomorphismView& view) {
+    result = view.Materialize();
     return false;
   });
   return result;
@@ -71,64 +102,72 @@ std::optional<Homomorphism> HomomorphismFinder::FindFirst(
 size_t HomomorphismFinder::Count(const std::vector<Atom>& query,
                                  size_t limit) const {
   size_t count = 0;
-  FindAll(query, [&count, limit](const Homomorphism&) {
+  FindAllViews(query, [&count, limit](const HomomorphismView&) {
     ++count;
     return limit == 0 || count < limit;
   });
   return count;
 }
 
-size_t HomomorphismFinder::FindAllPinned(
+size_t HomomorphismFinder::FindAllPinnedViews(
     const std::vector<Atom>& query, size_t pin_index, AtomId pin_atom,
-    const std::function<bool(const Homomorphism&)>& visitor) const {
+    FunctionRef<bool(const HomomorphismView&)> visitor) const {
   KBREPAIR_CHECK(pin_index < query.size());
   const Atom& pattern = query[pin_index];
   const Atom& fact = facts_->atom(pin_atom);
-  // Unify the pinned body atom against the fact.
-  std::unordered_map<TermId, TermId> pin_bindings;
   if (pattern.predicate != fact.predicate ||
       pattern.arity() != fact.arity()) {
     return 0;
   }
+  // Seed the search with the pin's unifier and mark the pinned body atom
+  // matched; the backtracking join then solves the rest of the body with
+  // those variables already bound — equivalent to substituting the pin
+  // bindings into the remaining atoms, but without building new atoms.
+  SearchState state;
+  state.query = &query;
+  state.visitor = &visitor;
+  state.matched.assign(query.size(), 0);
+  state.done.assign(query.size(), false);
   for (int pos = 0; pos < pattern.arity(); ++pos) {
     const TermId pattern_term = pattern.args[static_cast<size_t>(pos)];
     const TermId fact_term = fact.args[static_cast<size_t>(pos)];
     if (symbols_->IsVariable(pattern_term)) {
-      auto [it, inserted] = pin_bindings.emplace(pattern_term, fact_term);
-      if (!inserted && it->second != fact_term) return 0;
+      const TermId* bound = FindBinding(state.bindings, pattern_term);
+      if (bound == nullptr) {
+        state.bindings.push_back(Binding{pattern_term, fact_term});
+      } else if (*bound != fact_term) {
+        return 0;
+      }
     } else if (pattern_term != fact_term) {
       return 0;
     }
   }
-  // Solve the rest of the body with the pin's bindings substituted in.
-  std::vector<Atom> rest;
-  rest.reserve(query.size() - 1);
-  for (size_t i = 0; i < query.size(); ++i) {
-    if (i != pin_index) rest.push_back(SubstituteTerms(query[i], pin_bindings));
-  }
-  return FindAll(rest, [&](const Homomorphism& partial) {
-    Homomorphism full;
-    full.bindings = pin_bindings;
-    for (const auto& [var, term] : partial.bindings) {
-      full.bindings.emplace(var, term);
-    }
-    full.matched.resize(query.size());
-    size_t rest_index = 0;
-    for (size_t i = 0; i < query.size(); ++i) {
-      full.matched[i] =
-          i == pin_index ? pin_atom : partial.matched[rest_index++];
-    }
-    return visitor(full);
-  });
+  state.done[pin_index] = true;
+  state.matched[pin_index] = pin_atom;
+  state.num_done = 1;
+  Search(state);
+  return state.visited;
+}
+
+size_t HomomorphismFinder::FindAllPinned(
+    const std::vector<Atom>& query, size_t pin_index, AtomId pin_atom,
+    FunctionRef<bool(const Homomorphism&)> visitor) const {
+  return FindAllPinnedViews(
+      query, pin_index, pin_atom,
+      [&visitor](const HomomorphismView& view) {
+        return visitor(view.Materialize());
+      });
 }
 
 bool HomomorphismFinder::Search(SearchState& state) const {
   if (state.num_done == state.query->size()) {
     ++state.visited;
-    Homomorphism hom;
-    hom.bindings = state.bindings;
-    hom.matched = state.matched;
-    if (!(*state.visitor)(hom)) state.stopped = true;
+    HomomorphismView view;
+    view.bindings = state.bindings.data();
+    view.num_bindings = state.bindings.size();
+    view.matched = state.matched.data();
+    view.num_matched = state.matched.size();
+    if (!(*state.visitor)(view)) state.stopped = true;
     return !state.stopped;
   }
 
@@ -139,36 +178,38 @@ bool HomomorphismFinder::Search(SearchState& state) const {
 
   // Select candidates: prefer the smallest posting list over a bound
   // argument position; fall back to the whole predicate list.
-  const std::vector<AtomId>* candidates = nullptr;
+  AtomSpan candidates;
+  bool have_candidates = false;
   size_t best_size = std::numeric_limits<size_t>::max();
   for (int pos = 0; pos < pattern.arity(); ++pos) {
     TermId term = pattern.args[static_cast<size_t>(pos)];
     if (symbols_->IsVariable(term)) {
-      auto it = state.bindings.find(term);
-      if (it == state.bindings.end()) continue;
-      term = it->second;
+      const TermId* bound = FindBinding(state.bindings, term);
+      if (bound == nullptr) continue;
+      term = *bound;
     }
-    const std::vector<AtomId>& postings =
+    const AtomSpan postings =
         facts_->AtomsWithTermAt(pattern.predicate, pos, term);
     if (postings.size() < best_size) {
       best_size = postings.size();
-      candidates = &postings;
+      candidates = postings;
+      have_candidates = true;
     }
   }
-  if (candidates == nullptr) {
-    candidates = &facts_->AtomsWithPredicate(pattern.predicate);
+  if (!have_candidates) {
+    candidates = facts_->AtomsWithPredicate(pattern.predicate);
   }
 
-  for (AtomId fact_id : *candidates) {
-    const size_t trail_mark = state.trail.size();
+  for (AtomId fact_id : candidates) {
+    const size_t trail_mark = state.bindings.size();
     if (TryMatch(state, qi, fact_id)) {
       state.matched[qi] = fact_id;
       if (!Search(state)) {
-        UndoTrail(state, trail_mark);
+        state.bindings.resize(trail_mark);
         break;
       }
     }
-    UndoTrail(state, trail_mark);
+    state.bindings.resize(trail_mark);
     if (state.stopped) break;
   }
 
@@ -185,7 +226,8 @@ size_t HomomorphismFinder::PickNextAtom(const SearchState& state) const {
     if (state.done[i]) continue;
     int bound = 0;
     for (TermId term : query[i].args) {
-      if (!symbols_->IsVariable(term) || state.bindings.count(term) > 0) {
+      if (!symbols_->IsVariable(term) ||
+          FindBinding(state.bindings, term) != nullptr) {
         ++bound;
       }
     }
@@ -206,33 +248,25 @@ bool HomomorphismFinder::TryMatch(SearchState& state, size_t query_index,
       pattern.arity() != fact.arity()) {
     return false;
   }
-  const size_t trail_mark = state.trail.size();
+  const size_t trail_mark = state.bindings.size();
   for (int pos = 0; pos < pattern.arity(); ++pos) {
     const TermId pattern_term = pattern.args[static_cast<size_t>(pos)];
     const TermId fact_term = fact.args[static_cast<size_t>(pos)];
     if (symbols_->IsVariable(pattern_term)) {
-      auto [it, inserted] = state.bindings.emplace(pattern_term, fact_term);
-      if (inserted) {
-        state.trail.push_back(pattern_term);
-      } else if (it->second != fact_term) {
-        UndoTrail(state, trail_mark);
+      const TermId* bound = FindBinding(state.bindings, pattern_term);
+      if (bound == nullptr) {
+        state.bindings.push_back(Binding{pattern_term, fact_term});
+      } else if (*bound != fact_term) {
+        state.bindings.resize(trail_mark);
         return false;
       }
     } else if (pattern_term != fact_term) {
       // Constants and nulls in the pattern must match exactly.
-      UndoTrail(state, trail_mark);
+      state.bindings.resize(trail_mark);
       return false;
     }
   }
   return true;
-}
-
-void HomomorphismFinder::UndoTrail(SearchState& state,
-                                   size_t trail_mark) const {
-  while (state.trail.size() > trail_mark) {
-    state.bindings.erase(state.trail.back());
-    state.trail.pop_back();
-  }
 }
 
 }  // namespace kbrepair

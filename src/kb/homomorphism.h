@@ -11,13 +11,24 @@
 // The search is a backtracking join: at each level the not-yet-matched
 // body atom with the most bound positions is chosen, candidate facts are
 // drawn from the most selective (predicate, position, term) posting list
-// available, and bindings are trailed for O(1) undo.
+// available, and bindings live in a flat trail vector (append to bind,
+// truncate to undo).
+//
+// Two enumeration surfaces:
+//   * FindAll / FindAllPinned visit a materialized Homomorphism (owning
+//     unordered_map + vector) per solution — convenient, and what
+//     non-hot-path callers keep using.
+//   * FindAllViews / FindAllPinnedViews visit a HomomorphismView — a
+//     non-owning window into the search's own flat state, valid only for
+//     the duration of the callback. The chase uses these: enumerating a
+//     trigger frontier allocates nothing per solution.
+// Visitors are taken by FunctionRef (non-owning, no allocation), not
+// std::function.
 
 #ifndef KBREPAIR_KB_HOMOMORPHISM_H_
 #define KBREPAIR_KB_HOMOMORPHISM_H_
 
 #include <cstddef>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +36,7 @@
 #include "kb/atom.h"
 #include "kb/fact_base.h"
 #include "kb/symbol_table.h"
+#include "util/function_ref.h"
 
 namespace kbrepair {
 
@@ -46,18 +58,42 @@ struct Homomorphism {
   Atom MapAtom(const Atom& atom) const;
 };
 
+// Non-owning window into one solution of the backtracking search. The
+// pointers alias the search's internal flat state: valid only inside the
+// visitor call; copy out (or Materialize()) to retain.
+struct HomomorphismView {
+  const Binding* bindings = nullptr;
+  size_t num_bindings = 0;
+  const AtomId* matched = nullptr;  // per body atom, in body order
+  size_t num_matched = 0;
+
+  TermId Map(TermId term) const {
+    for (size_t i = 0; i < num_bindings; ++i) {
+      if (bindings[i].var == term) return bindings[i].term;
+    }
+    return term;
+  }
+
+  // Owning copy in the classic representation.
+  Homomorphism Materialize() const;
+};
+
 // Stateless facade over (symbols, facts); cheap to construct per query.
 class HomomorphismFinder {
  public:
-  // Visits homomorphisms until the callback returns false. Neither
-  // pointer may be null; both must outlive the call.
+  // Neither pointer may be null; both must outlive the call.
   HomomorphismFinder(const SymbolTable* symbols, const FactBase* facts);
 
   // Enumerates homomorphisms of `query` into the fact base, invoking
   // `visitor` for each; enumeration stops early when the visitor returns
   // false. Returns the number of homomorphisms visited.
   size_t FindAll(const std::vector<Atom>& query,
-                 const std::function<bool(const Homomorphism&)>& visitor)
+                 FunctionRef<bool(const Homomorphism&)> visitor) const;
+
+  // Allocation-free variant: the view aliases search state and dies with
+  // the callback.
+  size_t FindAllViews(const std::vector<Atom>& query,
+                      FunctionRef<bool(const HomomorphismView&)> visitor)
       const;
 
   // True iff at least one homomorphism exists.
@@ -75,9 +111,16 @@ class HomomorphismFinder {
   // the chase and incremental conflict maintenance: when a new or
   // modified atom arrives, only homomorphisms using it need
   // (re-)enumeration. Returns the number visited.
-  size_t FindAllPinned(
+  size_t FindAllPinned(const std::vector<Atom>& query, size_t pin_index,
+                       AtomId pin_atom,
+                       FunctionRef<bool(const Homomorphism&)> visitor) const;
+
+  // Allocation-free pinned variant. The view's bindings cover the whole
+  // query (pin unification first, then the rest) and matched is in body
+  // order with `pin_atom` at `pin_index`.
+  size_t FindAllPinnedViews(
       const std::vector<Atom>& query, size_t pin_index, AtomId pin_atom,
-      const std::function<bool(const Homomorphism&)>& visitor) const;
+      FunctionRef<bool(const HomomorphismView&)> visitor) const;
 
  private:
   struct SearchState;
@@ -88,7 +131,6 @@ class HomomorphismFinder {
   size_t PickNextAtom(const SearchState& state) const;
   bool TryMatch(SearchState& state, size_t query_index, AtomId fact_id)
       const;
-  void UndoTrail(SearchState& state, size_t trail_mark) const;
 
   const SymbolTable* symbols_;
   const FactBase* facts_;

@@ -1,0 +1,189 @@
+// PostingIndex: posting lists with a columnar frozen base.
+//
+// FactBase keeps two index families (predicate -> atom ids and
+// (pred,pos,term) -> atom ids). Before this structure they were
+// CowMap<K, vector<AtomId>>: every frozen posting list was its own heap
+// vector inside a shared unordered_map, so the join's candidate probe
+// paid a hash walk plus a pointer chase per lookup and the lists of hot
+// predicates were scattered across the heap.
+//
+// PostingIndex splits the lifetime the same way the CoW containers do,
+// but freezes into columns:
+//
+//  * Live (never-frozen) state is a plain unordered_map<Key, vector>,
+//    exactly as before — scratch fact bases built for one consistency
+//    probe never pay any freeze cost.
+//  * Freeze() flattens everything into one immutable shared segment of
+//    three flat arrays: sorted keys, an offset table, and a single
+//    contiguous AtomId column holding every posting list back to back.
+//    Lookup is a binary search over the key column; the returned range
+//    is a contiguous slice of the shared column, so repeated probes of
+//    related keys walk adjacent memory.
+//  * Post-freeze mutation copies the frozen slice into a per-fork
+//    overlay vector on first touch (copy-base-range-on-first-mutation);
+//    an overlay entry is authoritative and an empty overlay vector
+//    shadows a frozen key, mirroring CowMap::Erase semantics.
+//
+// Flattening preserves each list's element order, so reads before and
+// after Freeze() return identical sequences — candidate enumeration
+// order (and therefore derived atom ids and transcripts) is unchanged.
+
+#ifndef KBREPAIR_KB_POSTING_INDEX_H_
+#define KBREPAIR_KB_POSTING_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+// Stable handle of an atom within a FactBase (defined here so the index
+// does not depend on fact_base.h; fact_base.h re-exports it).
+using AtomId = uint32_t;
+
+// Non-owning view of one posting list. Valid until the next mutation of
+// the owning PostingIndex (same contract as the const-reference returns
+// it replaces).
+struct AtomSpan {
+  const AtomId* ptr = nullptr;
+  size_t len = 0;
+
+  const AtomId* begin() const { return ptr; }
+  const AtomId* end() const { return ptr + len; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  AtomId operator[](size_t i) const {
+    KBREPAIR_DCHECK(i < len);
+    return ptr[i];
+  }
+};
+
+template <typename Key, typename Hash = std::hash<Key>>
+class PostingIndex {
+ public:
+  using Map = std::unordered_map<Key, std::vector<AtomId>, Hash>;
+
+  // Posting list of `key`; empty span when absent (or shadowed-empty).
+  AtomSpan Find(const Key& key) const {
+    if (!local_.empty()) {
+      auto it = local_.find(key);
+      if (it != local_.end()) {
+        return {it->second.data(), it->second.size()};
+      }
+    }
+    if (base_ != nullptr) return base_->Find(key);
+    return {};
+  }
+
+  // Mutable posting list of `key`, or nullptr when absent. Copies the
+  // frozen column slice into the overlay on first touch.
+  std::vector<AtomId>* FindMutable(const Key& key) {
+    auto it = local_.find(key);
+    if (it != local_.end()) return &it->second;
+    if (base_ != nullptr) {
+      AtomSpan slice = base_->Find(key);
+      if (slice.ptr != nullptr) {
+        return &local_
+                    .emplace(key,
+                             std::vector<AtomId>(slice.begin(), slice.end()))
+                    .first->second;
+      }
+    }
+    return nullptr;
+  }
+
+  // Mutable posting list of `key`, created empty when absent.
+  std::vector<AtomId>& Mutable(const Key& key) {
+    std::vector<AtomId>* present = FindMutable(key);
+    if (present != nullptr) return *present;
+    return local_[key];
+  }
+
+  // Removes `key`. A frozen key cannot be physically removed, so it is
+  // shadowed with an empty list — observably identical to absent.
+  void Erase(const Key& key) {
+    if (base_ != nullptr && base_->Find(key).ptr != nullptr) {
+      local_.insert_or_assign(key, std::vector<AtomId>{});
+    } else {
+      local_.erase(key);
+    }
+  }
+
+  void Clear() {
+    base_.reset();
+    local_.clear();
+  }
+
+  // Flattens base + overlay into a new immutable columnar segment and
+  // adopts it. Keys are sorted; each list keeps its element order.
+  // Empty lists (shadowed erases) are dropped — equivalent to absent.
+  void Freeze() {
+    auto columns = std::make_shared<Columns>();
+    std::vector<Key> keys;
+    if (base_ != nullptr) {
+      for (const Key& key : base_->keys) {
+        if (local_.find(key) == local_.end()) keys.push_back(key);
+      }
+    }
+    for (const auto& [key, list] : local_) {
+      if (!list.empty()) keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    columns->keys = std::move(keys);
+    columns->offsets.reserve(columns->keys.size() + 1);
+    columns->offsets.push_back(0);
+    for (const Key& key : columns->keys) {
+      auto it = local_.find(key);
+      if (it != local_.end()) {
+        columns->ids.insert(columns->ids.end(), it->second.begin(),
+                            it->second.end());
+      } else {
+        AtomSpan slice = base_->Find(key);
+        columns->ids.insert(columns->ids.end(), slice.begin(), slice.end());
+      }
+      columns->offsets.push_back(static_cast<uint32_t>(columns->ids.size()));
+    }
+    // Swap-with-empty, not clear(): a copied empty map inherits the
+    // source's bucket count (see util/cow.h), so a cleared-but-bucketed
+    // overlay would make every fork allocate a bucket array sized to the
+    // whole base.
+    Map().swap(local_);
+    base_ = std::move(columns);
+  }
+
+  bool has_base() const { return base_ != nullptr; }
+  size_t overlay_size() const { return local_.size(); }
+  size_t base_num_keys() const {
+    return base_ == nullptr ? 0 : base_->keys.size();
+  }
+
+ private:
+  struct Columns {
+    std::vector<Key> keys;         // sorted
+    std::vector<uint32_t> offsets;  // keys.size() + 1 entries
+    std::vector<AtomId> ids;       // all lists, back to back
+
+    AtomSpan Find(const Key& key) const {
+      auto it = std::lower_bound(keys.begin(), keys.end(), key);
+      if (it == keys.end() || *it != key) return {};
+      size_t slot = static_cast<size_t>(it - keys.begin());
+      // A present key with an empty slice still reports a non-null ptr so
+      // FindMutable/Erase can distinguish "frozen but empty" from absent.
+      return {ids.data() + offsets[slot],
+              static_cast<size_t>(offsets[slot + 1] - offsets[slot])};
+    }
+  };
+
+  std::shared_ptr<const Columns> base_;
+  Map local_;
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_KB_POSTING_INDEX_H_

@@ -36,8 +36,13 @@ namespace kbrepair {
 StatusOr<KnowledgeBase> BuildKbFromParams(const JsonValue& params,
                                           std::string* label);
 
-// Parses strategy/seed/two_phase/max_questions from `create` params.
+// Parses strategy/seed/two_phase/max_questions/engine/chase_threads from
+// `create` params.
 StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params);
+
+// Sets the daemon-wide chase-thread default applied when a `create`
+// omits "chase_threads" (kbrepaird --chase-threads). Call before serving.
+void SetDefaultChaseThreads(size_t threads);
 
 class RepairSession {
  public:

@@ -1,0 +1,54 @@
+// FunctionRef: non-owning, trivially-copyable reference to a callable.
+//
+// The homomorphism join visits every solution through a callback. Taking
+// that callback as `const std::function&` forces a type-erased indirect
+// call (and potentially a heap allocation at the call site) in the
+// innermost loop of the chase. FunctionRef keeps the type erasure — so
+// FindAll/FindAllPinned stay out-of-line in the .cc — but erases to a
+// bare {void* object, thunk} pair: no allocation, one predictable
+// indirect call, and implicit conversion from any lvalue callable
+// (lambdas with captures included).
+//
+// The referenced callable must outlive the FunctionRef. Never store a
+// FunctionRef beyond the call it was passed to.
+
+#ifndef KBREPAIR_UTIL_FUNCTION_REF_H_
+#define KBREPAIR_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace kbrepair {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        thunk_(&Invoke<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return thunk_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R Invoke(void* object, Args... args) {
+    return (*static_cast<F*>(object))(std::forward<Args>(args)...);
+  }
+
+  void* object_;
+  R (*thunk_)(void*, Args...);
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_FUNCTION_REF_H_

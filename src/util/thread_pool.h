@@ -1,0 +1,159 @@
+// ThreadPool: a small fixed worker pool with a blocking ParallelFor.
+//
+// Built for the wave-based parallel chase: each wave fans one read-only
+// enumeration pass out across `num_slots` disjoint index ranges, then the
+// caller merges results sequentially. The pool is deliberately minimal —
+// no futures, no task queue — because the chase needs exactly "run this
+// closure for slot s in [0, n) on up to K threads and wait".
+//
+// The calling thread participates as a consumer too, so a pool built with
+// `threads = 1` spawns zero workers and ParallelFor degenerates to a
+// plain loop on the caller (no synchronization, no thread handoff). This
+// is what makes `--chase-threads 1` run the identical algorithm with no
+// pool overhead.
+//
+// Determinism contract: ParallelFor guarantees every index in [0, n) is
+// executed exactly once and has completed when the call returns. It
+// guarantees nothing about execution order — callers must write results
+// into per-index (or per-slot) storage and merge in index order
+// afterwards.
+
+#ifndef KBREPAIR_UTIL_THREAD_POOL_H_
+#define KBREPAIR_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kbrepair {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the caller: a pool of N uses N-1 spawned workers
+  // plus the calling thread inside ParallelFor.
+  explicit ThreadPool(size_t num_threads) {
+    KBREPAIR_CHECK(num_threads >= 1);
+    size_t workers = num_threads - 1;
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      // Worker ids start at 1; the calling thread is worker 0.
+      workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs fn(i, worker) for every i in [0, n), where `worker` identifies
+  // the executing thread (caller = 0, spawned workers = 1..N-1) so
+  // callers can keep per-thread scratch (e.g. one arena per worker)
+  // without synchronization. Blocks until all n calls have completed AND
+  // every worker that joined this batch has left it, so the closure's
+  // storage may be reclaimed the moment ParallelFor returns.
+  // Not reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i, 0);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      fn_ = &fn;
+      total_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      remaining_.store(n, std::memory_order_relaxed);
+      ++generation_;
+    }
+    wake_.notify_all();
+    DrainIndices(fn, n, /*worker=*/0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0 &&
+             active_workers_ == 0;
+    });
+    fn_ = nullptr;
+  }
+
+ private:
+  void DrainIndices(const std::function<void(size_t, size_t)>& fn,
+                    size_t total, size_t worker) {
+    while (true) {
+      size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      fn(i, worker);
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last index overall: wake the caller blocked in ParallelFor.
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop(size_t worker) {
+    uint64_t seen_generation = 0;
+    while (true) {
+      const std::function<void(size_t, size_t)>* fn = nullptr;
+      size_t total = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        // A worker that wakes after the batch already finished sees
+        // fn_ == nullptr and simply goes back to sleep. A worker that
+        // joins in time is counted in active_workers_, which blocks
+        // ParallelFor from returning (and the next batch from starting)
+        // until this worker has drained — no stale closure can ever be
+        // invoked against a later batch's indices.
+        if (fn_ == nullptr) continue;
+        fn = fn_;
+        total = total_;
+        ++active_workers_;
+      }
+      DrainIndices(*fn, total, worker);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        --active_workers_;
+      }
+      done_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  size_t total_ = 0;
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> remaining_{0};
+};
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_UTIL_THREAD_POOL_H_

@@ -215,6 +215,36 @@ TEST(ChaseTest, DerivedAtomsTriggerFurtherRulesAndConstraints) {
 }
 
 
+TEST(ChaseTest, TombstonedInputAtomsDoNotAnchorTriggers) {
+  // A forked working base may carry tombstones. A dead atom must not
+  // seed the chase frontier: it anchors no triggers and derives nothing.
+  KnowledgeBase kb = Parse(R"(
+    p(a, b).
+    p(c, d).
+    q(X, Y) :- p(X, Y).
+  )");
+  FactBase facts = kb.facts();
+  facts.Remove(0);  // tombstone p(a,b)
+  StatusOr<ChaseResult> chased = RunChase(facts, kb.tgds(), kb.symbols());
+  ASSERT_TRUE(chased.ok());
+  ASSERT_EQ(chased->num_derived(), 1u);  // only q(c,d)
+  EXPECT_EQ(chased->facts().atom(2).ToString(kb.symbols()), "q(c,d)");
+}
+
+TEST(ChaseTest, TombstonedInputAtomsDoNotWitnessViolations) {
+  KnowledgeBase kb = Parse(R"(
+    p(a, b).
+    q(b, a).
+    ! :- p(X, Y), q(Y, X).
+  )");
+  FactBase facts = kb.facts();
+  facts.Remove(1);  // tombstone q(b,a): the only violation needs it
+  ChaseEngine engine(&kb.symbols(), &kb.tgds(), &kb.cdds());
+  StatusOr<ChaseResult> chased = engine.Run(facts);
+  ASSERT_TRUE(chased.ok());
+  EXPECT_FALSE(chased->violation().has_value());
+}
+
 TEST(ChaseTest, ConstantsInHeadsAreInstantiated) {
   KnowledgeBase kb = Parse(R"(
     emp(alice).

@@ -52,7 +52,7 @@ TEST_F(FactBaseTest, ProbeIndexFindsAtomsByTermAtPosition) {
   const AtomId id0 = facts_.Add(Atom(p_, {a_, b_}));
   const AtomId id1 = facts_.Add(Atom(p_, {a_, c_}));
   facts_.Add(Atom(p_, {b_, a_}));
-  const std::vector<AtomId>& at0 = facts_.AtomsWithTermAt(p_, 0, a_);
+  const AtomSpan at0 = facts_.AtomsWithTermAt(p_, 0, a_);
   EXPECT_EQ(at0.size(), 2u);
   EXPECT_TRUE(std::find(at0.begin(), at0.end(), id0) != at0.end());
   EXPECT_TRUE(std::find(at0.begin(), at0.end(), id1) != at0.end());
@@ -181,7 +181,8 @@ void CheckIndexesAgainstModel(const FactBase& facts, const IndexModel& model,
         expected.push_back(id);
       }
     }
-    std::vector<AtomId> got = facts.AtomsWithPredicate(pred);
+    const AtomSpan scan = facts.AtomsWithPredicate(pred);
+    std::vector<AtomId> got(scan.begin(), scan.end());
     for (const AtomId id : got) {
       ASSERT_TRUE(model.alive[id])
           << "tombstoned atom " << id << " leaked from the predicate index";
@@ -202,7 +203,8 @@ void CheckIndexesAgainstModel(const FactBase& facts, const IndexModel& model,
             probe_expected.push_back(id);
           }
         }
-        std::vector<AtomId> probe = facts.AtomsWithTermAt(pred, pos, term);
+        const AtomSpan probe_span = facts.AtomsWithTermAt(pred, pos, term);
+        std::vector<AtomId> probe(probe_span.begin(), probe_span.end());
         for (const AtomId id : probe) {
           ASSERT_TRUE(model.alive[id])
               << "tombstoned atom " << id << " leaked from the probe index";
@@ -387,6 +389,44 @@ TEST_P(FactBaseIndexProperty, SiblingForksAreIndependent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FactBaseIndexProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
 
+// Freezing flattens posting lists into the columnar base; reads must
+// return the exact same id sequences before and after (candidate
+// enumeration order is observable in chase transcripts).
+TEST_F(FactBaseTest, FreezePreservesPostingListOrder) {
+  facts_.Add(Atom(p_, {a_, b_}));
+  facts_.Add(Atom(q_, {a_, b_, c_}));
+  facts_.Add(Atom(p_, {a_, c_}));
+  facts_.Add(Atom(p_, {b_, a_}));
+
+  const AtomSpan pred_before = facts_.AtomsWithPredicate(p_);
+  const std::vector<AtomId> pred_order(pred_before.begin(),
+                                       pred_before.end());
+  const AtomSpan probe_before = facts_.AtomsWithTermAt(p_, 0, a_);
+  const std::vector<AtomId> probe_order(probe_before.begin(),
+                                        probe_before.end());
+
+  facts_.FreezeSharedBase();
+  ASSERT_TRUE(facts_.has_shared_base());
+  EXPECT_EQ(facts_.overlay_size(), 0u);
+
+  const AtomSpan pred_after = facts_.AtomsWithPredicate(p_);
+  EXPECT_EQ(std::vector<AtomId>(pred_after.begin(), pred_after.end()),
+            pred_order);
+  const AtomSpan probe_after = facts_.AtomsWithTermAt(p_, 0, a_);
+  EXPECT_EQ(std::vector<AtomId>(probe_after.begin(), probe_after.end()),
+            probe_order);
+
+  // A fork's first mutation shadows the frozen slice without disturbing
+  // the prototype's columns.
+  FactBase fork = facts_;
+  fork.SetArg(0, 0, c_);
+  const AtomSpan base_probe = facts_.AtomsWithTermAt(p_, 0, a_);
+  EXPECT_EQ(std::vector<AtomId>(base_probe.begin(), base_probe.end()),
+            probe_order);
+  EXPECT_EQ(fork.AtomsWithTermAt(p_, 0, c_).size(), 1u);
+  EXPECT_EQ(fork.AtomsWithTermAt(p_, 0, a_).size(), 1u);
+}
+
 TEST(AtomTest, EqualityAndHash) {
   SymbolTable symbols;
   const PredicateId p = symbols.InternPredicate("p", 2);
@@ -408,10 +448,12 @@ TEST(AtomTest, SubstituteTerms) {
   const TermId a = symbols.InternConstant("a");
   const TermId b = symbols.InternConstant("b");
   const Atom atom(p, {x, b});
-  const Atom mapped = SubstituteTerms(atom, {{x, a}});
+  const Atom mapped =
+      SubstituteTerms(atom, std::vector<Binding>{{x, a}});
   EXPECT_EQ(mapped, Atom(p, {a, b}));
   // Unmapped terms pass through.
-  const Atom unchanged = SubstituteTerms(atom, {{a, b}});
+  const Atom unchanged =
+      SubstituteTerms(atom, std::vector<Binding>{{a, b}});
   EXPECT_EQ(unchanged, atom);
 }
 
