@@ -25,6 +25,7 @@
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -61,6 +62,10 @@ struct SoakOptions {
   size_t workers = 2;
   size_t num_facts = 30;
   bool quick = false;
+  // When non-empty: put each round's WAL dir under this existing
+  // directory (round-<seed>/) and keep it after the run, so CI can
+  // sweep the surviving logs with kbrepair-debug --replay-verify.
+  std::string keep_wal_dir;
 };
 
 std::atomic<uint64_t> g_resets{0};     // deliberate connection drops
@@ -472,11 +477,20 @@ StatusOr<std::string> HttpGet(int port, const std::string& path) {
 
 Status RunRound(const SoakOptions& options, uint64_t round_seed,
                 size_t* kills_out) {
-  char wal_tmpl[] = "/tmp/kbrepair_chaos_wal_XXXXXX";
-  if (::mkdtemp(wal_tmpl) == nullptr) {
-    return Status::Internal("mkdtemp failed");
+  std::string wal_dir;
+  if (!options.keep_wal_dir.empty()) {
+    wal_dir = options.keep_wal_dir + "/round-" + std::to_string(round_seed);
+    if (::mkdir(wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir " + wal_dir + " failed: " +
+                              std::string(std::strerror(errno)));
+    }
+  } else {
+    char wal_tmpl[] = "/tmp/kbrepair_chaos_wal_XXXXXX";
+    if (::mkdtemp(wal_tmpl) == nullptr) {
+      return Status::Internal("mkdtemp failed");
+    }
+    wal_dir = wal_tmpl;
   }
-  const std::string wal_dir = wal_tmpl;
   char port_tmpl[] = "/tmp/kbrepair_chaos_port_XXXXXX";
   char http_tmpl[] = "/tmp/kbrepair_chaos_http_XXXXXX";
   for (char* tmpl : {port_tmpl, http_tmpl}) {
@@ -508,9 +522,11 @@ Status RunRound(const SoakOptions& options, uint64_t round_seed,
     }
   };
   const auto cleanup = [&] {
-    const std::string cmd = "rm -rf '" + wal_dir + "'";
-    if (std::system(cmd.c_str()) != 0) {
-      std::cerr << "warning: cleanup of " << wal_dir << " failed\n";
+    if (options.keep_wal_dir.empty()) {
+      const std::string cmd = "rm -rf '" + wal_dir + "'";
+      if (std::system(cmd.c_str()) != 0) {
+        std::cerr << "warning: cleanup of " << wal_dir << " failed\n";
+      }
     }
     ::unlink(port_file.c_str());
     ::unlink(http_file.c_str());
@@ -697,6 +713,8 @@ int Usage(const char* argv0) {
             << " [--seed S] [--rounds N] [--sessions N] [--shards S]\n"
                "       [--workers W] [--num-facts F] [--server PATH]"
                " [--quick]\n"
+               "       [--keep-wal-dir DIR]  (keep per-round WALs under"
+               " DIR for replay)\n"
                "Seeded chaos soak against the real daemon: failpoint\n"
                "windows, connection resets, and a kill -9 /"
                " --recover-dir\n"
@@ -730,6 +748,8 @@ int Main(int argc, char** argv) {
       options.num_facts = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--server" && (v = next_value())) {
       options.server_path = v;
+    } else if (arg == "--keep-wal-dir" && (v = next_value())) {
+      options.keep_wal_dir = v;
     } else if (arg == "--quick") {
       options.quick = true;
       options.rounds = 1;

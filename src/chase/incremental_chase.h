@@ -119,6 +119,17 @@ class IncrementalChase {
   // state), so concurrent calls on the same instance are not safe.
   std::vector<AtomId> OriginalSupport(const std::vector<AtomId>& ids) const;
 
+  // Derivation of `id` in the maintained base, or nullptr when `id` is
+  // original or tombstoned. The pointer is valid until the next
+  // ApplyFix. Inspection API (kbrepair-debug renders provenance cones
+  // from the maintained DAG without re-chasing).
+  const Derivation* derivation_or_null(AtomId id) const {
+    if (id < num_original_ || id >= chased_.size() || !chased_.alive(id)) {
+      return nullptr;
+    }
+    return &derivations_[id - num_original_];
+  }
+
   // Lifetime instrumentation (for the delta-chase microbench).
   size_t total_retracted() const { return total_retracted_; }
   size_t total_added() const { return total_added_; }

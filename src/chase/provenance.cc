@@ -1,0 +1,91 @@
+#include "chase/provenance.h"
+
+namespace kbrepair {
+
+DerivationFn DerivationsOf(const ChaseResult& result) {
+  return [&result](AtomId id) -> const Derivation* {
+    if (result.IsOriginal(id)) return nullptr;
+    return &result.derivation(id);
+  };
+}
+
+namespace {
+
+void WalkNode(AtomId id, size_t depth, const DerivationFn& derivation_of,
+              size_t max_nodes, size_t* visited,
+              const std::function<void(const ProvenanceNode&)>& visit) {
+  if (max_nodes != 0 && *visited >= max_nodes) return;
+  ++*visited;
+  ProvenanceNode node;
+  node.id = id;
+  node.depth = depth;
+  node.derivation = derivation_of(id);
+  visit(node);
+  if (node.derivation == nullptr) return;
+  for (const AtomId parent : node.derivation->parents) {
+    WalkNode(parent, depth + 1, derivation_of, max_nodes, visited, visit);
+  }
+}
+
+}  // namespace
+
+void WalkSupportCone(AtomId root, const DerivationFn& derivation_of,
+                     size_t max_nodes,
+                     const std::function<void(const ProvenanceNode&)>& visit) {
+  size_t visited = 0;
+  WalkNode(root, 0, derivation_of, max_nodes, &visited, visit);
+}
+
+std::vector<AtomId> ForwardCone(AtomId original, size_t num_atoms,
+                                const DerivationFn& derivation_of) {
+  // Parents precede children, so one ascending pass over the base
+  // closes the cone transitively.
+  std::vector<bool> in_cone(num_atoms, false);
+  if (original < num_atoms) in_cone[original] = true;
+  std::vector<AtomId> cone;
+  for (AtomId id = 0; id < num_atoms; ++id) {
+    const Derivation* derivation = derivation_of(id);
+    if (derivation == nullptr) continue;
+    for (const AtomId parent : derivation->parents) {
+      if (parent < num_atoms && in_cone[parent]) {
+        in_cone[id] = true;
+        cone.push_back(id);
+        break;
+      }
+    }
+  }
+  return cone;
+}
+
+std::string RenderSupportCone(AtomId root, const FactBase& chased,
+                              const SymbolTable& symbols,
+                              const DerivationFn& derivation_of,
+                              size_t max_nodes) {
+  std::string out;
+  size_t visits = 0;
+  WalkSupportCone(root, derivation_of, max_nodes,
+                  [&](const ProvenanceNode& node) {
+                    ++visits;
+                    out.append(node.depth * 2, ' ');
+                    if (node.id < chased.size()) {
+                      out += chased.atom(node.id).ToString(symbols);
+                    } else {
+                      out += "atom#" + std::to_string(node.id);
+                    }
+                    out += "  [";
+                    out += "#" + std::to_string(node.id) + ", ";
+                    if (node.derivation == nullptr) {
+                      out += "original";
+                    } else {
+                      out += "tgd " + std::to_string(node.derivation->tgd_index);
+                    }
+                    out += "]\n";
+                  });
+  if (max_nodes != 0 && visits >= max_nodes) {
+    out += "  ... (cone truncated at " + std::to_string(max_nodes) +
+           " nodes)\n";
+  }
+  return out;
+}
+
+}  // namespace kbrepair

@@ -1,0 +1,75 @@
+// Provenance cone walks over the Derivation DAG.
+//
+// Both chase engines record, for every derived atom, the TGD and the
+// body-matched parent atoms that produced it (chase.h Derivation). This
+// header turns that DAG into something an operator can read: the
+// *support cone* of an atom — the derivation tree rooted at it, walked
+// down through parents to the original facts — and the *forward cone*
+// of an original atom — every derived atom whose proof uses it. Both
+// walks are engine-agnostic: the caller supplies a lookup callback
+// (`DerivationFn`) that returns an atom's Derivation or nullptr for
+// originals, so the same code serves a fresh ChaseResult and the
+// incremental engine's maintained base (kbrepair-debug uses both).
+
+#ifndef KBREPAIR_CHASE_PROVENANCE_H_
+#define KBREPAIR_CHASE_PROVENANCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "kb/fact_base.h"
+#include "kb/symbol_table.h"
+#include "rules/tgd.h"
+
+namespace kbrepair {
+
+// Lookup used by the walks: the derivation of `id`, or nullptr when the
+// atom is original (or unknown to the source). Must stay valid for the
+// duration of the walk.
+using DerivationFn = std::function<const Derivation*(AtomId)>;
+
+// Adapts a ChaseResult into a DerivationFn.
+DerivationFn DerivationsOf(const ChaseResult& result);
+
+// One visited node of a support-cone walk.
+struct ProvenanceNode {
+  AtomId id = 0;
+  size_t depth = 0;  // 0 at the root
+  // Derivation of this node, or nullptr when original.
+  const Derivation* derivation = nullptr;
+};
+
+// Walks the support cone of `root` pre-order, parents in body order,
+// invoking `visit` for every node (root included). The derivation
+// structure is a DAG (parents always have smaller ids than children), so
+// the walk terminates; shared sub-cones are visited once per occurrence,
+// capped at `max_nodes` total visits (0 = unlimited).
+void WalkSupportCone(AtomId root, const DerivationFn& derivation_of,
+                     size_t max_nodes,
+                     const std::function<void(const ProvenanceNode&)>& visit);
+
+// Derived atoms (ascending) whose support cone contains `original`; the
+// forward direction of the DAG. `num_atoms` bounds the scan — pass the
+// chased base's size.
+std::vector<AtomId> ForwardCone(AtomId original, size_t num_atoms,
+                                const DerivationFn& derivation_of);
+
+// Renders the support cone of `root` as an indented tree:
+//
+//   s(a,_N3)  [tgd 2]
+//     p(a,b)  [original]
+//     q(b,_N3)  [tgd 0]
+//       r(b)  [original]
+//
+// `chased` must be the base the ids refer to. Output is truncated (with
+// a trailing note) past `max_nodes` visits.
+std::string RenderSupportCone(AtomId root, const FactBase& chased,
+                              const SymbolTable& symbols,
+                              const DerivationFn& derivation_of,
+                              size_t max_nodes = 256);
+
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_CHASE_PROVENANCE_H_

@@ -1,0 +1,60 @@
+#include "debug/recorded_session.h"
+
+#include <utility>
+
+namespace kbrepair {
+namespace debug {
+
+namespace {
+
+// `<dir>/<id>.wal` -> `<id>`.
+std::string SessionIdFromPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string suffix = ".wal";
+  if (name.size() > suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    name.resize(name.size() - suffix.size());
+  }
+  return name;
+}
+
+}  // namespace
+
+StatusOr<RecordedSession> LoadRecordedSession(const std::string& path) {
+  const std::string id = SessionIdFromPath(path);
+  KBREPAIR_ASSIGN_OR_RETURN(WalRecovery recovery, ReadWalFile(path, id));
+  RecordedSession session;
+  session.session_id = id;
+  session.path = path;
+  session.create_params = recovery.create_params;
+  session.closed = recovery.closed;
+  session.dropped_torn_tail = recovery.dropped_torn_tail;
+  session.steps.reserve(recovery.entries.size());
+  for (size_t i = 0; i < recovery.entries.size(); ++i) {
+    RecordedStep step;
+    step.entry = recovery.entries[i];
+    if (i < recovery.entry_origins.size()) {
+      step.record_index = recovery.entry_origins[i].record_index;
+      step.byte_offset = recovery.entry_origins[i].byte_offset;
+    }
+    session.steps.push_back(std::move(step));
+  }
+  return session;
+}
+
+RecordedSession RecordedSessionFromEntries(JsonValue create_params,
+                                           std::vector<JsonValue> entries) {
+  RecordedSession session;
+  session.create_params = std::move(create_params);
+  session.steps.reserve(entries.size());
+  for (JsonValue& entry : entries) {
+    RecordedStep step;
+    step.entry = std::move(entry);
+    session.steps.push_back(std::move(step));
+  }
+  return session;
+}
+
+}  // namespace debug
+}  // namespace kbrepair

@@ -1,0 +1,61 @@
+// A repair session as recorded by its WAL, loaded for offline
+// inspection.
+//
+// The WAL is a complete recipe for the session: the create record fixes
+// the KB and the engine configuration, and each answer record carries
+// the full transcript entry (question wire JSON + chosen index) of one
+// accepted answer. LoadRecordedSession decodes a `.wal` file into that
+// shape, keeping each entry's WAL coordinates (record index, byte
+// offset) so the debugger can point back at the exact line behind any
+// step. kbrepair-debug's timeline (timeline.h) replays a RecordedSession
+// deterministically through a live InquiryEngine.
+
+#ifndef KBREPAIR_DEBUG_RECORDED_SESSION_H_
+#define KBREPAIR_DEBUG_RECORDED_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "service/wal.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace kbrepair {
+namespace debug {
+
+// One recorded answer: the transcript-entry JSON
+// ({"chosen":N,"question":{...}}) plus where in the WAL it sits.
+// Entries unpacked from a compaction snapshot share the snapshot
+// record's coordinates.
+struct RecordedStep {
+  JsonValue entry = JsonValue::Null();
+  size_t record_index = 0;
+  uint64_t byte_offset = 0;
+};
+
+struct RecordedSession {
+  // Derived from the file name (`<id>.wal`); empty for in-memory
+  // sessions built from a fork branch.
+  std::string session_id;
+  std::string path;
+  JsonValue create_params = JsonValue::Null();
+  std::vector<RecordedStep> steps;
+  bool closed = false;
+  bool dropped_torn_tail = false;
+};
+
+// Decodes `<path>` (a session WAL). Propagates ReadWalFile errors —
+// framing/CRC corruption, a missing create record — with the offending
+// record index and byte offset in the message. A torn final line is
+// tolerated (dropped_torn_tail set), matching daemon recovery.
+StatusOr<RecordedSession> LoadRecordedSession(const std::string& path);
+
+// Wraps an in-memory transcript (e.g. a fork branch) in the same shape,
+// so it can be verified through the identical replay machinery.
+RecordedSession RecordedSessionFromEntries(JsonValue create_params,
+                                           std::vector<JsonValue> entries);
+
+}  // namespace debug
+}  // namespace kbrepair
+
+#endif  // KBREPAIR_DEBUG_RECORDED_SESSION_H_

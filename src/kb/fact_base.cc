@@ -86,6 +86,29 @@ size_t FactBase::TermUseCount(TermId term) const {
   return count == nullptr ? 0 : *count;
 }
 
+uint64_t FactBase::ContentHash(const SymbolTable& symbols) const {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&hash](const std::string& text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xFFu;  // terminator so "ab"+"c" != "a"+"bc"
+    hash *= 1099511628211ull;
+  };
+  for (AtomId id = 0; id < atoms_.size(); ++id) {
+    if (!alive(id)) continue;
+    const Atom& atom = atoms_[id];
+    mix(symbols.predicate_name(atom.predicate));
+    for (const TermId term : atom.args) {
+      hash ^= static_cast<uint64_t>(symbols.term_kind(term)) + 1;
+      hash *= 1099511628211ull;
+      mix(symbols.term_name(term));
+    }
+  }
+  return hash;
+}
+
 std::string FactBase::ToString(const SymbolTable& symbols) const {
   std::string out;
   for (AtomId id = 0; id < atoms_.size(); ++id) {

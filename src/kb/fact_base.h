@@ -104,6 +104,13 @@ class FactBase {
   // One atom per line, for debugging and the examples.
   std::string ToString(const SymbolTable& symbols) const;
 
+  // Order-sensitive FNV-1a fingerprint over the alive atoms' *rendered*
+  // structure (predicate and term names, not ids), so two bases built in
+  // independent symbol tables hash equal iff they denote the same facts
+  // in the same id order. Replay verification (kbrepair-debug) compares
+  // these across a recorded session and its deterministic replay.
+  uint64_t ContentHash(const SymbolTable& symbols) const;
+
   // --- Shared-base forking -----------------------------------------------
 
   // Flattens atoms and every index into an immutable shared base

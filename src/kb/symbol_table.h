@@ -9,6 +9,7 @@
 #define KBREPAIR_KB_SYMBOL_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,7 +46,8 @@ class SymbolTable {
 
   // SymbolTable is shared by reference between the fact base, rules and
   // the repair engine; copying one by accident is almost always a bug.
-  SymbolTable(const SymbolTable&) = delete;
+  // The copy constructor is private (see Clone() below); assignment
+  // stays deleted outright.
   SymbolTable& operator=(const SymbolTable&) = delete;
 
   // --- Terms -------------------------------------------------------------
@@ -134,7 +136,22 @@ class SymbolTable {
     return terms_.overlay_size() + predicates_.overlay_size();
   }
 
+  // --- Inspection snapshots ----------------------------------------------
+
+  // Deep, independent copy — an *explicit* escape hatch from the
+  // no-copy policy above. Used by read-only inspectors (kbrepair-debug,
+  // consistency oracles) that need to chase without minting fresh nulls
+  // into the live table, which would perturb deterministic replay.
+  // Fresh-null/variable counters carry over, so ids minted in the clone
+  // match what the live table would have minted.
+  std::unique_ptr<SymbolTable> Clone() const {
+    return std::unique_ptr<SymbolTable>(new SymbolTable(*this));
+  }
+
  private:
+  // Copying stays private so it can only happen through Clone().
+  SymbolTable(const SymbolTable&) = default;
+
   struct TermEntry {
     TermKind kind;
     std::string name;

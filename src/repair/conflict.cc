@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "chase/support.h"
+#include "repair/delta_conflicts.h"
 #include "util/logging.h"
 #include "util/trace.h"
 
@@ -263,6 +264,15 @@ void ConflictTracker::OnFixApplied(const FactBase& facts, AtomId atom) {
   for (Conflict& conflict : finder_->NaiveConflictsTouching(facts, atom)) {
     AddConflict(std::move(conflict));
   }
+}
+
+std::vector<Conflict> ConflictTracker::CanonicalConflicts(
+    size_t num_original) const {
+  std::vector<Conflict> out;
+  out.reserve(conflicts_.size());
+  for (const auto& [id, conflict] : conflicts_) out.push_back(conflict);
+  CanonicalizeConflicts(out, num_original);
+  return out;
 }
 
 std::vector<uint64_t> ConflictTracker::ConflictsTouching(AtomId atom) const {

@@ -148,6 +148,13 @@ class ConflictTracker {
     return conflicts_;
   }
 
+  // Live conflicts in canonical order (CanonicalizeConflicts over the
+  // tracked set). `num_original` is the working fact-base size — the
+  // tracker holds naive conflicts, so every id is original and any value
+  // >= the base size works. Inspection accessor for kbrepair-debug's
+  // phase-one census views.
+  std::vector<Conflict> CanonicalConflicts(size_t num_original) const;
+
   // Ids of conflicts whose support contains `atom` (empty set if none).
   std::vector<uint64_t> ConflictsTouching(AtomId atom) const;
 

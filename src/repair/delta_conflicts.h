@@ -100,7 +100,14 @@ class DeltaConflictEngine {
 
   // Live conflicts in canonical order. Matched ids refer to the
   // maintained base (chase().facts()); supports are original atoms.
+  // Subject to the `delta.census_drop` failpoint (drops the last
+  // canonical conflict when armed — the diff-engines fault drill).
   std::vector<Conflict> CanonicalConflicts() const;
+
+  // Live conflicts (canonical order) whose original-atom support
+  // contains `atom`. Inspection accessor for kbrepair-debug's
+  // conflict-membership views; linear in the census.
+  std::vector<Conflict> ConflictsUsingSupport(AtomId atom) const;
 
   // Structural self-check, run after every OnFixApplied: each live
   // conflict must match only alive atoms of the maintained base and

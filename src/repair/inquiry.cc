@@ -483,6 +483,53 @@ ConflictEngineKind InquiryEngine::active_engine() const {
   return step_ != nullptr ? step_->active_engine : options_.conflict_engine;
 }
 
+int InquiryEngine::current_phase() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return step_->mode == Session::Mode::kPhaseTwo ? 2 : 1;
+}
+
+const PositionSet& InquiryEngine::current_pi() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return step_->pi;
+}
+
+const PositionSet& InquiryEngine::propagated_positions() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return step_->propagated;
+}
+
+const IncrementalChase* InquiryEngine::delta_chase() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  return step_->delta != nullptr ? &step_->delta->chase() : nullptr;
+}
+
+std::optional<size_t> InquiryEngine::skeleton_census_size() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  if (step_->skeleton_delta == nullptr) return std::nullopt;
+  return step_->skeleton_delta->size();
+}
+
+StatusOr<std::vector<Conflict>> InquiryEngine::InspectCensus() const {
+  KBREPAIR_CHECK(step_ != nullptr);
+  const Session& session = *step_;
+  if (session.done) return std::vector<Conflict>{};
+  if (session.mode == Session::Mode::kPhaseOne) {
+    return session.tracker.CanonicalConflicts(session.facts.size());
+  }
+  if (session.delta != nullptr) {
+    return session.delta->CanonicalConflicts();
+  }
+  // Scratch phase two / basic: chase against a cloned symbol table so
+  // inspection cannot mint nulls into the live one.
+  std::unique_ptr<SymbolTable> symbols = kb_->symbols().Clone();
+  ConflictFinder finder(symbols.get(), &kb_->tgds(), &kb_->cdds(),
+                        options_.chase_options);
+  KBREPAIR_ASSIGN_OR_RETURN(std::vector<Conflict> census,
+                            finder.AllConflicts(session.facts));
+  CanonicalizeConflicts(census, session.facts.size());
+  return census;
+}
+
 Status InquiryEngine::ComputeNextQuestion(Session& session) {
   trace::ScopedSpan span("inquiry.next_question");
   const trace::PhaseTotals phases_before = trace::ThreadPhaseTotals();

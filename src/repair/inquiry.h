@@ -50,6 +50,8 @@
 
 namespace kbrepair {
 
+class IncrementalChase;  // chase/incremental_chase.h
+
 enum class Strategy {
   kRandom,
   kOptiJoin,
@@ -256,6 +258,41 @@ class InquiryEngine {
   // session. Callable mid-dialogue (e.g., when a service session is
   // evicted): the result then holds the partial repair.
   StatusOr<InquiryResult> Finish();
+
+  // --- Debug inspection ---------------------------------------------------
+  //
+  // Read-only views of the suspended session for kbrepair-debug. None of
+  // these consume RNG state or mint fresh symbols into the live table,
+  // so a deterministic replay is unperturbed by any amount of
+  // inspection. All require started().
+
+  // 1 while phase-one naive conflicts are being resolved, 2 in phase
+  // two (Algorithm 3 sessions report 1, matching QuestionRecord.phase).
+  int current_phase() const;
+
+  // The frozen-position set Π, and the subset frozen by opti-prop
+  // propagation rather than by answers.
+  const PositionSet& current_pi() const;
+  const PositionSet& propagated_positions() const;
+
+  // The conflict census the engine would select from at this point, in
+  // canonical order: the naive tracker in phase one, the maintained
+  // delta census when the incremental engine is live, otherwise a full
+  // chased census computed against a *clone* of the symbol table —
+  // fresh nulls minted by the inspection chase never touch the live
+  // table. Conflicts are AtomId-based, so the cloned-table census is
+  // identical to what the live finder would report.
+  StatusOr<std::vector<Conflict>> InspectCensus() const;
+
+  // Maintained chased base of the live incremental conflict engine, or
+  // nullptr (scratch sessions, demoted sessions, engine not created
+  // yet). Provenance cones can be walked off its Derivation DAG without
+  // re-chasing.
+  const IncrementalChase* delta_chase() const;
+
+  // Size of the maintained Π-skeleton census when that engine is live
+  // (0 = Π-repairable), nullopt otherwise.
+  std::optional<size_t> skeleton_census_size() const;
 
  private:
   struct Session;  // per-run mutable state

@@ -52,6 +52,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -809,6 +810,7 @@ struct SpanInfo {
   uint64_t id = 0;
   uint64_t parent = 0;
   std::string name;
+  std::string detail;
   int64_t start_us = 0;
   int64_t dur_us = 0;
 };
@@ -825,7 +827,10 @@ struct SpanInfo {
 //    slop);
 //  * the expected request path is covered: scheduler (rpc.*), session
 //    handlers, inquiry, chase, and — when a WAL is configured — the
-//    wal.append leaf.
+//    wal.append leaf;
+//  * every session.ask / session.answer span carries "session=<id>
+//    step=<k>" annotations and, per session, steps never go backwards
+//    in span creation order.
 std::string CheckAndPrintTrace(const JsonValue& result, bool expect_wal,
                                bool quiet) {
   if (!result.Get("enabled").AsBool(false)) {
@@ -844,6 +849,7 @@ std::string CheckAndPrintTrace(const JsonValue& result, bool expect_wal,
     info.id = static_cast<uint64_t>(json.Get("id").AsInt(0));
     info.parent = static_cast<uint64_t>(json.Get("parent").AsInt(0));
     info.name = json.Get("name").AsString();
+    info.detail = json.Get("detail").AsString();
     info.start_us = json.Get("start_us").AsInt(-1);
     info.dur_us = json.Get("dur_us").AsInt(-1);
     if (info.id == 0 || info.name.empty() || info.start_us < 0 ||
@@ -909,6 +915,42 @@ std::string CheckAndPrintTrace(const JsonValue& result, bool expect_wal,
   if (names.count("chase.saturate") == 0 &&
       names.count("chase.delta_saturate") == 0) {
     return "trace: no chase span (chase.saturate / chase.delta_saturate)";
+  }
+
+  // Session command spans carry "session=<id> step=<k>"; per session
+  // the step is non-decreasing in creation (id) order — the id-sorted
+  // pass above established that order. A step going backwards would
+  // mean the daemon re-ran an earlier question.
+  std::map<std::string, std::pair<int64_t, uint64_t>> last_step;
+  for (const size_t index : order) {
+    const SpanInfo& span = spans[index];
+    if (span.name != "session.ask" && span.name != "session.answer") continue;
+    std::string session;
+    int64_t step = -1;
+    std::istringstream detail(span.detail);
+    std::string token;
+    while (detail >> token) {
+      if (token.rfind("session=", 0) == 0) session = token.substr(8);
+      if (token.rfind("step=", 0) == 0) {
+        step = std::atoll(token.c_str() + 5);
+      }
+    }
+    if (session.empty() || step <= 0) {
+      return "trace: span '" + span.name + "' (id " +
+             std::to_string(span.id) + ") lacks session=/step= detail: '" +
+             span.detail + "'";
+    }
+    const auto [it, inserted] =
+        last_step.emplace(session, std::make_pair(step, span.id));
+    if (!inserted) {
+      if (step < it->second.first) {
+        return "trace: session " + session + " step went backwards: span " +
+               std::to_string(span.id) + " has step=" + std::to_string(step) +
+               " after span " + std::to_string(it->second.second) +
+               " reached step=" + std::to_string(it->second.first);
+      }
+      it->second = {step, span.id};
+    }
   }
 
   if (!quiet) {

@@ -47,16 +47,16 @@ const char* TermKindTag(TermKind kind) {
   return "?";
 }
 
-// Matches a WAL-recorded fix (wire JSON: atom/arg numbers plus
-// kind/value strings) against the fixes of a regenerated question.
+}  // namespace
+
 // Comparison stays at the string level: interning the recorded terms
 // into the live symbol table would advance its fresh-null counter, so
 // the replayed dialogue would mint differently named nulls and
 // recovery would no longer be byte-identical with the original run.
-std::optional<size_t> MatchRecordedFix(const JsonValue& recorded,
-                                       const Question& question,
-                                       const InquiryView& view,
-                                       const SymbolTable& symbols) {
+std::optional<size_t> MatchRecordedFixJson(const JsonValue& recorded,
+                                           const Question& question,
+                                           const InquiryView& view,
+                                           const SymbolTable& symbols) {
   const AtomId atom = static_cast<AtomId>(recorded.Get("atom").AsInt(-1));
   const int arg = static_cast<int>(recorded.Get("arg").AsInt(-1));
   const std::string kind = recorded.Get("kind").AsString();
@@ -76,6 +76,8 @@ std::optional<size_t> MatchRecordedFix(const JsonValue& recorded,
   }
   return std::nullopt;
 }
+
+namespace {
 
 // Attributes the phase time a command spends to the session's
 // (strategy, engine) metrics slot when it leaves scope. The manager
@@ -145,6 +147,42 @@ StatusOr<KnowledgeBase> BuildKbFromParams(const JsonValue& params,
       options.inconsistency_ratio =
           params.Get("inconsistency_ratio").AsDouble();
     }
+    // The full generator surface, so a WAL create record reconstructs
+    // any harness KB bit-for-bit (the differential matrix uses TGD
+    // chains and tight arity/multiplicity ranges the defaults lack).
+    if (params.Get("num_tgds").is_number()) {
+      options.num_tgds = static_cast<size_t>(params.Get("num_tgds").AsInt());
+    }
+    if (params.Get("conflict_depth").is_number()) {
+      options.conflict_depth =
+          static_cast<int>(params.Get("conflict_depth").AsInt());
+    }
+    if (params.Get("routed_violation_share").is_number()) {
+      options.routed_violation_share =
+          params.Get("routed_violation_share").AsDouble();
+    }
+    if (params.Get("cdd_min_atoms").is_number()) {
+      options.cdd_min_atoms =
+          static_cast<int>(params.Get("cdd_min_atoms").AsInt());
+    }
+    if (params.Get("cdd_max_atoms").is_number()) {
+      options.cdd_max_atoms =
+          static_cast<int>(params.Get("cdd_max_atoms").AsInt());
+    }
+    if (params.Get("min_arity").is_number()) {
+      options.min_arity = static_cast<int>(params.Get("min_arity").AsInt());
+    }
+    if (params.Get("max_arity").is_number()) {
+      options.max_arity = static_cast<int>(params.Get("max_arity").AsInt());
+    }
+    if (params.Get("min_multiplicity").is_number()) {
+      options.min_multiplicity =
+          static_cast<int>(params.Get("min_multiplicity").AsInt());
+    }
+    if (params.Get("max_multiplicity").is_number()) {
+      options.max_multiplicity =
+          static_cast<int>(params.Get("max_multiplicity").AsInt());
+    }
     KBREPAIR_ASSIGN_OR_RETURN(SyntheticKb synthetic,
                               GenerateSyntheticKb(options));
     *label = "synthetic";
@@ -190,6 +228,20 @@ StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params) {
     KBREPAIR_ASSIGN_OR_RETURN(
         options.conflict_engine,
         ConflictEngineFromName(params.Get("engine").AsString()));
+  }
+  if (params.Get("record_convergence").is_string()) {
+    const std::string mode = params.Get("record_convergence").AsString();
+    if (mode == "off") {
+      options.record_convergence = ConvergenceRecording::kOff;
+    } else if (mode == "total") {
+      options.record_convergence = ConvergenceRecording::kTotalConflicts;
+    } else if (mode == "discovered") {
+      options.record_convergence = ConvergenceRecording::kDiscoveredConflicts;
+    } else {
+      return Status::InvalidArgument(
+          "unknown record_convergence '" + mode +
+          "' (expected 'off', 'total', or 'discovered')");
+    }
   }
   if (params.Get("chase_threads").is_number()) {
     const int64_t threads = params.Get("chase_threads").AsInt();
@@ -291,7 +343,7 @@ Status RepairSession::ReplayWalEntries(RepairSession* session,
   // Replay the WAL's answer records through the restarted engine,
   // validating each recorded fix against the question the engine
   // regenerates. The match is done on the wire JSON directly (see
-  // MatchRecordedFix) so replay never mutates the symbol table.
+  // MatchRecordedFixJson) so replay never mutates the symbol table.
   for (size_t n = 0; n < entries.size(); ++n) {
     const JsonValue& record = entries[n];
     const JsonValue& fixes_json = record.Get("question").Get("fixes");
@@ -324,8 +376,8 @@ Status RepairSession::ReplayWalEntries(RepairSession* session,
           std::to_string(entries.size() - n) + " recorded answer(s) left");
     }
     const std::optional<size_t> choice =
-        MatchRecordedFix(fixes_json.at(chosen), *question,
-                         session->engine_->View(), session->kb_.symbols());
+        MatchRecordedFixJson(fixes_json.at(chosen), *question,
+                             session->engine_->View(), session->kb_.symbols());
     if (!choice.has_value()) {
       if (duplicate_of_previous) continue;
       return Status::Internal(
@@ -395,7 +447,13 @@ void RepairSession::ObservePhases(ServiceMetrics* metrics,
 
 StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
   trace::ScopedSpan span("session.ask");
-  if (span.recording()) span.Annotate("session=" + id_);
+  // `step` is the 1-based question index the command works on; per
+  // session it is non-decreasing, which kbrepair-client --trace-dir
+  // validation checks.
+  if (span.recording()) {
+    span.Annotate("session=" + id_ + " step=" +
+                  std::to_string(engine_->progress().records.size() + 1));
+  }
   ScopedPhaseAttribution attribution(*this, metrics);
   KBREPAIR_ASSIGN_OR_RETURN(const Question* question,
                             engine_->NextQuestion());
@@ -425,7 +483,10 @@ StatusOr<JsonValue> RepairSession::Ask(ServiceMetrics* metrics) {
 StatusOr<JsonValue> RepairSession::Answer(const JsonValue& params,
                                           ServiceMetrics* metrics) {
   trace::ScopedSpan span("session.answer");
-  if (span.recording()) span.Annotate("session=" + id_);
+  if (span.recording()) {
+    span.Annotate("session=" + id_ + " step=" +
+                  std::to_string(engine_->progress().records.size() + 1));
+  }
   ScopedPhaseAttribution attribution(*this, metrics);
   if (!params.Get("choice").is_number() ||
       params.Get("choice").AsInt() < 0) {

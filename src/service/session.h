@@ -10,6 +10,7 @@
 #define KBREPAIR_SERVICE_SESSION_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,16 +30,35 @@ namespace kbrepair {
 // Parses a `create` request's KB source:
 //   "kb": "durum_wheat_v1" | "durum_wheat_v2" | "synthetic"
 //         (synthetic honours kb_seed, num_facts, num_cdds,
-//          inconsistency_ratio), or
+//          inconsistency_ratio, and the full generator surface:
+//          num_tgds, conflict_depth, routed_violation_share,
+//          cdd_min_atoms, cdd_max_atoms, min_arity, max_arity,
+//          min_multiplicity, max_multiplicity — so a WAL create record
+//          alone reconstructs any harness KB bit-for-bit), or
 //   "kb_dlgp": inline DLGP text.
 // The KB is validated (weak acyclicity etc.) before use. `label` gets a
 // short description for status/metrics output.
 StatusOr<KnowledgeBase> BuildKbFromParams(const JsonValue& params,
                                           std::string* label);
 
-// Parses strategy/seed/two_phase/max_questions/engine/chase_threads from
-// `create` params.
+// Parses strategy/seed/two_phase/max_questions/engine/chase_threads/
+// record_convergence ("off" | "total" | "discovered") from `create`
+// params. record_convergence is dialogue-relevant for scratch two-phase
+// non-mcd runs, so WALs that should replay across engines record it.
 StatusOr<InquiryOptions> InquiryOptionsFromParams(const JsonValue& params);
+
+// Matches a WAL-recorded fix (wire JSON: atom/arg numbers plus
+// kind/value strings) against the fixes of a regenerated question,
+// returning the offered index or nullopt. Comparison stays at the
+// string level and never mutates the symbol table — interning the
+// recorded terms would advance the fresh-null counter and break
+// byte-identical replay. A recorded fresh null matches an offered fresh
+// null of the same position even when their minted names differ.
+// Shared by WAL recovery and the kbrepair-debug timeline.
+std::optional<size_t> MatchRecordedFixJson(const JsonValue& recorded,
+                                           const Question& question,
+                                           const InquiryView& view,
+                                           const SymbolTable& symbols);
 
 // Sets the daemon-wide chase-thread default applied when a `create`
 // omits "chase_threads" (kbrepaird --chase-threads). Call before serving.

@@ -921,7 +921,9 @@ void SessionManager::RecoverSessions() {
         logging::Warn(kComponent,
                       "WAL: dropped torn tail record (crash mid-append)")
             .With("session", id)
-            .With("path", path);
+            .With("path", path)
+            .With("record", static_cast<uint64_t>(read->torn_record_index))
+            .With("offset", read->torn_byte_offset);
       }
       // A create record carrying "base" re-forks from the registry
       // (recovered before sessions — see the constructor) instead of

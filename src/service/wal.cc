@@ -229,8 +229,7 @@ JsonValue SessionWal::CloseRecord() {
   return record;
 }
 
-StatusOr<WalRecovery> ReadWalFile(const std::string& path,
-                                  const std::string& session_id) {
+StatusOr<WalReader> WalReader::Open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::Unavailable("WAL open " + path + ": " + ErrnoText());
@@ -250,35 +249,42 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
     contents.append(buffer, static_cast<size_t>(n));
   }
   ::close(fd);
+  return WalReader(path, std::move(contents));
+}
 
-  WalRecovery recovery;
-  recovery.session_id = session_id;
-  bool saw_create = false;
-  bool v2_header = false;
-  size_t record_index = 0;
-
-  size_t start = 0;
-  while (start < contents.size()) {
-    size_t newline = contents.find('\n', start);
+Status WalReader::Next(WalRecordRef* out, bool* done) {
+  *done = false;
+  while (pos_ < contents_.size()) {
+    if (dropped_torn_tail_) break;
+    const uint64_t line_offset = pos_;
+    size_t newline = contents_.find('\n', pos_);
     const bool unterminated = newline == std::string::npos;
-    if (unterminated) newline = contents.size();
-    const std::string line = contents.substr(start, newline - start);
-    start = newline + 1;
+    if (unterminated) newline = contents_.size();
+    const std::string line = contents_.substr(pos_, newline - pos_);
+    pos_ = newline + 1;
     if (line.empty()) continue;
-    ++record_index;
-    const std::string where =
-        "WAL " + path + " record " + std::to_string(record_index);
+    ++record_index_;
+    const std::string where = "WAL " + path_ + " record " +
+                              std::to_string(record_index_) +
+                              " (byte offset " + std::to_string(line_offset) +
+                              ")";
+    const auto torn = [&] {
+      dropped_torn_tail_ = true;
+      torn_record_index_ = record_index_;
+      torn_byte_offset_ = line_offset;
+      *done = true;
+      return Status::Ok();
+    };
 
     if (line[0] == '#') {
       if (line == kWalHeaderV2) {
-        v2_header = true;
+        v2_header_ = true;
         continue;
       }
       if (unterminated) {
         // Crash while writing the very first append (header included):
         // nothing was acknowledged, so dropping it loses nothing.
-        recovery.dropped_torn_tail = true;
-        break;
+        return torn();
       }
       if (line.compare(0, sizeof(kWalHeaderPrefix) - 1, kWalHeaderPrefix) ==
           0) {
@@ -296,8 +302,7 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
         record_text = std::move(payload);
         break;
       case FrameParse::kTorn:
-        recovery.dropped_torn_tail = true;
-        break;
+        return torn();
       case FrameParse::kCorrupt:
         return Status::InvalidArgument(where + ": " + frame_error);
       case FrameParse::kNotFramed:
@@ -307,7 +312,6 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
         record_text = line;
         break;
     }
-    if (recovery.dropped_torn_tail) break;
 
     StatusOr<JsonValue> parsed = JsonValue::Parse(record_text);
     if (!parsed.ok() || !parsed->is_object()) {
@@ -317,19 +321,44 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
       // legacy v1 files — a v2 writer frames every record, and a torn
       // frame always keeps its leading length digits, so terminated
       // garbage under a v2 header is corruption, not a tear.
-      if (unterminated || (start >= contents.size() && !v2_header)) {
-        recovery.dropped_torn_tail = true;
-        break;
+      if (unterminated || (pos_ >= contents_.size() && !v2_header_)) {
+        return torn();
       }
       return Status::InvalidArgument(where + ": unparseable record");
     }
-    const std::string op = parsed->Get("op").AsString();
+    out->record = std::move(*parsed);
+    out->record_index = record_index_;
+    out->byte_offset = line_offset;
+    return Status::Ok();
+  }
+  *done = true;
+  return Status::Ok();
+}
+
+StatusOr<WalRecovery> ReadWalFile(const std::string& path,
+                                  const std::string& session_id) {
+  KBREPAIR_ASSIGN_OR_RETURN(WalReader reader, WalReader::Open(path));
+
+  WalRecovery recovery;
+  recovery.session_id = session_id;
+  bool saw_create = false;
+
+  for (;;) {
+    WalRecordRef ref;
+    bool done = false;
+    KBREPAIR_RETURN_IF_ERROR(reader.Next(&ref, &done));
+    if (done) break;
+    const std::string where = "WAL " + path + " record " +
+                              std::to_string(ref.record_index) +
+                              " (byte offset " +
+                              std::to_string(ref.byte_offset) + ")";
+    const std::string op = ref.record.Get("op").AsString();
     if (op == "create") {
       if (saw_create) {
         return Status::InvalidArgument(where + ": duplicate create record");
       }
       saw_create = true;
-      recovery.create_params = parsed->Get("params");
+      recovery.create_params = ref.record.Get("params");
     } else if (op == "snapshot") {
       // A snapshot restates the whole history; it can only legally be
       // the first record (compaction rewrites the file).
@@ -337,29 +366,36 @@ StatusOr<WalRecovery> ReadWalFile(const std::string& path,
         return Status::InvalidArgument(where + ": snapshot after other records");
       }
       saw_create = true;
-      recovery.create_params = parsed->Get("params");
-      const JsonValue& entries = parsed->Get("entries");
+      recovery.create_params = ref.record.Get("params");
+      const JsonValue& entries = ref.record.Get("entries");
       if (!entries.is_array()) {
         return Status::InvalidArgument(where +
                                        ": snapshot without entries array");
       }
       for (size_t i = 0; i < entries.size(); ++i) {
         recovery.entries.push_back(entries.at(i));
+        recovery.entry_origins.push_back(
+            WalEntryOrigin{ref.record_index, ref.byte_offset});
       }
     } else if (op == "answer") {
       if (!saw_create) {
         return Status::InvalidArgument(where + ": answer before create");
       }
       JsonValue entry = JsonValue::Object();
-      entry.Set("chosen", parsed->Get("chosen"));
-      entry.Set("question", parsed->Get("question"));
+      entry.Set("chosen", ref.record.Get("chosen"));
+      entry.Set("question", ref.record.Get("question"));
       recovery.entries.push_back(std::move(entry));
+      recovery.entry_origins.push_back(
+          WalEntryOrigin{ref.record_index, ref.byte_offset});
     } else if (op == "close") {
       recovery.closed = true;
     } else {
       return Status::InvalidArgument(where + ": unknown op '" + op + "'");
     }
   }
+  recovery.dropped_torn_tail = reader.dropped_torn_tail();
+  recovery.torn_record_index = reader.torn_record_index();
+  recovery.torn_byte_offset = reader.torn_byte_offset();
   if (!saw_create) {
     return Status::InvalidArgument("WAL " + path + ": no create record");
   }

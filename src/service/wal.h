@@ -104,20 +104,83 @@ class SessionWal {
   size_t appends_since_compaction_ = 0;
 };
 
+// One record yielded by WalReader, with its location in the file so
+// replay errors, torn-tail reports, and debugger seeks can name the
+// exact line and byte they refer to.
+struct WalRecordRef {
+  JsonValue record = JsonValue::Null();
+  // 1-based index among the file's non-empty lines (header lines
+  // included in the numbering, matching historical error messages).
+  size_t record_index = 0;
+  // Byte offset of the start of the record's line within the file.
+  uint64_t byte_offset = 0;
+};
+
+// Streaming WAL record reader. Decodes v2 framing (and bare v1 lines)
+// one record at a time, reporting each record's index and byte offset.
+// A torn final line (crash mid-append) ends the stream and is reported
+// via dropped_torn_tail(); framing/CRC corruption anywhere else is an
+// error carrying the record index and byte offset.
+class WalReader {
+ public:
+  // Reads the whole file up front (WALs are bounded by compaction);
+  // Unavailable on I/O failure.
+  static StatusOr<WalReader> Open(const std::string& path);
+
+  // Yields the next record. Sets `*done` and leaves `*out` untouched at
+  // end of stream — including a tolerated torn tail, which additionally
+  // sets dropped_torn_tail(). InvalidArgument on corruption.
+  Status Next(WalRecordRef* out, bool* done);
+
+  const std::string& path() const { return path_; }
+  bool dropped_torn_tail() const { return dropped_torn_tail_; }
+  // Location of the dropped torn-tail line; valid when
+  // dropped_torn_tail() is true.
+  size_t torn_record_index() const { return torn_record_index_; }
+  uint64_t torn_byte_offset() const { return torn_byte_offset_; }
+
+ private:
+  WalReader(std::string path, std::string contents)
+      : path_(std::move(path)), contents_(std::move(contents)) {}
+
+  std::string path_;
+  std::string contents_;
+  size_t pos_ = 0;
+  size_t record_index_ = 0;
+  bool v2_header_ = false;
+  bool dropped_torn_tail_ = false;
+  size_t torn_record_index_ = 0;
+  uint64_t torn_byte_offset_ = 0;
+};
+
+// Where a recovered transcript entry came from: the WAL record that
+// carried it. Entries unpacked from a snapshot record all share the
+// snapshot's coordinates.
+struct WalEntryOrigin {
+  size_t record_index = 0;
+  uint64_t byte_offset = 0;
+};
+
 // A WAL read back at recovery time.
 struct WalRecovery {
   std::string session_id;
   JsonValue create_params = JsonValue::Null();
   // Transcript-entry records ({"chosen":N,"question":{...}}), in order.
   std::vector<JsonValue> entries;
+  // Parallel to `entries`: the WAL record each entry was read from.
+  std::vector<WalEntryOrigin> entry_origins;
   bool closed = false;             // a close record was logged
   bool dropped_torn_tail = false;  // final partial line discarded
+  // Location of the dropped line; valid when dropped_torn_tail is set.
+  size_t torn_record_index = 0;
+  uint64_t torn_byte_offset = 0;
 };
 
 // Parses one WAL file. InvalidArgument when the file is unusable
 // (missing/garbled create record, framing/CRC corruption, non-JSON
-// interior line); a torn *final* line is tolerated and reported via
-// dropped_torn_tail.
+// interior line) — the message names the offending record index and
+// byte offset; a torn *final* line is tolerated and reported via
+// dropped_torn_tail + torn_record_index/torn_byte_offset.
 StatusOr<WalRecovery> ReadWalFile(const std::string& path,
                                   const std::string& session_id);
 
